@@ -1,0 +1,28 @@
+//! Ablation — the imprecise adder's structural threshold `TH`: cost of
+//! the unit model and error-rate characterization across the design
+//! space (DESIGN.md §6).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ihw_core::adder::iadd32;
+use ihw_error::{characterize, CharTarget};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_adder_th");
+    g.sample_size(10);
+    let xs: Vec<(f32, f32)> = ihw_qmc::Halton::<2>::new()
+        .take(256)
+        .map(|p| (p[0] as f32 * 100.0 + 0.1, p[1] as f32 * 100.0 + 0.1))
+        .collect();
+    for th in [1u32, 4, 8, 16, 27] {
+        g.bench_function(format!("iadd32_th{th}"), |b| {
+            b.iter(|| xs.iter().map(|&(x, y)| iadd32(black_box(x), black_box(y), th)).sum::<f32>())
+        });
+        g.bench_function(format!("characterize_th{th}"), |b| {
+            b.iter(|| black_box(characterize(CharTarget::IfpAdd { th }, 5_000).error_rate()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation — quasi-Monte Carlo vs. pseudo-random characterization
+//! inputs: generation throughput and coverage (DESIGN.md §6).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ihw_qmc::{star_discrepancy_1d, Halton, Hammersley};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_qmc");
+    g.bench_function("halton_2d_generate_4096", |b| {
+        b.iter(|| black_box(Halton::<2>::new().take(4096).map(|p| p[0] + p[1]).sum::<f64>()))
+    });
+    g.bench_function("hammersley_generate_4096", |b| {
+        b.iter(|| black_box(Hammersley::new(4096).map(|p| p[0] + p[1]).sum::<f64>()))
+    });
+    g.bench_function("lcg_generate_4096", |b| {
+        b.iter(|| {
+            let mut state = 0x243F_6A88_85A3_08D3u64;
+            black_box(
+                (0..4096)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        (state >> 11) as f64 / (1u64 << 53) as f64
+                    })
+                    .sum::<f64>(),
+            )
+        })
+    });
+    g.bench_function("star_discrepancy_2048", |b| {
+        let xs: Vec<f64> = Halton::<1>::new().take(2048).map(|p| p[0]).collect();
+        b.iter(|| black_box(star_discrepancy_1d(&xs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Extensions — future-work features: the kernel-IR interpreter, the
+//! segmented Mitchell multiplier and the dual-mode site-tuned renderer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpu_sim::isa::{AddrMode, Instr, Program, Reg, WarpInterpreter};
+use ihw_core::config::IhwConfig;
+use ihw_core::segmented::SegmentedMitchell;
+use ihw_workloads::raytrace::{render_sited, MulSite, RayParams};
+
+fn saxpy_program() -> Program {
+    Program::new(
+        "saxpy",
+        3,
+        vec![
+            Instr::Movi(Reg(0), 2.0),
+            Instr::Ld(Reg(1), 0, AddrMode::Tid),
+            Instr::Ld(Reg(2), 1, AddrMode::Tid),
+            Instr::Ffma(Reg(2), Reg(0), Reg(1), Reg(2)),
+            Instr::St(1, AddrMode::Tid, Reg(2)),
+        ],
+    )
+    .expect("valid program")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_future_work");
+    g.sample_size(10);
+
+    let prog = saxpy_program();
+    g.bench_function("isa_saxpy_4k_threads", |b| {
+        b.iter(|| {
+            let mut bufs = vec![vec![1.0f32; 4096], vec![2.0f32; 4096]];
+            let mut interp = WarpInterpreter::new(IhwConfig::precise());
+            interp.launch(&prog, 4096, &mut bufs).expect("runs");
+            black_box(bufs[1][0])
+        })
+    });
+    g.bench_function("isa_saxpy_imprecise", |b| {
+        b.iter(|| {
+            let mut bufs = vec![vec![1.5f32; 4096], vec![2.0f32; 4096]];
+            let mut interp = WarpInterpreter::new(IhwConfig::all_imprecise());
+            interp.launch(&prog, 4096, &mut bufs).expect("runs");
+            black_box(bufs[1][0])
+        })
+    });
+
+    for segments in [1u32, 4, 16] {
+        let sm = SegmentedMitchell::new(segments);
+        g.bench_function(format!("segmented_mul_{segments}"), |b| {
+            b.iter(|| {
+                (1u64..257)
+                    .map(|i| black_box(sm.mul(i * 7919 + 1, i * 104729 + 1)))
+                    .count()
+            })
+        });
+    }
+
+    g.bench_function("dual_mode_render_16px", |b| {
+        let params = RayParams { size: 16, max_depth: 2 };
+        let mask = [false, true, true, true];
+        b.iter(|| black_box(render_sited(&params, &mask).mean()))
+    });
+    let _ = MulSite::COUNT; // tie the site enum into the bench crate
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 2 — per-benchmark GPU power breakdown (workload run, SIMT
+//! simulation and GPUWattch-style model).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ihw_bench::experiments::system::{power_breakdown, GpuBenchmark};
+use ihw_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig02_power_breakdown");
+    g.sample_size(10);
+    for bench in GpuBenchmark::ALL {
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| black_box(power_breakdown(bench, Scale::Quick).arithmetic_share()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

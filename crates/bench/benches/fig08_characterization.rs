@@ -1,0 +1,18 @@
+//! Figure 8 — quasi-Monte Carlo error characterization of every IHW unit.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ihw_error::{characterize, CharTarget};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_characterization");
+    g.sample_size(10);
+    for target in CharTarget::figure8_set() {
+        g.bench_function(target.label(), |b| {
+            b.iter(|| black_box(characterize(target, 20_000).error_rate()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

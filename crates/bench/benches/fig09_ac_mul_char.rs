@@ -1,0 +1,19 @@
+//! Figure 9 — error characterization of the accuracy-configurable
+//! multiplier across datapaths and truncation levels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ihw_error::{characterize, CharTarget};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_ac_mul_char");
+    g.sample_size(10);
+    for target in CharTarget::figure9_set() {
+        g.bench_function(target.label(), |b| {
+            b.iter(|| black_box(characterize(target, 20_000).max_error_pct()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

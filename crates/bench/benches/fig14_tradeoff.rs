@@ -1,0 +1,22 @@
+//! Figure 14 — the multiplier power-quality trade-off sweep (both
+//! precisions, both datapaths, plus the truncation baseline).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ihw_bench::experiments::units::fig14;
+use ihw_bench::Scale;
+use ihw_power::library::Precision;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_tradeoff");
+    g.sample_size(10);
+    g.bench_function("single_precision_sweep", |b| {
+        b.iter(|| black_box(fig14(Scale::Quick, Precision::Single).len()))
+    });
+    g.bench_function("double_precision_sweep", |b| {
+        b.iter(|| black_box(fig14(Scale::Quick, Precision::Double).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figures 17 & 18 — the ray tracing render under the paper's unit
+//! subsets, plus the SSIM quality evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ihw_core::config::IhwConfig;
+use ihw_quality::ssim;
+use ihw_workloads::raytrace::{render_with_config, RayParams};
+
+fn bench(c: &mut Criterion) {
+    let params = RayParams { size: 24, max_depth: 3 };
+    let mut g = c.benchmark_group("fig17_raytrace");
+    g.sample_size(10);
+    let configs: [(&str, IhwConfig); 4] = [
+        ("precise", IhwConfig::precise()),
+        ("basic_17b", IhwConfig::ray_basic()),
+        ("rsqrt_17c", IhwConfig::ray_with_rsqrt()),
+        ("ac_mul_18b", IhwConfig::ray_with_ac_mul(0)),
+    ];
+    for (name, cfg) in configs {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(render_with_config(&params, cfg).0.mean()))
+        });
+    }
+    g.bench_function("ssim_eval", |b| {
+        let (reference, _) = render_with_config(&params, IhwConfig::precise());
+        let (img, _) = render_with_config(&params, IhwConfig::ray_basic());
+        b.iter(|| black_box(ssim(&reference, &img, 1.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 21 — 179.art recognition and 435.gromacs molecular dynamics
+//! under accuracy-configurable multiplier configurations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ihw_bench::experiments::apps::MulConfig;
+use ihw_core::config::IhwConfig;
+use ihw_workloads::{art, md};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig21_art_md");
+    g.sample_size(10);
+    let art_params = art::ArtParams { image_size: 32, ..art::ArtParams::default() };
+    g.bench_function("art_precise", |b| {
+        b.iter(|| black_box(art::run_with_config(&art_params, IhwConfig::precise()).0.vigilance))
+    });
+    g.bench_function("art_fp_tr44", |b| {
+        b.iter(|| {
+            black_box(art::run_with_config(&art_params, MulConfig::Fp(44).config()).0.vigilance)
+        })
+    });
+    let md_params = md::MdParams { particles: 27, steps: 10, ..md::MdParams::default() };
+    g.bench_function("md_precise", |b| {
+        b.iter(|| black_box(md::run_with_config(&md_params, IhwConfig::precise()).0.avg_potential))
+    });
+    g.bench_function("md_fp_tr44", |b| {
+        b.iter(|| {
+            black_box(md::run_with_config(&md_params, MulConfig::Fp(44).config()).0.avg_potential)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

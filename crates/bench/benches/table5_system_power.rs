@@ -1,0 +1,37 @@
+//! Table 5 — the end-to-end system power savings pipeline: functional
+//! simulation, SIMT timing, power breakdown and the Figure 12 estimator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ihw_bench::experiments::system::{estimate_savings, GpuBenchmark};
+use ihw_bench::Scale;
+use ihw_core::config::IhwConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_system_power");
+    g.sample_size(10);
+    g.bench_function("hotspot_all_imprecise", |b| {
+        b.iter(|| {
+            black_box(
+                estimate_savings(
+                    GpuBenchmark::Hotspot,
+                    Scale::Quick,
+                    IhwConfig::all_imprecise(),
+                    "Hotspot",
+                )
+                .holistic,
+            )
+        })
+    });
+    g.bench_function("ray_basic", |b| {
+        b.iter(|| {
+            black_box(
+                estimate_savings(GpuBenchmark::Ray, Scale::Quick, IhwConfig::ray_basic(), "RAY")
+                    .holistic,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

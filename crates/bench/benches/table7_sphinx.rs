@@ -1,0 +1,25 @@
+//! Table 7 — the sphinx-like DTW word recognizer under multiplier
+//! configurations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ihw_bench::experiments::apps::MulConfig;
+use ihw_core::config::IhwConfig;
+use ihw_workloads::sphinx::{run_with_config, SphinxParams};
+
+fn bench(c: &mut Criterion) {
+    let params = SphinxParams { words: 6, frames: 12, ..SphinxParams::default() };
+    let mut g = c.benchmark_group("table7_sphinx");
+    g.sample_size(10);
+    g.bench_function("precise", |b| {
+        b.iter(|| black_box(run_with_config(&params, IhwConfig::precise()).0.correct))
+    });
+    for cfg in [MulConfig::Bt(44), MulConfig::Fp(44), MulConfig::Lp(44)] {
+        g.bench_function(cfg.label(), |b| {
+            b.iter(|| black_box(run_with_config(&params, cfg.config()).0.correct))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,258 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p ihw-bench --bin repro -- all
+//! cargo run --release -p ihw-bench --bin repro -- table5 fig14
+//! cargo run --release -p ihw-bench --bin repro -- --paper fig15
+//! cargo run --release -p ihw-bench --bin repro -- --csv out/ table5
+//! cargo run --release -p ihw-bench --bin repro -- --images out/ fig15
+//! ```
+//!
+//! Without `--paper`, experiments run at `Scale::Quick` (seconds each);
+//! with it, the paper-scale inputs are used. With `--csv <dir>`, every
+//! tabular experiment is also written as a CSV file into `<dir>`.
+
+use ihw_bench::experiments::{apps, ext, system, units};
+use ihw_bench::table::Table;
+use ihw_bench::Scale;
+use ihw_power::library::Precision;
+use std::path::PathBuf;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig2", "fig4", "fig8", "fig9",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+    // Extensions (Chapter 6 future-work directions):
+    "fig5", "dvfs", "segmented", "dualmode", "sensitivity", "seeds", "tolerance", "acadder",
+];
+
+struct Emitter {
+    csv_dir: Option<PathBuf>,
+}
+
+impl Emitter {
+    fn table(&self, name: &str, title: &str, table: &Table) {
+        println!("\n=== {title} ===\n{}", table.render());
+        if let Some(dir) = &self.csv_dir {
+            let path = dir.join(format!("{name}.csv"));
+            if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+
+    fn text(&self, title: &str, body: &str) {
+        println!("\n=== {title} ===\n{body}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let scale = if paper { Scale::Paper } else { Scale::Quick };
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let image_dir = args
+        .iter()
+        .position(|a| a == "--images")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    if let Some(dir) = &image_dir {
+        match system::write_image_artifacts(scale, dir) {
+            Ok(()) => println!("image artefacts written to {}", dir.display()),
+            Err(e) => {
+                eprintln!("cannot write image artefacts: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create CSV directory {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let mut skip_next = false;
+    let mut selected: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--csv" || *a == "--images" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(|s| s.as_str())
+        .collect();
+    if selected.is_empty() || selected.contains(&"all") {
+        selected = EXPERIMENTS.to_vec();
+    }
+    let out = Emitter { csv_dir };
+
+    // fig17 and fig18 share one experiment; dedupe.
+    let mut ran_1718 = false;
+    for name in selected {
+        match name {
+            "table1" => out.table("table1", "Table 1 — imprecise function set", &units::table1()),
+            "table2" => out.table(
+                "table2",
+                "Table 2 — normalized non-functional metrics (IHW vs DWIP)",
+                &units::table2(),
+            ),
+            "table3" => out.table(
+                "table3",
+                "Table 3 — integer adder vs integer multiplier",
+                &units::table3(),
+            ),
+            "table4" => out.table(
+                "table4",
+                "Table 4 — accuracy-configurable FP multiplier synthesis",
+                &units::table4(),
+            ),
+            "table5" => out.table(
+                "table5",
+                "Table 5 — system-level power savings",
+                &system::table5_table(&system::table5(scale)),
+            ),
+            "table6" => out.table("table6", "Table 6 — benchmark summary", &apps::table6(scale)),
+            "table7" => out.table(
+                "table7",
+                "Table 7 — 482.sphinx3 quality of results",
+                &apps::table7(scale),
+            ),
+            "fig2" => out.table(
+                "fig2",
+                "Figure 2 — arithmetic power share per benchmark",
+                &system::fig2(scale),
+            ),
+            "fig4" => out.table(
+                "fig4",
+                "Figure 4 — IHW taxonomy by error frequency and magnitude",
+                &units::fig4(scale),
+            ),
+            "fig8" => {
+                let mut body = String::new();
+                for (label, pmf) in units::fig8(scale) {
+                    body.push_str(&pmf.to_ascii_chart(&label));
+                    body.push('\n');
+                    if let Some(dir) = &out.csv_dir {
+                        let fname = format!("fig8_{}.csv", label.replace([' ', '='], "_"));
+                        let _ = std::fs::write(dir.join(fname), pmf.to_csv(&label));
+                    }
+                }
+                out.text("Figure 8 — IHW error characterization (quasi-MC)", &body);
+            }
+            "fig9" => {
+                let mut body = String::new();
+                for (label, pmf) in units::fig9(scale) {
+                    body.push_str(&pmf.to_ascii_chart(&label));
+                    body.push('\n');
+                    if let Some(dir) = &out.csv_dir {
+                        let fname = format!("fig9_{}.csv", label.replace(' ', "_"));
+                        let _ = std::fs::write(dir.join(fname), pmf.to_csv(&label));
+                    }
+                }
+                out.text("Figure 9 — AC multiplier error characterization", &body);
+            }
+            "fig13" => out.text("Figure 13 — normalized metrics (bars)", &units::fig13()),
+            "fig14" => {
+                let single = units::fig14(scale, Precision::Single);
+                let double = units::fig14(scale, Precision::Double);
+                out.table(
+                    "fig14a",
+                    "Figure 14a — power-quality trade-off (32-bit multiplier)",
+                    &units::fig14_table(&single),
+                );
+                out.table(
+                    "fig14b",
+                    "Figure 14b — power-quality trade-off (64-bit multiplier)",
+                    &units::fig14_table(&double),
+                );
+            }
+            "fig15" => {
+                let (t, maps) = system::fig15(scale);
+                out.table("fig15", "Figure 15 — HotSpot precise vs imprecise", &t);
+                println!("{maps}");
+            }
+            "fig16" => {
+                out.table("fig16", "Figure 16 — SRAD Pratt figure of merit", &system::fig16(scale))
+            }
+            "fig17" | "fig18" => {
+                if !ran_1718 {
+                    out.table(
+                        "fig17_18",
+                        "Figures 17–18 — RayTracing SSIM and power savings",
+                        &system::fig17_18(scale),
+                    );
+                    ran_1718 = true;
+                }
+            }
+            "fig19" => {
+                let (t, map) = apps::fig19(scale);
+                out.table("fig19", "Figure 19 — HotSpot with the AC multiplier", &t);
+                println!("{map}");
+            }
+            "fig20" => {
+                out.table("fig20", "Figure 20 — CP power-quality trade-off", &apps::fig20(scale))
+            }
+            "fig21" => {
+                out.table("fig21a", "Figure 21a — 179.art vigilance", &apps::fig21_art(scale));
+                out.table(
+                    "fig21b",
+                    "Figure 21b — 435.gromacs error %",
+                    &apps::fig21_gromacs(scale),
+                );
+            }
+            "fig5" => out.table(
+                "fig5",
+                "Figure 5 (extension) — JPEG decompression with the IHW adder",
+                &ext::fig5(),
+            ),
+            "dvfs" => out.table(
+                "dvfs",
+                "Extension — IHW + DVFS composition (Chapter 6 claim)",
+                &ext::dvfs_composition(),
+            ),
+            "segmented" => out.table(
+                "segmented",
+                "Extension — segmented-correction Mitchell design space",
+                &ext::segmented_sweep(),
+            ),
+            "dualmode" => out.table(
+                "dualmode",
+                "Extension — dual-mode multiplier per-site tuning (RayTracing)",
+                &ext::dual_mode_ray(),
+            ),
+            "sensitivity" => out.table(
+                "sensitivity",
+                "Extension — sensitivity of HotSpot savings to DWIP estimates",
+                &ext::sensitivity(),
+            ),
+            "seeds" => out.table(
+                "seeds",
+                "Extension — multi-seed robustness of the all-IHW quality",
+                &ext::seeds(),
+            ),
+            "tolerance" => out.table(
+                "tolerance",
+                "Extension — error-tolerance taxonomy of the workload suite",
+                &ext::tolerance(),
+            ),
+            "acadder" => out.table(
+                "acadder",
+                "Extension — accuracy-configurable adder (TH, truncation) space",
+                &ext::ac_adder_space(),
+            ),
+            other => {
+                eprintln!("unknown experiment '{other}'. Available: all {EXPERIMENTS:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

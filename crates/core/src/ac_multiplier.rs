@@ -1,0 +1,307 @@
+//! The low-power accuracy-configurable floating point multiplier (§3.2.2,
+//! Figure 7; published at ICCD 2014).
+//!
+//! The mantissa product `(1+Ma)(1+Mb) = 1 + Ma + Mb + Ma·Mb` is computed
+//! with Mitchell's Algorithm applied at one of two points:
+//!
+//! * **Log path** — MA replaces the whole mantissa multiplication
+//!   `(1+Ma)(1+Mb)`. Because normalized significands always have their
+//!   leading one in the same position, this reduces to the log-domain sum
+//!   of the fractions (maximum error 11.11%).
+//! * **Full path** — only the fraction product `Ma·Mb` is approximated by
+//!   MA while `1 + Ma + Mb` is computed exactly by an additional adder
+//!   (*Add1*/*Add3* in Figure 7). The maximum error drops to
+//!   1/49 ≈ 2.04% (§4.1.2).
+//!
+//! On top of either path, `truncation` least significant fraction bits of
+//! both operands can be zeroed, trading further accuracy for power. This
+//! yields a wide range of accuracy configurations: the paper's headline
+//! configuration (log path, 19 bits truncated, single precision) reaches a
+//! 26× power reduction at 18% maximum error.
+//!
+//! ```
+//! use ihw_core::ac_multiplier::{AcMulConfig, MulPath};
+//!
+//! let full = AcMulConfig::new(MulPath::Full, 0);
+//! let y = full.mul32(1.4, 1.6);
+//! assert!((y - 2.24f32).abs() / 2.24 < 0.0204 + 1e-6);
+//! ```
+
+use crate::format::{flush_subnormal, Format, RoundedClass};
+use crate::mitchell::mitchell_mul;
+use serde::{Deserialize, Serialize};
+
+/// Which datapath of Figure 7 the multiplier is configured to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MulPath {
+    /// MA on the whole mantissa multiplication (11.11% max error, lowest power).
+    Log,
+    /// Exact `1 + Ma + Mb` plus MA on `Ma·Mb` (2.04% max error, ~2× power
+    /// reduction vs. IEEE-754).
+    Full,
+}
+
+/// A complete accuracy configuration: datapath plus operand truncation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AcMulConfig {
+    /// Selected datapath.
+    pub path: MulPath,
+    /// Number of least significant fraction bits zeroed on both operands
+    /// before the mantissa computation. Clamped per format: at most 23
+    /// (single) or 52 (double) bits take effect.
+    pub truncation: u32,
+}
+
+impl AcMulConfig {
+    /// Creates a configuration.
+    pub const fn new(path: MulPath, truncation: u32) -> Self {
+        AcMulConfig { path, truncation }
+    }
+
+    /// The paper's headline single precision configuration: log path with
+    /// 19 truncated bits (26× power reduction, ≈18% max error).
+    pub const fn headline_single() -> Self {
+        AcMulConfig::new(MulPath::Log, 19)
+    }
+
+    /// The paper's headline double precision configuration: log path with
+    /// 48 truncated bits (49× power reduction, ≈18.07% max error).
+    pub const fn headline_double() -> Self {
+        AcMulConfig::new(MulPath::Log, 48)
+    }
+
+    /// Multiplies raw bit patterns of the given format.
+    pub fn mul_bits(&self, fmt: Format, a: u64, b: u64) -> u64 {
+        let a = flush_subnormal(fmt, a);
+        let b = flush_subnormal(fmt, b);
+        let pa = fmt.decompose(a);
+        let pb = fmt.decompose(b);
+        let sign = pa.sign ^ pb.sign;
+        match (fmt.classify(&pa), fmt.classify(&pb)) {
+            (RoundedClass::Nan, _) | (_, RoundedClass::Nan) => fmt.nan(),
+            (RoundedClass::Infinite, RoundedClass::Zero)
+            | (RoundedClass::Zero, RoundedClass::Infinite) => fmt.nan(),
+            (RoundedClass::Infinite, _) | (_, RoundedClass::Infinite) => fmt.infinity(sign),
+            (RoundedClass::Zero, _) | (_, RoundedClass::Zero) => fmt.zero(sign),
+            (RoundedClass::Normal, RoundedClass::Normal) => {
+                let exp = fmt.unbiased_exp(&pa) + fmt.unbiased_exp(&pb);
+                let t = self.truncation.min(fmt.frac_bits);
+                let keep_mask = fmt.frac_mask() & !((1u64 << t) - 1);
+                let fa = pa.frac & keep_mask;
+                let fb = pb.frac & keep_mask;
+                match self.path {
+                    MulPath::Log => log_path(fmt, sign, exp, fa, fb),
+                    MulPath::Full => full_path(fmt, sign, exp, fa, fb),
+                }
+            }
+        }
+    }
+
+    /// Multiplies two single precision values under this configuration.
+    ///
+    /// ```
+    /// use ihw_core::ac_multiplier::{AcMulConfig, MulPath};
+    /// let log = AcMulConfig::new(MulPath::Log, 0);
+    /// assert_eq!(log.mul32(2.0, 8.0), 16.0); // powers of two exact
+    /// ```
+    pub fn mul32(&self, a: f32, b: f32) -> f32 {
+        f32::from_bits(self.mul_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64)
+            as u32)
+    }
+
+    /// Multiplies two double precision values under this configuration.
+    pub fn mul64(&self, a: f64, b: f64) -> f64 {
+        f64::from_bits(self.mul_bits(Format::DOUBLE, a.to_bits(), b.to_bits()))
+    }
+}
+
+/// Log path (paper eq. 12 with x = M): `frac = Ma + Mb`, carrying into the
+/// exponent when the fraction sum reaches 1.
+fn log_path(fmt: Format, sign: u64, mut exp: i64, fa: u64, fb: u64) -> u64 {
+    let sum = fa + fb;
+    let frac = if sum >= fmt.hidden_bit() {
+        exp += 1;
+        sum - fmt.hidden_bit()
+    } else {
+        sum
+    };
+    fmt.encode_normal(sign, exp, frac)
+}
+
+/// Full path: `mant = 1 + Ma + Mb + MA(Ma, Mb)` (§4.1.2), normalised.
+fn full_path(fmt: Format, sign: u64, mut exp: i64, fa: u64, fb: u64) -> u64 {
+    let f = fmt.frac_bits;
+    // MA(Ma, Mb) where Ma·Mb = fa·fb / 2^(2F); rescale the MA product into
+    // 2^-F fixed point (truncating, as the Add3 datapath does).
+    let ma_term = (mitchell_mul(fa, fb) >> f) as u64;
+    let mut mant = fmt.hidden_bit() + fa + fb + ma_term; // [1, 4) in 2^-F units
+    while mant >= fmt.hidden_bit() << 1 {
+        mant >>= 1;
+        exp += 1;
+    }
+    fmt.encode_normal(sign, exp, mant - fmt.hidden_bit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{AC_FULL_PATH_MAX_ERROR, AC_LOG_PATH_MAX_ERROR};
+
+    fn rel_err32(cfg: &AcMulConfig, a: f32, b: f32) -> f64 {
+        let approx = cfg.mul32(a, b) as f64;
+        let exact = (a as f64) * (b as f64);
+        ((approx - exact) / exact).abs()
+    }
+
+    #[test]
+    fn powers_of_two_exact_on_both_paths() {
+        for path in [MulPath::Log, MulPath::Full] {
+            let cfg = AcMulConfig::new(path, 0);
+            assert_eq!(cfg.mul32(2.0, 8.0), 16.0);
+            assert_eq!(cfg.mul32(-4.0, 0.5), -2.0);
+            assert_eq!(cfg.mul64(1024.0, 2.0), 2048.0);
+        }
+    }
+
+    #[test]
+    fn full_path_bound_2_04_percent() {
+        let cfg = AcMulConfig::new(MulPath::Full, 0);
+        let mut worst = 0.0f64;
+        for i in 0..400u32 {
+            for j in 0..400u32 {
+                let a = 1.0 + i as f32 / 400.0;
+                let b = 1.0 + j as f32 / 400.0;
+                worst = worst.max(rel_err32(&cfg, a, b));
+            }
+        }
+        assert!(worst <= AC_FULL_PATH_MAX_ERROR + 1e-6, "worst {worst}");
+        assert!(worst > 0.015, "bound should nearly be attained, got {worst}");
+    }
+
+    #[test]
+    fn log_path_bound_11_11_percent() {
+        let cfg = AcMulConfig::new(MulPath::Log, 0);
+        let mut worst = 0.0f64;
+        for i in 0..400u32 {
+            for j in 0..400u32 {
+                let a = 1.0 + i as f32 / 400.0;
+                let b = 1.0 + j as f32 / 400.0;
+                worst = worst.max(rel_err32(&cfg, a, b));
+            }
+        }
+        assert!(worst <= AC_LOG_PATH_MAX_ERROR + 1e-6, "worst {worst}");
+        assert!(worst > 0.10, "bound should nearly be attained, got {worst}");
+    }
+
+    #[test]
+    fn log_path_beats_original_imprecise_multiplier() {
+        // At Ma = Mb → 1 the original unit errs 25%, the log path 11%.
+        let cfg = AcMulConfig::new(MulPath::Log, 0);
+        let a = 1.9999f32;
+        let log_err = rel_err32(&cfg, a, a);
+        let orig_err =
+            ((crate::multiplier::imul32(a, a) as f64 - (a as f64).powi(2)) / (a as f64).powi(2))
+                .abs();
+        assert!(log_err < orig_err);
+    }
+
+    #[test]
+    fn full_path_more_accurate_than_log_path() {
+        let log = AcMulConfig::new(MulPath::Log, 0);
+        let full = AcMulConfig::new(MulPath::Full, 0);
+        let mut log_sum = 0.0;
+        let mut full_sum = 0.0;
+        for i in 0..100u32 {
+            let a = 1.0 + i as f32 / 100.0;
+            let b = 1.0 + ((i * 37) % 100) as f32 / 100.0;
+            log_sum += rel_err32(&log, a, b);
+            full_sum += rel_err32(&full, a, b);
+        }
+        assert!(full_sum < log_sum);
+    }
+
+    #[test]
+    fn truncation_degrades_gracefully() {
+        let mut prev = 0.0f64;
+        for t in [0u32, 8, 15, 19, 22] {
+            let cfg = AcMulConfig::new(MulPath::Log, t);
+            let mut sum = 0.0;
+            let mut n = 0u32;
+            for i in 0..200u32 {
+                let a = 1.0 + (i as f32) * 0.004999;
+                let b = 1.0 + (((i * 71) % 200) as f32) * 0.004999;
+                sum += rel_err32(&cfg, a, b);
+                n += 1;
+            }
+            let mean = sum / n as f64;
+            assert!(mean + 1e-9 >= prev, "t={t}: mean error should not decrease");
+            prev = mean;
+        }
+    }
+
+    #[test]
+    fn max_truncation_leaves_exponent_math() {
+        // Truncating all fraction bits reduces both operands to powers of 2.
+        let cfg = AcMulConfig::new(MulPath::Log, 23);
+        // Both operands collapse to 1.0·2^e, so only the exponents multiply.
+        assert_eq!(cfg.mul32(1.999, 1.999), 1.0);
+        assert_eq!(cfg.mul32(3.999, 3.999), 4.0);
+    }
+
+    #[test]
+    fn sign_rules() {
+        let cfg = AcMulConfig::new(MulPath::Full, 0);
+        assert!(cfg.mul32(-1.5, 1.5) < 0.0);
+        assert!(cfg.mul32(-1.5, -1.5) > 0.0);
+    }
+
+    #[test]
+    fn special_values() {
+        for path in [MulPath::Log, MulPath::Full] {
+            let cfg = AcMulConfig::new(path, 0);
+            assert!(cfg.mul32(f32::NAN, 1.0).is_nan());
+            assert!(cfg.mul32(f32::INFINITY, 0.0).is_nan());
+            assert_eq!(cfg.mul32(f32::INFINITY, 2.0), f32::INFINITY);
+            assert_eq!(cfg.mul32(0.0, -5.0), -0.0);
+            assert_eq!(cfg.mul32(1e30, 1e30), f32::INFINITY);
+            assert_eq!(cfg.mul32(1e-30, 1e-30), 0.0);
+        }
+    }
+
+    #[test]
+    fn double_precision_bounds() {
+        let full = AcMulConfig::new(MulPath::Full, 0);
+        let log = AcMulConfig::new(MulPath::Log, 0);
+        for i in 0..200u32 {
+            let a = 1.0 + i as f64 / 200.0;
+            let b = 1.0 + ((i * 53) % 200) as f64 / 200.0;
+            let exact = a * b;
+            let ef = ((full.mul64(a, b) - exact) / exact).abs();
+            let el = ((log.mul64(a, b) - exact) / exact).abs();
+            assert!(ef <= AC_FULL_PATH_MAX_ERROR + 1e-9);
+            assert!(el <= AC_LOG_PATH_MAX_ERROR + 1e-9);
+        }
+    }
+
+    #[test]
+    fn headline_configs() {
+        let s = AcMulConfig::headline_single();
+        assert_eq!(s.path, MulPath::Log);
+        assert_eq!(s.truncation, 19);
+        let d = AcMulConfig::headline_double();
+        assert_eq!(d.truncation, 48);
+        // ≈18% max error claimed for the single precision headline config.
+        let mut worst = 0.0f64;
+        for i in 0..300u32 {
+            for j in 0..300u32 {
+                let a = 1.0 + i as f32 / 300.0 * 0.999;
+                let b = 1.0 + j as f32 / 300.0 * 0.999;
+                let approx = s.mul32(a, b) as f64;
+                let exact = (a as f64) * (b as f64);
+                worst = worst.max(((approx - exact) / exact).abs());
+            }
+        }
+        assert!(worst < 0.20, "headline config max error ≈18%, got {worst}");
+        assert!(worst > 0.13, "error should be near the published 18%, got {worst}");
+    }
+}

@@ -1,0 +1,300 @@
+//! Imprecise floating point adder/subtractor with the structural threshold
+//! parameter `TH` (Chapter 3, Table 1 of the paper).
+//!
+//! The design-time parameter `TH ∈ [1, 27]` bounds both the alignment
+//! shifter and the significand adder width:
+//!
+//! * if the exponent difference `d ≥ TH`, the smaller operand's mantissa is
+//!   zeroed after alignment and the result equals the larger operand;
+//! * if `d < TH`, the shifted smaller significand is truncated to `TH`
+//!   fraction bits (the hardware only has a `TH`-bit right shifter feeding a
+//!   `(TH+1)`-bit adder), e.g. with `TH = 3`, `d = 1`,
+//!   `b = 1.x₁x₂x₃x₄x₅·2^eb` aligns to `b' = 0.1x₁x₂000·2^ea` (paper eq. 7).
+//!
+//! No IEEE-754 rounding is performed and subnormals are flushed to zero.
+//! For `TH = 8` the maximum error of effective additions is below 0.78%
+//! (§4.1.1); effective subtractions of nearly equal operands may produce
+//! large *relative* error with tiny *absolute* magnitude (case d).
+//!
+//! ```
+//! use ihw_core::adder::iadd32;
+//!
+//! // Exponent difference ≥ TH: the smaller operand vanishes entirely.
+//! assert_eq!(iadd32(1024.0, 1.0, 8), 1024.0);
+//! // Close operands still add (im)precisely.
+//! let s = iadd32(1.5, 1.25, 8);
+//! assert!((s - 2.75).abs() / 2.75 < 0.01);
+//! ```
+
+use crate::format::{flush_subnormal, Format, RoundedClass};
+
+/// Inclusive range of valid `TH` values (Table 1: `TH ∈ [1, 27]`).
+pub const TH_RANGE: std::ops::RangeInclusive<u32> = 1..=27;
+
+/// Imprecise addition on raw bit patterns of the given format.
+///
+/// This is the format-generic core used by [`iadd32`] / [`iadd64`]; most
+/// callers want those wrappers.
+///
+/// # Panics
+///
+/// Panics if `th` is outside [`TH_RANGE`].
+pub fn imprecise_add_bits(fmt: Format, a: u64, b: u64, th: u32) -> u64 {
+    assert!(TH_RANGE.contains(&th), "TH must lie in [1, 27], got {th}");
+    let a = flush_subnormal(fmt, a);
+    let b = flush_subnormal(fmt, b);
+    let pa = fmt.decompose(a);
+    let pb = fmt.decompose(b);
+    match (fmt.classify(&pa), fmt.classify(&pb)) {
+        (RoundedClass::Nan, _) | (_, RoundedClass::Nan) => fmt.nan(),
+        (RoundedClass::Infinite, RoundedClass::Infinite) => {
+            if pa.sign == pb.sign {
+                a
+            } else {
+                fmt.nan() // +inf + -inf
+            }
+        }
+        (RoundedClass::Infinite, _) => a,
+        (_, RoundedClass::Infinite) => b,
+        (RoundedClass::Zero, RoundedClass::Zero) => {
+            // +0 + -0 = +0; equal signs keep the sign.
+            if pa.sign == pb.sign {
+                a
+            } else {
+                fmt.zero(0)
+            }
+        }
+        (RoundedClass::Zero, _) => b,
+        (_, RoundedClass::Zero) => a,
+        (RoundedClass::Normal, RoundedClass::Normal) => add_normals(fmt, a, b, th),
+    }
+}
+
+/// Imprecise subtraction: `a - b` via sign inversion of `b`.
+pub fn imprecise_sub_bits(fmt: Format, a: u64, b: u64, th: u32) -> u64 {
+    let sign_bit = 1u64 << (fmt.exp_bits + fmt.frac_bits);
+    imprecise_add_bits(fmt, a, b ^ sign_bit, th)
+}
+
+fn add_normals(fmt: Format, a: u64, b: u64, th: u32) -> u64 {
+    let frac_bits = fmt.frac_bits;
+    let pa = fmt.decompose(a);
+    let pb = fmt.decompose(b);
+
+    // Compare-and-swap so that |big| >= |small| (compare exponent then frac).
+    let a_mag = (pa.biased_exp, pa.frac);
+    let b_mag = (pb.biased_exp, pb.frac);
+    let (big_bits, small_bits) = if a_mag >= b_mag { (a, b) } else { (b, a) };
+    let big = fmt.decompose(big_bits);
+    let small = fmt.decompose(small_bits);
+
+    let d = (big.biased_exp - small.biased_exp) as u32;
+    if d >= th {
+        // Smaller operand's mantissa zeroes out after the TH-bit shifter.
+        return big_bits;
+    }
+
+    let effective_sub = big.sign != small.sign;
+    let m_big = fmt.significand(&big);
+    // Shift-and-align, then truncate to TH fraction bits (eq. 7).
+    let mut m_small = fmt.significand(&small) >> d;
+    if th < frac_bits {
+        let dropped = frac_bits - th;
+        m_small = (m_small >> dropped) << dropped;
+    }
+
+    let exp = fmt.unbiased_exp(&big);
+    let sign = big.sign;
+    if effective_sub {
+        let diff = m_big - m_small; // m_big >= m_small by ordering+truncation
+        if diff == 0 {
+            return fmt.zero(0);
+        }
+        // Normalize left; shifted-in bits are zeros (no rounding hardware).
+        let lead = 63 - diff.leading_zeros() as i64;
+        let shift = frac_bits as i64 - lead;
+        let (mant, exp) = if shift > 0 {
+            (diff << shift, exp - shift)
+        } else {
+            (diff, exp)
+        };
+        fmt.encode_normal(sign, exp, mant & fmt.frac_mask())
+    } else {
+        let sum = m_big + m_small;
+        if sum >= fmt.hidden_bit() << 1 {
+            // Carry out: renormalize right, truncating the dropped LSB.
+            fmt.encode_normal(sign, exp + 1, (sum >> 1) & fmt.frac_mask())
+        } else {
+            fmt.encode_normal(sign, exp, sum & fmt.frac_mask())
+        }
+    }
+}
+
+/// Imprecise single precision addition with threshold `th`.
+///
+/// # Panics
+///
+/// Panics if `th` is outside [`TH_RANGE`].
+///
+/// ```
+/// use ihw_core::adder::iadd32;
+/// let y = iadd32(3.0, 5.0, 8);
+/// assert_eq!(y, 8.0); // exact: no alignment loss at d = 0..1
+/// ```
+pub fn iadd32(a: f32, b: f32, th: u32) -> f32 {
+    f32::from_bits(imprecise_add_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64, th)
+        as u32)
+}
+
+/// Imprecise single precision subtraction `a - b` with threshold `th`.
+///
+/// # Panics
+///
+/// Panics if `th` is outside [`TH_RANGE`].
+pub fn isub32(a: f32, b: f32, th: u32) -> f32 {
+    f32::from_bits(imprecise_sub_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64, th)
+        as u32)
+}
+
+/// Imprecise double precision addition with threshold `th`.
+///
+/// # Panics
+///
+/// Panics if `th` is outside [`TH_RANGE`].
+pub fn iadd64(a: f64, b: f64, th: u32) -> f64 {
+    f64::from_bits(imprecise_add_bits(Format::DOUBLE, a.to_bits(), b.to_bits(), th))
+}
+
+/// Imprecise double precision subtraction `a - b` with threshold `th`.
+///
+/// # Panics
+///
+/// Panics if `th` is outside [`TH_RANGE`].
+pub fn isub64(a: f64, b: f64, th: u32) -> f64 {
+    f64::from_bits(imprecise_sub_bits(Format::DOUBLE, a.to_bits(), b.to_bits(), th))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+
+    #[test]
+    fn exact_when_aligned() {
+        // Operands with identical exponents suffer no truncation loss.
+        assert_eq!(iadd32(1.5, 1.25, 8), 2.75);
+        assert_eq!(iadd32(-1.5, -1.25, 8), -2.75);
+        assert_eq!(iadd64(1.5, 1.25, 8), 2.75);
+    }
+
+    #[test]
+    fn far_operand_vanishes() {
+        // d = 10 >= TH = 8: small operand fully suppressed.
+        assert_eq!(iadd32(1024.0, 1.0, 8), 1024.0);
+        assert_eq!(iadd32(1.0, 1024.0, 8), 1024.0);
+        assert_eq!(isub32(1024.0, 1.0, 8), 1024.0, "subtraction also returns big operand");
+        assert_eq!(iadd64(1024.0, 1.0, 8), 1024.0);
+    }
+
+    #[test]
+    fn near_operand_truncated() {
+        // TH = 3, d = 1: only 3 fraction bits of the shifted operand survive.
+        // a = 1.0 * 2^1, b = 1.9921875 = 1.1111111b * 2^0
+        // b >> 1 = 0.11111111b, truncated to 0.111b = 0.875 (in units of 2^1)
+        let y = iadd32(2.0, 1.9921875, 3);
+        assert_eq!(y, 2.0 + 0.875 * 2.0);
+    }
+
+    #[test]
+    fn effective_subtraction_can_cancel() {
+        let y = isub32(1.5, 1.5, 8);
+        assert_eq!(y, 0.0);
+        assert!(y.is_sign_positive());
+    }
+
+    #[test]
+    fn signs_and_commutativity() {
+        for th in [1u32, 4, 8, 16, 27] {
+            for &(a, b) in &[(3.5f32, -1.25), (-3.5, 1.25), (0.1, 0.2), (-7.0, -9.0)] {
+                assert_eq!(iadd32(a, b, th), iadd32(b, a, th), "commutes at th={th}");
+            }
+        }
+    }
+
+    #[test]
+    fn special_values() {
+        assert!(iadd32(f32::NAN, 1.0, 8).is_nan());
+        assert!(iadd32(1.0, f32::NAN, 8).is_nan());
+        assert_eq!(iadd32(f32::INFINITY, 1.0, 8), f32::INFINITY);
+        assert_eq!(iadd32(1.0, f32::NEG_INFINITY, 8), f32::NEG_INFINITY);
+        assert!(iadd32(f32::INFINITY, f32::NEG_INFINITY, 8).is_nan());
+        assert_eq!(iadd32(0.0, 5.0, 8), 5.0);
+        assert_eq!(iadd32(5.0, -0.0, 8), 5.0);
+        assert_eq!(iadd32(0.0, -0.0, 8), 0.0);
+    }
+
+    #[test]
+    fn subnormal_inputs_flush() {
+        let sub = f32::MIN_POSITIVE / 2.0;
+        assert_eq!(iadd32(sub, sub, 8), 0.0);
+        assert_eq!(iadd32(sub, 1.0, 8), 1.0);
+    }
+
+    #[test]
+    fn error_bound_holds_for_effective_addition() {
+        // §4.1.1 cases (a)+(b): eps_max < 1/(2^(TH-1)+1) for additions.
+        for th in [4u32, 8, 12] {
+            let bound = bounds::adder_add_bound(th);
+            let mut worst = 0.0f64;
+            for i in 0..2000u32 {
+                let a = 1.0f32 + (i as f32) * 1.7e-4;
+                for j in 0..16u32 {
+                    let b = a * (1.0 + j as f32 * 0.3);
+                    let approx = iadd32(a, b, th) as f64;
+                    let exact = a as f64 + b as f64;
+                    let err = ((approx - exact) / exact).abs();
+                    worst = worst.max(err);
+                }
+            }
+            assert!(worst <= bound, "th={th}: worst {worst} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn larger_th_is_more_accurate() {
+        let a = 123.456f32;
+        let b = 0.789f32;
+        let exact = (a as f64) + (b as f64);
+        let e8 = ((iadd32(a, b, 8) as f64 - exact) / exact).abs();
+        let e27 = ((iadd32(a, b, 27) as f64 - exact) / exact).abs();
+        assert!(e27 <= e8);
+    }
+
+    #[test]
+    fn th27_matches_ieee_closely() {
+        // With TH = 27 (> frac bits), only the missing round step differs.
+        for &(a, b) in &[(1.0f32, 1.5), (3.25, 0.125), (100.0, 0.375)] {
+            let y = iadd32(a, b, 27);
+            let exact = a + b;
+            assert!(((y - exact) / exact).abs() < 1e-6, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "TH must lie in [1, 27]")]
+    fn invalid_th_panics() {
+        let _ = iadd32(1.0, 2.0, 0);
+    }
+
+    #[test]
+    fn double_precision_truncation() {
+        // TH = 8, d = 4: keep 8 fraction bits of the shifted significand.
+        let a = 16.0f64;
+        let b = 1.0 + 2.0f64.powi(-3) + 2.0f64.powi(-30);
+        let y = iadd64(a, b, 8);
+        // b >> 4 keeps bits down to 2^-8 relative to a's exponent (2^4):
+        // b' = (1 + 2^-3) truncated into 8 bits after shift.
+        let expected = 16.0 + 1.0 + 0.125;
+        assert_eq!(y, expected);
+    }
+}

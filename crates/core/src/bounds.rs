@@ -1,0 +1,143 @@
+//! Closed-form maximum error bounds from the paper's formal error analysis
+//! (Chapter 4 and Table 1).
+//!
+//! These constants and functions are the analytical counterparts of the
+//! empirical characterization in `ihw-error`; the property test-suite
+//! checks the implementations in this crate against them.
+//!
+//! ```
+//! use ihw_core::bounds;
+//!
+//! // TH = 8 ⇒ effective additions err below 0.78% (§4.1.1 cases a–b).
+//! assert!(bounds::adder_add_bound(8) < 0.0078);
+//! assert!((bounds::AC_FULL_PATH_MAX_ERROR - 0.0204).abs() < 1e-4);
+//! ```
+
+/// Maximum relative error of the Table 1 imprecise multiplier
+/// (`Mz ≈ 1+Ma+Mb`): 25%, attained as `Ma, Mb → 1`.
+pub const IFPMUL_MAX_ERROR: f64 = 0.25;
+
+/// Maximum relative error of the accuracy-configurable multiplier's
+/// **full path** with no truncation: `1/49 ≈ 2.04%` (§4.1.2).
+pub const AC_FULL_PATH_MAX_ERROR: f64 = 1.0 / 49.0;
+
+/// Maximum relative error of the accuracy-configurable multiplier's
+/// **log path** with no truncation: `1/9 ≈ 11.11%` (Mitchell's bound).
+pub const AC_LOG_PATH_MAX_ERROR: f64 = 1.0 / 9.0;
+
+/// Maximum relative error of the imprecise reciprocal. Table 1 quotes
+/// 5.88%; the exact analytic endpoint value at `x = 0.5` is
+/// `(2 − 1.882)/2 = 5.90%`, which is the bound used here.
+pub const RCP_MAX_ERROR: f64 = 0.059;
+
+/// Maximum relative error of the imprecise inverse square root: 11.11%.
+pub const RSQRT_MAX_ERROR: f64 = 1.0 / 9.0;
+
+/// Maximum relative error of the imprecise square root: 11.11%.
+pub const SQRT_MAX_ERROR: f64 = 1.0 / 9.0;
+
+/// Maximum relative error of the imprecise division: inherited from the
+/// reciprocal approximation (the dividend multiply is exact), see
+/// [`RCP_MAX_ERROR`].
+pub const DIV_MAX_ERROR: f64 = RCP_MAX_ERROR;
+
+/// §4.1.1 case (a): effective addition with exponent difference `d ≥ TH`:
+/// `ε_max < 1 / (2^(TH−1) + 1)`.
+pub fn adder_add_far_bound(th: u32) -> f64 {
+    1.0 / (2f64.powi(th as i32 - 1) + 1.0)
+}
+
+/// §4.1.1 case (b): effective addition with `0 < d < TH`:
+/// `ε_max < 1 / 2^(TH+1)`.
+pub fn adder_add_near_bound(th: u32) -> f64 {
+    2f64.powi(-(th as i32) - 1)
+}
+
+/// Overall bound for effective additions: the max of cases (a) and (b).
+///
+/// For `TH = 8` this is `1/(2^7+1) ≈ 0.775%`, the figure quoted in §3.1.
+pub fn adder_add_bound(th: u32) -> f64 {
+    adder_add_far_bound(th).max(adder_add_near_bound(th))
+}
+
+/// §4.1.1 case (c): effective subtraction with `d ≥ TH`:
+/// `ε_max < 1 / (2^(TH−1) − 1)`.
+pub fn adder_sub_far_bound(th: u32) -> f64 {
+    1.0 / (2f64.powi(th as i32 - 1) - 1.0)
+}
+
+/// Numerically computed CDF of the Table 1 multiplier's relative error
+/// under independent uniform mantissas `Ma, Mb ~ U[0,1)`:
+/// `P[ error ≤ e ]` where `error = Ma·Mb / (1+Ma)(1+Mb)`.
+///
+/// This is the analytical counterpart of the empirical Figure 8 PMF for
+/// `ifpmul`; the characterization tests cross-check the two.
+///
+/// # Panics
+///
+/// Panics unless `e` is in `[0, 1]`.
+pub fn ifpmul_error_cdf(e: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&e), "error threshold out of range");
+    // 2-D numeric integration on a fixed grid (deterministic, fast).
+    let n = 400;
+    let mut hits = 0u64;
+    for i in 0..n {
+        let ma = (i as f64 + 0.5) / n as f64;
+        for j in 0..n {
+            let mb = (j as f64 + 0.5) / n as f64;
+            let err = ma * mb / ((1.0 + ma) * (1.0 + mb));
+            if err <= e {
+                hits += 1;
+            }
+        }
+    }
+    hits as f64 / (n * n) as f64
+}
+
+/// §4.1.1 case (d) has no closed bound: effective subtraction of nearly
+/// equal operands can produce unbounded *relative* error (with tiny
+/// absolute magnitude). This constant communicates that fact.
+pub const ADDER_SUB_NEAR_BOUND: f64 = f64::INFINITY;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn th8_matches_paper_figures() {
+        // §4.1.1: TH=8 ⇒ case (a) < 0.775%, case (b) < 0.2%, case (c) < 0.785%.
+        assert!((adder_add_far_bound(8) - 1.0 / 129.0).abs() < 1e-12);
+        assert!(adder_add_far_bound(8) < 0.00776);
+        assert!(adder_add_near_bound(8) < 0.00196);
+        assert!(adder_sub_far_bound(8) < 0.00788);
+    }
+
+    #[test]
+    fn bounds_monotone_in_th() {
+        for th in 2..27 {
+            assert!(adder_add_bound(th + 1) < adder_add_bound(th));
+            assert!(adder_sub_far_bound(th + 1) < adder_sub_far_bound(th));
+        }
+    }
+
+    #[test]
+    fn ifpmul_cdf_properties() {
+        assert_eq!(ifpmul_error_cdf(0.25), 1.0, "bounded by 25%");
+        assert_eq!(ifpmul_error_cdf(0.0), 0.0);
+        // Monotone.
+        let mut prev = 0.0;
+        for k in 1..=10 {
+            let c = ifpmul_error_cdf(k as f64 * 0.025);
+            assert!(c >= prev);
+            prev = c;
+        }
+        // The median error sits well below the worst case.
+        assert!(ifpmul_error_cdf(0.10) > 0.5, "{}", ifpmul_error_cdf(0.10));
+    }
+
+    #[test]
+    fn path_bounds_ordered() {
+        assert!(AC_FULL_PATH_MAX_ERROR < AC_LOG_PATH_MAX_ERROR);
+        assert!(AC_LOG_PATH_MAX_ERROR < IFPMUL_MAX_ERROR);
+    }
+}

@@ -1,0 +1,87 @@
+//! # ihw-core — imprecise floating point arithmetic units
+//!
+//! Bit-level software models of the imprecise hardware (IHW) floating
+//! point and special function units from *"Low Power GPGPU Computation
+//! with Imprecise Hardware"* (Zhang, Putic, Lach — DAC 2014) and the
+//! companion accuracy-configurable multiplier (ICCD 2014).
+//!
+//! Every unit operates directly on IEEE-754 bit patterns (the same
+//! behaviour as the paper's VHDL models and their verified C++ functional
+//! models), with the paper's simplifications baked in: **no rounding
+//! hardware** (results are truncated), **subnormals flushed to zero**,
+//! infinities and NaNs supported.
+//!
+//! ## The unit set (Table 1)
+//!
+//! | Module | Unit | Technique | ε_max |
+//! |--------|------|-----------|-------|
+//! | [`adder`] | `a ± b` | TH-bit alignment shifter + (TH+1)-bit adder | `1/(2^(TH−1)+1)` for adds |
+//! | [`multiplier`] | `a × b` | `Mz ≈ 1 + Ma + Mb` (mantissa multiplier → adder) | 25% |
+//! | [`ac_multiplier`] | `a × b` | Mitchell's Algorithm, log/full path + truncation | 11.11% / 2.04% |
+//! | [`truncated`] | `a × b` | conventional operand bit-width reduction (baseline) | grows with truncation |
+//! | [`sfu`] | `1/x`, `1/√x`, `√x`, `log₂x`, `2^x`, `a/b` | range reduction + linear approximation | 4.5–11.11% |
+//! | [`fma`] | `a×b ± c` | composition of imprecise × and ± | unbounded |
+//! | [`mitchell`] | fixed point `×`, `÷` | binary log approximation | 11.11% |
+//!
+//! Extension modules beyond the paper's Table 1 (Chapter 6 future-work
+//! directions): [`ac_adder`] (a second structural knob on the adder),
+//! [`segmented`] (piecewise-corrected Mitchell), [`dual_mode`]
+//! (runtime-switchable precise/imprecise multiplier) and [`half`]
+//! (binary16 support).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ihw_core::prelude::*;
+//!
+//! // Individual units…
+//! let y = iadd32(3.0, 5.0, 8);           // TH = 8 threshold adder
+//! assert_eq!(y, 8.0);
+//! let p = AcMulConfig::new(MulPath::Full, 0).mul32(1.3, 1.7);
+//! assert!((p - 2.21).abs() / 2.21 < 0.0204 + 1e-6);
+//!
+//! // …or a whole datapath configuration (the simulator "knob"):
+//! let cfg = IhwConfig::all_imprecise();
+//! assert_eq!(cfg.mul32(1.5, 1.5), 2.0);
+//! ```
+//!
+//! The closed-form error bounds of the paper's Chapter 4 live in
+//! [`bounds`]; the empirical characterization harness (Figures 8–9) is in
+//! the companion crate `ihw-error`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ac_adder;
+pub mod ac_multiplier;
+pub mod adder;
+pub mod bounds;
+pub mod config;
+pub mod dual_mode;
+pub mod fma;
+pub mod format;
+pub mod half;
+pub mod mitchell;
+pub mod multiplier;
+pub mod segmented;
+pub mod sfu;
+pub mod truncated;
+
+/// Convenient glob-import surface for the most used items.
+pub mod prelude {
+    pub use crate::ac_adder::AcAdder;
+    pub use crate::ac_multiplier::{AcMulConfig, MulPath};
+    pub use crate::adder::{iadd32, iadd64, isub32, isub64};
+    pub use crate::config::{AddUnit, FpOp, IhwConfig, MulUnit, UnitMode};
+    pub use crate::dual_mode::{DualModeMul, MulMode};
+    pub use crate::fma::{ifma32, ifma64};
+    pub use crate::format::Format;
+    pub use crate::half::F16;
+    pub use crate::mitchell::{mitchell_div, mitchell_mul};
+    pub use crate::segmented::SegmentedMitchell;
+    pub use crate::multiplier::{imul32, imul64};
+    pub use crate::sfu::{
+        idiv32, idiv64, ilog2_32, ilog2_64, ircp32, ircp64, irsqrt32, irsqrt64, isqrt32, isqrt64,
+    };
+    pub use crate::truncated::TruncatedMul;
+}

@@ -1,0 +1,226 @@
+//! Mitchell's Algorithm (MA) for approximate fixed point multiplication and
+//! division (§3.2.1, Figure 6).
+//!
+//! Mitchell's binary logarithm approximation converts each operand to an
+//! approximate log₂ via a leading-one detector (LOD) and a shifter, adds the
+//! logarithms, and decodes the antilogarithm with the reverse linear
+//! approximation (paper eqs. 8–12):
+//!
+//! ```text
+//! D = 2^k (1 + x),  x ∈ [0,1)      ⇒ log₂ D ≈ k + x
+//! D₁·D₂ ≈ 2^(k₁+k₂)   (1 + x₁ + x₂)      if x₁ + x₂ < 1
+//!       ≈ 2^(k₁+k₂+1) (x₁ + x₂)          if x₁ + x₂ ≥ 1
+//! ```
+//!
+//! The approximation always **underestimates** the true product, with a
+//! maximum error magnitude of 1/9 ≈ 11.11% (Mitchell 1962).
+//!
+//! ```
+//! use ihw_core::mitchell::mitchell_mul;
+//!
+//! assert_eq!(mitchell_mul(8, 8), 64); // powers of two are exact
+//! let approx = mitchell_mul(15, 15) as f64;
+//! let exact = 225.0;
+//! assert!((exact - approx) / exact <= 1.0 / 9.0 + 1e-12);
+//! ```
+
+/// Internal fixed point width used for the log-domain fraction.
+///
+/// 63 bits hold the fraction of any `u64` operand without loss.
+const LOG_FRAC_BITS: u32 = 63;
+
+/// Decomposes a non-zero integer into its Mitchell characteristic `k`
+/// (position of the leading one) and fraction `x` scaled to
+/// [`LOG_FRAC_BITS`] fixed point bits.
+#[inline]
+fn log_approx(n: u64) -> (u32, u128) {
+    debug_assert!(n != 0);
+    let k = 63 - n.leading_zeros();
+    let x = n ^ (1u64 << k); // strip the leading one
+    // Scale x / 2^k into LOG_FRAC_BITS fixed point.
+    let frac = (x as u128) << (LOG_FRAC_BITS - k);
+    (k, frac)
+}
+
+/// Approximates `a × b` with Mitchell's Algorithm.
+///
+/// Returns 0 if either operand is 0. The result is exact whenever both
+/// operands are powers of two, and otherwise underestimates the true
+/// product by at most 11.11%.
+///
+/// ```
+/// use ihw_core::mitchell::mitchell_mul;
+/// // 12 = 2^3·1.5, 10 = 2^3·1.25 → log-domain sum decodes to 112 (true 120)
+/// assert_eq!(mitchell_mul(12, 10), 112);
+/// ```
+pub fn mitchell_mul(a: u64, b: u64) -> u128 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let (ka, xa) = log_approx(a);
+    let (kb, xb) = log_approx(b);
+    let mut k = ka + kb;
+    let mut frac = xa + xb;
+    let one = 1u128 << LOG_FRAC_BITS;
+    if frac >= one {
+        // x₁ + x₂ ∈ [1,2): characteristic carries, antilog decodes (x₁+x₂).
+        k += 1;
+        frac -= one;
+    }
+    // Antilog: 2^k · (1 + frac) with frac in LOG_FRAC_BITS fixed point.
+    // Result = 2^k + frac·2^(k - LOG_FRAC_BITS), truncating fraction bits
+    // below weight 2^0 exactly as the hardware decoder drops them.
+    let base = 1u128 << k;
+    let add = if k >= LOG_FRAC_BITS {
+        frac << (k - LOG_FRAC_BITS)
+    } else {
+        frac >> (LOG_FRAC_BITS - k)
+    };
+    base + add
+}
+
+/// Approximates `a / b` with Mitchell's Algorithm (log-domain subtraction).
+///
+/// Returns `None` when `b == 0`, and `Some(0)` when `a == 0` or the
+/// log-domain quotient underflows below 1.
+///
+/// ```
+/// use ihw_core::mitchell::mitchell_div;
+/// assert_eq!(mitchell_div(64, 8), Some(8)); // powers of two exact
+/// assert_eq!(mitchell_div(1, 0), None);
+/// ```
+pub fn mitchell_div(a: u64, b: u64) -> Option<u64> {
+    if b == 0 {
+        return None;
+    }
+    if a == 0 {
+        return Some(0);
+    }
+    let (ka, xa) = log_approx(a);
+    let (kb, xb) = log_approx(b);
+    let mut k = ka as i64 - kb as i64;
+    let one = 1u128 << LOG_FRAC_BITS;
+    let frac = if xa >= xb {
+        xa - xb
+    } else {
+        // Borrow from the characteristic.
+        k -= 1;
+        one + xa - xb
+    };
+    if k < 0 {
+        return Some(0); // quotient below 1 truncates to 0
+    }
+    let k = k as u32;
+    let base = 1u128 << k;
+    let add = if k >= LOG_FRAC_BITS {
+        frac << (k - LOG_FRAC_BITS)
+    } else {
+        frac >> (LOG_FRAC_BITS - k)
+    };
+    Some((base + add) as u64)
+}
+
+/// Maximum relative error magnitude of Mitchell multiplication (1/9).
+pub const MITCHELL_MAX_ERROR: f64 = 1.0 / 9.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powers_of_two_exact() {
+        assert_eq!(mitchell_mul(1, 1), 1);
+        assert_eq!(mitchell_mul(2, 2), 4);
+        assert_eq!(mitchell_mul(1 << 20, 1 << 30), 1u128 << 50);
+        assert_eq!(mitchell_mul(1 << 63, 1 << 63), 1u128 << 126);
+    }
+
+    #[test]
+    fn one_power_of_two_exact() {
+        // 2^k · n is exact because one fraction is zero.
+        assert_eq!(mitchell_mul(4, 7), 28);
+        assert_eq!(mitchell_mul(7, 4), 28);
+        assert_eq!(mitchell_mul(16, 100), 1600);
+    }
+
+    #[test]
+    fn zero_operands() {
+        assert_eq!(mitchell_mul(0, 5), 0);
+        assert_eq!(mitchell_mul(5, 0), 0);
+        assert_eq!(mitchell_mul(0, 0), 0);
+    }
+
+    #[test]
+    fn known_values() {
+        // Mitchell's classic example: both fractions 0.5 → carry case.
+        // 12 × 10 = 2^3(1.5) × 2^3(1.25): x-sum = 0.75 < 1
+        // → 2^6 × 1.75 = 112 (true 120, err 6.7%).
+        assert_eq!(mitchell_mul(12, 10), 112);
+        // 15 × 15 = 2^3(1.875)²: x-sum = 1.75 ≥ 1 → 2^7 × 1.75 = 224? No:
+        // carry case decodes (x₁+x₂) = 1.75 → 2^7 · 1.75 = 224... true 225.
+        assert_eq!(mitchell_mul(15, 15), 224);
+    }
+
+    #[test]
+    fn underestimates_and_bounded() {
+        let mut worst = 0.0f64;
+        for a in 1u64..=600 {
+            for b in (1u64..=600).step_by(7) {
+                let approx = mitchell_mul(a, b);
+                let exact = (a as u128) * (b as u128);
+                assert!(approx <= exact, "{a}×{b}: {approx} > {exact}");
+                let err = (exact - approx) as f64 / exact as f64;
+                worst = worst.max(err);
+            }
+        }
+        assert!(worst <= MITCHELL_MAX_ERROR + 1e-12, "worst {worst}");
+        assert!(worst > 0.10, "bound nearly attained, got {worst}");
+    }
+
+    #[test]
+    fn commutative() {
+        for &(a, b) in &[(3u64, 9), (100, 77), (12345, 678), (u32::MAX as u64, 3)] {
+            assert_eq!(mitchell_mul(a, b), mitchell_mul(b, a));
+        }
+    }
+
+    #[test]
+    fn large_operands_no_overflow() {
+        let a = u64::MAX;
+        let approx = mitchell_mul(a, a);
+        let exact = (a as u128) * (a as u128);
+        assert!(approx <= exact);
+        let err = (exact - approx) as f64 / exact as f64;
+        assert!(err <= MITCHELL_MAX_ERROR + 1e-12);
+    }
+
+    #[test]
+    fn division_basics() {
+        assert_eq!(mitchell_div(64, 8), Some(8));
+        assert_eq!(mitchell_div(0, 9), Some(0));
+        assert_eq!(mitchell_div(9, 0), None);
+        assert_eq!(mitchell_div(1, 2), Some(0), "sub-unit quotient truncates");
+    }
+
+    #[test]
+    fn division_error_bounded() {
+        // The log-domain approximation overestimates by at most 12.5%; the
+        // integer output truncation subtracts up to one ulp, which is
+        // negligible once the quotient is large.
+        for a in (100_000u64..4_000_000).step_by(37_773) {
+            for b in (3u64..90).step_by(5) {
+                let approx = mitchell_div(a, b).expect("nonzero divisor") as f64;
+                let exact = a as f64 / b as f64;
+                let err = (approx - exact).abs() / exact;
+                assert!(err <= 0.125 + 0.005, "{a}/{b}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn division_small_quotients_truncate_down() {
+        // Sub-ulp information is lost for quotients near 1 — the hardware
+        // decoder simply drops fraction bits below weight 2^0.
+        assert_eq!(mitchell_div(177, 89), Some(1));
+    }
+}

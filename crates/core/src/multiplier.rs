@@ -1,0 +1,162 @@
+//! The original imprecise floating point multiplier of Table 1 (§3.1).
+//!
+//! The algorithmic simplification replaces the mantissa product
+//! `(1+Ma)(1+Mb)` by `1 + Ma + Mb` (neglecting the `Ma·Mb` term), which in
+//! hardware turns the 24×24-bit mantissa multiplier of a single precision
+//! unit into a 25×25-bit addition (paper eqs. 1–6):
+//!
+//! ```text
+//! Mz ≈ 1 + Ma + Mb          when Ma + Mb < 1   (cin = 0)
+//! Mz ≈ (1 + Ma + Mb) / 2    when Ma + Mb ≥ 1   (cin = 1, exponent +1)
+//! ```
+//!
+//! The maximum error magnitude is 25% (at `Ma, Mb → 1`, where the true
+//! product approaches 4 but the approximation yields 3). No rounding is
+//! performed, subnormals flush to zero, infinities and NaNs are supported.
+//!
+//! ```
+//! use ihw_core::multiplier::imul32;
+//!
+//! // 1.5 × 1.5: Ma = Mb = 0.5, sum ≥ 1 → (1 + 1.0)/2 × 2^1 = 2.0 (true 2.25)
+//! assert_eq!(imul32(1.5, 1.5), 2.0);
+//! // Powers of two are exact (Ma = Mb = 0).
+//! assert_eq!(imul32(4.0, 8.0), 32.0);
+//! ```
+
+use crate::format::{flush_subnormal, Format, RoundedClass};
+
+/// Imprecise multiplication on raw bit patterns of the given format.
+///
+/// This is the format-generic core used by [`imul32`] / [`imul64`].
+pub fn imprecise_mul_bits(fmt: Format, a: u64, b: u64) -> u64 {
+    let a = flush_subnormal(fmt, a);
+    let b = flush_subnormal(fmt, b);
+    let pa = fmt.decompose(a);
+    let pb = fmt.decompose(b);
+    let sign = pa.sign ^ pb.sign;
+    match (fmt.classify(&pa), fmt.classify(&pb)) {
+        (RoundedClass::Nan, _) | (_, RoundedClass::Nan) => fmt.nan(),
+        (RoundedClass::Infinite, RoundedClass::Zero)
+        | (RoundedClass::Zero, RoundedClass::Infinite) => fmt.nan(),
+        (RoundedClass::Infinite, _) | (_, RoundedClass::Infinite) => fmt.infinity(sign),
+        (RoundedClass::Zero, _) | (_, RoundedClass::Zero) => fmt.zero(sign),
+        (RoundedClass::Normal, RoundedClass::Normal) => {
+            let mut exp = fmt.unbiased_exp(&pa) + fmt.unbiased_exp(&pb);
+            let sum = pa.frac + pb.frac; // Ma + Mb in units of 2^-F
+            let frac = if sum >= fmt.hidden_bit() {
+                // Ma + Mb >= 1: Mz = (1 + Ma + Mb)/2, cin = 1 (eq. 6).
+                exp += 1;
+                (fmt.hidden_bit() + sum) >> 1
+            } else {
+                sum
+            } & fmt.frac_mask();
+            fmt.encode_normal(sign, exp, frac)
+        }
+    }
+}
+
+/// Imprecise single precision multiplication (Table 1 `y = a × b`).
+///
+/// ```
+/// use ihw_core::multiplier::imul32;
+/// // Error never exceeds 25% of the true product.
+/// let (a, b) = (1.9f32, 1.9f32);
+/// let err = (imul32(a, b) - a * b).abs() / (a * b);
+/// assert!(err <= 0.25);
+/// ```
+pub fn imul32(a: f32, b: f32) -> f32 {
+    f32::from_bits(imprecise_mul_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64)
+        as u32)
+}
+
+/// Imprecise double precision multiplication.
+pub fn imul64(a: f64, b: f64) -> f64 {
+    f64::from_bits(imprecise_mul_bits(Format::DOUBLE, a.to_bits(), b.to_bits()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::IFPMUL_MAX_ERROR;
+
+    #[test]
+    fn powers_of_two_exact() {
+        assert_eq!(imul32(2.0, 4.0), 8.0);
+        assert_eq!(imul32(-0.5, 8.0), -4.0);
+        assert_eq!(imul64(1024.0, 0.25), 256.0);
+    }
+
+    #[test]
+    fn one_is_identity() {
+        // Ma = 0 ⇒ Mz = 1 + Mb exactly.
+        for &x in &[1.0f32, 1.5, 3.75, 100.0, 0.1] {
+            assert_eq!(imul32(1.0, x), x, "1 × {x}");
+            assert_eq!(imul32(x, 1.0), x, "{x} × 1");
+        }
+    }
+
+    #[test]
+    fn carry_in_case() {
+        // 1.5 × 1.5: sum of fractions = 1.0 ≥ 1 → (1+1)/2 = 1.0, exp+1 → 2.0
+        assert_eq!(imul32(1.5, 1.5), 2.0);
+        assert_eq!(imul64(1.5, 1.5), 2.0);
+    }
+
+    #[test]
+    fn no_carry_case() {
+        // 1.25 × 1.25: Mz = 1.5 (true 1.5625)
+        assert_eq!(imul32(1.25, 1.25), 1.5);
+    }
+
+    #[test]
+    fn sign_rules() {
+        assert_eq!(imul32(-2.0, 4.0), -8.0);
+        assert_eq!(imul32(-2.0, -4.0), 8.0);
+        assert!(imul32(-1.5, 1.5) < 0.0);
+    }
+
+    #[test]
+    fn error_bounded_by_25_percent() {
+        let mut worst = 0.0f64;
+        for i in 0..512u32 {
+            for j in 0..512u32 {
+                let a = 1.0 + i as f64 / 512.0;
+                let b = 1.0 + j as f64 / 512.0;
+                let approx = imul32(a as f32, b as f32) as f64;
+                let exact = (a as f32 as f64) * (b as f32 as f64);
+                worst = worst.max(((approx - exact) / exact).abs());
+            }
+        }
+        assert!(worst <= IFPMUL_MAX_ERROR + 1e-9, "worst error {worst}");
+        // The bound is tight: the sampled maximum approaches 25%.
+        assert!(worst > 0.24, "bound should be nearly attained, got {worst}");
+    }
+
+    #[test]
+    fn result_always_underestimates() {
+        // 1 + Ma + Mb ≤ (1+Ma)(1+Mb): the approximation never overshoots.
+        for i in 0..64u32 {
+            for j in 0..64u32 {
+                let a = 1.0f32 + i as f32 / 64.0;
+                let b = 1.0f32 + j as f32 / 64.0;
+                assert!(imul32(a, b) <= a * b + f32::EPSILON);
+            }
+        }
+    }
+
+    #[test]
+    fn special_values() {
+        assert!(imul32(f32::NAN, 2.0).is_nan());
+        assert!(imul32(f32::INFINITY, 0.0).is_nan());
+        assert_eq!(imul32(f32::INFINITY, -2.0), f32::NEG_INFINITY);
+        assert_eq!(imul32(0.0, -3.0), -0.0);
+        assert_eq!(imul32(f32::MIN_POSITIVE / 2.0, 1e30), 0.0, "subnormal flushed");
+    }
+
+    #[test]
+    fn overflow_and_underflow_saturate() {
+        assert_eq!(imul32(1e30, 1e30), f32::INFINITY);
+        assert_eq!(imul32(1e-30, 1e-30), 0.0);
+        assert_eq!(imul32(-1e30, 1e30), f32::NEG_INFINITY);
+    }
+}

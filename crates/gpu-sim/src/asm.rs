@@ -1,0 +1,337 @@
+//! A tiny assembler for the kernel IR — text form in, validated
+//! [`Program`] out — so kernels can live in fixtures or be written by
+//! hand, the way PTX kernels reach GPGPU-Sim.
+//!
+//! Syntax (one instruction per line, `#` comments, case-insensitive
+//! mnemonics):
+//!
+//! ```text
+//! # SAXPY: y[i] = a*x[i] + y[i]
+//! movi r0, 2.0
+//! ld   r1, b0[tid]
+//! ld   r2, b1[tid]
+//! ffma r2, r0, r1, r2
+//! st   b1[tid], r2
+//! ```
+//!
+//! Memory operands are `bN[tid]`, `bN[tid+K]`, `bN[tid-K]` or `bN[K]`.
+//!
+//! ```
+//! use gpu_sim::asm::assemble;
+//! use ihw_core::config::IhwConfig;
+//! use gpu_sim::isa::WarpInterpreter;
+//!
+//! let prog = assemble("scale", "
+//!     ld r0, b0[tid]
+//!     fmul r0, r0, r0
+//!     st b0[tid], r0
+//! ").expect("assembles");
+//! let mut bufs = vec![vec![3.0f32]];
+//! WarpInterpreter::new(IhwConfig::precise()).launch(&prog, 1, &mut bufs).expect("runs");
+//! assert_eq!(bufs[0][0], 9.0);
+//! ```
+
+use crate::isa::{AddrMode, ExecError, Instr, Program, Reg};
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles IR source text into a validated program.
+///
+/// The register file is sized to the highest register used, plus one.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for unknown
+/// mnemonics, malformed operands or arity mismatches.
+pub fn assemble(name: impl Into<String>, source: &str) -> Result<Program, AsmError> {
+    let mut instrs = Vec::new();
+    let mut max_reg = 0u8;
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let operands: Vec<&str> =
+            rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let err = |message: &str| AsmError { line: line_no, message: message.to_string() };
+        let instr = match mnemonic.to_ascii_lowercase().as_str() {
+            "movi" => {
+                let [d, imm] = two(&operands).map_err(|m| err(m))?;
+                Instr::Movi(reg(d).map_err(|m| err(&m))?, immediate(imm).map_err(|m| err(&m))?)
+            }
+            "tid" => {
+                let [d] = one(&operands).map_err(|m| err(m))?;
+                Instr::Tid(reg(d).map_err(|m| err(&m))?)
+            }
+            m @ ("fadd" | "fsub" | "fmul" | "fdiv" | "fmax") => {
+                let [d, a, b] = three(&operands).map_err(|msg| err(msg))?;
+                let (d, a, b) = (
+                    reg(d).map_err(|m| err(&m))?,
+                    reg(a).map_err(|m| err(&m))?,
+                    reg(b).map_err(|m| err(&m))?,
+                );
+                match m {
+                    "fadd" => Instr::Fadd(d, a, b),
+                    "fsub" => Instr::Fsub(d, a, b),
+                    "fmul" => Instr::Fmul(d, a, b),
+                    "fdiv" => Instr::Fdiv(d, a, b),
+                    _ => Instr::Fmax(d, a, b),
+                }
+            }
+            "sel" => {
+                let [d, c, a, b] = four(&operands).map_err(|m| err(m))?;
+                Instr::Sel(
+                    reg(d).map_err(|m| err(&m))?,
+                    reg(c).map_err(|m| err(&m))?,
+                    reg(a).map_err(|m| err(&m))?,
+                    reg(b).map_err(|m| err(&m))?,
+                )
+            }
+            "ffma" => {
+                let [d, a, b, c] = four(&operands).map_err(|m| err(m))?;
+                Instr::Ffma(
+                    reg(d).map_err(|m| err(&m))?,
+                    reg(a).map_err(|m| err(&m))?,
+                    reg(b).map_err(|m| err(&m))?,
+                    reg(c).map_err(|m| err(&m))?,
+                )
+            }
+            m @ ("rcp" | "rsqrt" | "sqrt" | "log2") => {
+                let [d, a] = two(&operands).map_err(|msg| err(msg))?;
+                let (d, a) = (reg(d).map_err(|m| err(&m))?, reg(a).map_err(|m| err(&m))?);
+                match m {
+                    "rcp" => Instr::Rcp(d, a),
+                    "rsqrt" => Instr::Rsqrt(d, a),
+                    "sqrt" => Instr::Sqrt(d, a),
+                    _ => Instr::Log2(d, a),
+                }
+            }
+            "ld" => {
+                let [d, mem] = two(&operands).map_err(|m| err(m))?;
+                let (buf, mode) = memref(mem).map_err(|m| err(&m))?;
+                Instr::Ld(reg(d).map_err(|m| err(&m))?, buf, mode)
+            }
+            "st" => {
+                let [mem, s] = two(&operands).map_err(|m| err(m))?;
+                let (buf, mode) = memref(mem).map_err(|m| err(&m))?;
+                Instr::St(buf, mode, reg(s).map_err(|m| err(&m))?)
+            }
+            other => return Err(err(&format!("unknown mnemonic '{other}'"))),
+        };
+        for r in instr_regs(&instr) {
+            max_reg = max_reg.max(r);
+        }
+        instrs.push(instr);
+    }
+    Program::new(name, max_reg.saturating_add(1).max(1), instrs).map_err(|e| match e {
+        ExecError::InvalidRegister { reg, regs } => AsmError {
+            line: 0,
+            message: format!("register r{reg} exceeds register file {regs}"),
+        },
+        other => AsmError { line: 0, message: other.to_string() },
+    })
+}
+
+fn one<'a>(ops: &[&'a str]) -> Result<[&'a str; 1], &'static str> {
+    <[&str; 1]>::try_from(ops).map_err(|_| "expected 1 operand")
+}
+
+fn two<'a>(ops: &[&'a str]) -> Result<[&'a str; 2], &'static str> {
+    <[&str; 2]>::try_from(ops).map_err(|_| "expected 2 operands")
+}
+
+fn three<'a>(ops: &[&'a str]) -> Result<[&'a str; 3], &'static str> {
+    <[&str; 3]>::try_from(ops).map_err(|_| "expected 3 operands")
+}
+
+fn four<'a>(ops: &[&'a str]) -> Result<[&'a str; 4], &'static str> {
+    <[&str; 4]>::try_from(ops).map_err(|_| "expected 4 operands")
+}
+
+fn reg(s: &str) -> Result<Reg, String> {
+    let body = s
+        .strip_prefix('r')
+        .or_else(|| s.strip_prefix('R'))
+        .ok_or_else(|| format!("expected register, got '{s}'"))?;
+    body.parse::<u8>().map(Reg).map_err(|_| format!("bad register index '{s}'"))
+}
+
+fn immediate(s: &str) -> Result<f32, String> {
+    s.parse::<f32>().map_err(|_| format!("bad immediate '{s}'"))
+}
+
+fn memref(s: &str) -> Result<(usize, AddrMode), String> {
+    let (buf_part, rest) =
+        s.split_once('[').ok_or_else(|| format!("expected bN[...], got '{s}'"))?;
+    let buf = buf_part
+        .strip_prefix('b')
+        .or_else(|| buf_part.strip_prefix('B'))
+        .and_then(|n| n.parse::<usize>().ok())
+        .ok_or_else(|| format!("bad buffer name '{buf_part}'"))?;
+    let inner = rest.strip_suffix(']').ok_or_else(|| format!("missing ']' in '{s}'"))?;
+    let mode = if inner == "tid" {
+        AddrMode::Tid
+    } else if let Some(off) = inner.strip_prefix("tid") {
+        let value = off
+            .parse::<i64>()
+            .map_err(|_| format!("bad tid offset '{off}'"))?;
+        AddrMode::TidPlus(value)
+    } else {
+        AddrMode::Abs(inner.parse::<usize>().map_err(|_| format!("bad address '{inner}'"))?)
+    };
+    Ok((buf, mode))
+}
+
+fn instr_regs(instr: &Instr) -> Vec<u8> {
+    match *instr {
+        Instr::Movi(d, _) | Instr::Tid(d) | Instr::Ld(d, _, _) => vec![d.0],
+        Instr::St(_, _, s) => vec![s.0],
+        Instr::Fadd(d, a, b)
+        | Instr::Fsub(d, a, b)
+        | Instr::Fmul(d, a, b)
+        | Instr::Fdiv(d, a, b)
+        | Instr::Fmax(d, a, b) => vec![d.0, a.0, b.0],
+        Instr::Ffma(d, a, b, c) | Instr::Sel(d, a, b, c) => vec![d.0, a.0, b.0, c.0],
+        Instr::Rcp(d, a) | Instr::Rsqrt(d, a) | Instr::Sqrt(d, a) | Instr::Log2(d, a) => {
+            vec![d.0, a.0]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::WarpInterpreter;
+    use ihw_core::config::IhwConfig;
+
+    #[test]
+    fn saxpy_text_matches_canned_program() {
+        let text = assemble(
+            "saxpy",
+            "
+            movi r0, 2.0
+            ld   r1, b0[tid]
+            ld   r2, b1[tid]
+            ffma r2, r0, r1, r2
+            st   b1[tid], r2
+            ",
+        )
+        .expect("assembles");
+        assert_eq!(text.instrs(), crate::programs::saxpy(2.0).instrs());
+    }
+
+    #[test]
+    fn comments_case_and_blank_lines() {
+        let prog = assemble(
+            "demo",
+            "
+            # a comment line
+            MOVI R0, 1.5   # trailing comment
+
+            FMUL r1, r0, r0
+            ST b0[0], r1
+            ",
+        )
+        .expect("assembles");
+        let mut bufs = vec![vec![0.0f32]];
+        WarpInterpreter::new(IhwConfig::precise()).launch(&prog, 1, &mut bufs).expect("runs");
+        assert_eq!(bufs[0][0], 2.25);
+    }
+
+    #[test]
+    fn addressing_modes() {
+        let prog = assemble(
+            "addr",
+            "
+            ld r0, b0[tid+2]
+            ld r1, b0[tid+1]
+            ld r2, b1[7]
+            fadd r0, r0, r1
+            fadd r0, r0, r2
+            st b2[tid], r0
+            ",
+        )
+        .expect("assembles");
+        let mut bufs = vec![
+            (0..8).map(|i| i as f32).collect::<Vec<f32>>(),
+            vec![0.0f32; 8],
+            vec![0.0f32; 4],
+        ];
+        bufs[1][7] = 100.0;
+        WarpInterpreter::new(IhwConfig::precise()).launch(&prog, 3, &mut bufs).expect("runs");
+        // thread 1: b0[3] + b0[2] + 100 = 105
+        assert_eq!(bufs[2][1], 105.0);
+        // Negative offsets parse (they are valid for tid ≥ offset).
+        let neg = assemble("neg", "ld r0, b0[tid-1]\nst b1[tid], r0").expect("assembles");
+        let mut bufs2 = vec![vec![9.0f32, 8.0], vec![0.0f32; 2]];
+        let err = WarpInterpreter::new(IhwConfig::precise())
+            .launch(&neg, 2, &mut bufs2)
+            .unwrap_err();
+        assert!(matches!(err, crate::isa::ExecError::OutOfBounds { index: -1, .. }));
+    }
+
+    #[test]
+    fn sfu_mnemonics() {
+        let prog = assemble(
+            "sfu",
+            "
+            ld r0, b0[tid]
+            sqrt r1, r0
+            rsqrt r2, r0
+            fmul r1, r1, r2
+            rcp r1, r1
+            log2 r1, r1
+            st b0[tid], r1
+            ",
+        )
+        .expect("assembles");
+        let mut bufs = vec![vec![5.0f32]];
+        WarpInterpreter::new(IhwConfig::precise()).launch(&prog, 1, &mut bufs).expect("runs");
+        // sqrt·rsqrt = 1, rcp(1) = 1, log2(1) = 0.
+        assert!(bufs[0][0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn error_messages_name_the_line() {
+        let err = assemble("bad", "movi r0, 1.0\nfrobnicate r1").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unknown mnemonic"));
+
+        let err = assemble("bad", "fadd r0, r1").unwrap_err();
+        assert!(err.message.contains("expected 3 operands"));
+
+        let err = assemble("bad", "ld r0, q3[tid]").unwrap_err();
+        assert!(err.message.contains("bad buffer name"));
+
+        let err = assemble("bad", "movi x5, 1.0").unwrap_err();
+        assert!(err.message.contains("expected register"));
+
+        let err = assemble("bad", "ld r0, b0[tid").unwrap_err();
+        assert!(err.message.contains("missing ']'"));
+    }
+
+    #[test]
+    fn register_file_sized_automatically() {
+        let prog = assemble("wide", "movi r7, 1.0\nst b0[0], r7").expect("assembles");
+        let mut bufs = vec![vec![0.0f32]];
+        WarpInterpreter::new(IhwConfig::precise()).launch(&prog, 1, &mut bufs).expect("runs");
+        assert_eq!(bufs[0][0], 1.0);
+    }
+}

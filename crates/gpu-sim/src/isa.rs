@@ -1,0 +1,528 @@
+//! A small PTX-like kernel IR and its SIMT interpreter.
+//!
+//! The trace-driven timing model ([`crate::simt`]) consumes instruction
+//! *mixes*; this module closes the loop for code that is not hand
+//! instrumented: kernels written in a register-based IR execute
+//! functionally, per thread, with every floating point instruction routed
+//! through the same imprecise-hardware dispatch ([`crate::dispatch::FpCtx`])
+//! — the counters, the timing model and the power model then apply
+//! unchanged. This mirrors how GPGPU-Sim interprets PTX with the paper's
+//! IHW functional models linked in.
+//!
+//! The IR is deliberately small: straight-line SIMD code (a kernel body
+//! that every thread executes once, loops unrolled at build time), f32
+//! registers, global-memory loads/stores addressed by thread index.
+//!
+//! ```
+//! use gpu_sim::isa::{Instr, Program, Reg, WarpInterpreter, AddrMode};
+//! use ihw_core::config::IhwConfig;
+//!
+//! // SAXPY: y[i] = a·x[i] + y[i]
+//! let prog = Program::new("saxpy", 3, vec![
+//!     Instr::Movi(Reg(0), 2.0),                        // a
+//!     Instr::Ld(Reg(1), 0, AddrMode::Tid),             // x[i]
+//!     Instr::Ld(Reg(2), 1, AddrMode::Tid),             // y[i]
+//!     Instr::Ffma(Reg(2), Reg(0), Reg(1), Reg(2)),
+//!     Instr::St(1, AddrMode::Tid, Reg(2)),
+//! ]).expect("valid program");
+//!
+//! let mut buffers = vec![vec![1.0f32, 2.0, 3.0], vec![10.0, 20.0, 30.0]];
+//! let mut interp = WarpInterpreter::new(IhwConfig::precise());
+//! interp.launch(&prog, 3, &mut buffers).expect("kernel runs");
+//! assert_eq!(buffers[1], vec![12.0, 24.0, 36.0]);
+//! ```
+
+use crate::dispatch::FpCtx;
+use crate::simt::{InstrMix, KernelLaunch};
+use ihw_core::config::IhwConfig;
+use serde::{Deserialize, Serialize};
+
+/// A register index (per-thread f32 register file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+/// Global-memory addressing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddrMode {
+    /// Element `tid`.
+    Tid,
+    /// Element `tid + offset` (clamped accesses are an error, not a wrap).
+    TidPlus(i64),
+    /// A fixed element (broadcast).
+    Abs(usize),
+}
+
+/// One IR instruction. `rd` is always the destination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `rd ← imm`
+    Movi(Reg, f32),
+    /// `rd ← tid` (thread index as f32)
+    Tid(Reg),
+    /// `rd ← ra + rb`
+    Fadd(Reg, Reg, Reg),
+    /// `rd ← ra − rb`
+    Fsub(Reg, Reg, Reg),
+    /// `rd ← ra × rb`
+    Fmul(Reg, Reg, Reg),
+    /// `rd ← ra ÷ rb`
+    Fdiv(Reg, Reg, Reg),
+    /// `rd ← ra × rb + rc`
+    Ffma(Reg, Reg, Reg, Reg),
+    /// `rd ← 1/ra`
+    Rcp(Reg, Reg),
+    /// `rd ← 1/√ra`
+    Rsqrt(Reg, Reg),
+    /// `rd ← √ra`
+    Sqrt(Reg, Reg),
+    /// `rd ← log₂ ra`
+    Log2(Reg, Reg),
+    /// `rd ← max(ra, rb)` (ALU op)
+    Fmax(Reg, Reg, Reg),
+    /// `rd ← if rc > 0 { ra } else { rb }` — predicated select, the
+    /// divergence-free conditional of real GPU ISAs.
+    Sel(Reg, Reg, Reg, Reg),
+    /// `rd ← buffer[addr]`
+    Ld(Reg, usize, AddrMode),
+    /// `buffer[addr] ← rs`
+    St(usize, AddrMode, Reg),
+}
+
+impl Instr {
+    fn registers(&self) -> Vec<Reg> {
+        match *self {
+            Instr::Movi(d, _) | Instr::Tid(d) => vec![d],
+            Instr::Fadd(d, a, b)
+            | Instr::Fsub(d, a, b)
+            | Instr::Fmul(d, a, b)
+            | Instr::Fdiv(d, a, b)
+            | Instr::Fmax(d, a, b) => vec![d, a, b],
+            Instr::Ffma(d, a, b, c) | Instr::Sel(d, a, b, c) => vec![d, a, b, c],
+            Instr::Rcp(d, a) | Instr::Rsqrt(d, a) | Instr::Sqrt(d, a) | Instr::Log2(d, a) => {
+                vec![d, a]
+            }
+            Instr::Ld(d, _, _) => vec![d],
+            Instr::St(_, _, s) => vec![s],
+        }
+    }
+}
+
+/// Errors raised while building or executing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// An instruction names a register beyond the program's register count.
+    InvalidRegister {
+        /// Offending register index.
+        reg: u8,
+        /// Program register-file size.
+        regs: u8,
+    },
+    /// A memory access named a buffer that was not passed to `launch`.
+    UnknownBuffer {
+        /// Buffer index.
+        buffer: usize,
+    },
+    /// A memory access fell outside its buffer.
+    OutOfBounds {
+        /// Buffer index.
+        buffer: usize,
+        /// Attempted element index.
+        index: i64,
+        /// Buffer length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::InvalidRegister { reg, regs } => {
+                write!(f, "register r{reg} exceeds register file size {regs}")
+            }
+            ExecError::UnknownBuffer { buffer } => write!(f, "unknown buffer {buffer}"),
+            ExecError::OutOfBounds { buffer, index, len } => {
+                write!(f, "access to element {index} of buffer {buffer} (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A validated straight-line kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    name: String,
+    regs: u8,
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Builds and validates a program with a `regs`-entry register file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidRegister`] if any instruction names a
+    /// register outside the file.
+    pub fn new(
+        name: impl Into<String>,
+        regs: u8,
+        instrs: Vec<Instr>,
+    ) -> Result<Program, ExecError> {
+        for instr in &instrs {
+            for r in instr.registers() {
+                if r.0 >= regs {
+                    return Err(ExecError::InvalidRegister { reg: r.0, regs });
+                }
+            }
+        }
+        Ok(Program { name: name.into(), regs, instrs })
+    }
+
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction sequence.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Appends `body` repeated `times` times (loop unrolling helper).
+    pub fn unroll(mut self, body: &[Instr], times: usize) -> Result<Program, ExecError> {
+        for _ in 0..times {
+            self.instrs.extend_from_slice(body);
+        }
+        Program::new(self.name, self.regs, self.instrs)
+    }
+}
+
+/// Executes programs thread-by-thread through the IHW dispatch.
+#[derive(Debug)]
+pub struct WarpInterpreter {
+    ctx: FpCtx,
+}
+
+impl WarpInterpreter {
+    /// Creates an interpreter over the given datapath configuration.
+    pub fn new(cfg: IhwConfig) -> Self {
+        WarpInterpreter { ctx: FpCtx::new(cfg) }
+    }
+
+    /// The accumulated counters (shared across launches until reset).
+    pub fn ctx(&self) -> &FpCtx {
+        &self.ctx
+    }
+
+    /// Resets the performance counters.
+    pub fn reset_counters(&mut self) {
+        self.ctx.reset_counters();
+    }
+
+    /// Runs `threads` threads of `prog` over the given global buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] for unknown buffers or out-of-bounds
+    /// accesses; the buffers may be partially written in that case.
+    pub fn launch(
+        &mut self,
+        prog: &Program,
+        threads: u32,
+        buffers: &mut [Vec<f32>],
+    ) -> Result<(), ExecError> {
+        let mut regs = vec![0.0f32; prog.regs as usize];
+        for tid in 0..threads {
+            regs.iter_mut().for_each(|r| *r = 0.0);
+            for instr in &prog.instrs {
+                self.step(*instr, tid, &mut regs, buffers)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn step(
+        &mut self,
+        instr: Instr,
+        tid: u32,
+        regs: &mut [f32],
+        buffers: &mut [Vec<f32>],
+    ) -> Result<(), ExecError> {
+        let ctx = &mut self.ctx;
+        match instr {
+            Instr::Movi(d, imm) => regs[d.0 as usize] = imm,
+            Instr::Tid(d) => {
+                ctx.int_op(1);
+                regs[d.0 as usize] = tid as f32;
+            }
+            Instr::Fadd(d, a, b) => {
+                regs[d.0 as usize] = ctx.add32(regs[a.0 as usize], regs[b.0 as usize])
+            }
+            Instr::Fsub(d, a, b) => {
+                regs[d.0 as usize] = ctx.sub32(regs[a.0 as usize], regs[b.0 as usize])
+            }
+            Instr::Fmul(d, a, b) => {
+                regs[d.0 as usize] = ctx.mul32(regs[a.0 as usize], regs[b.0 as usize])
+            }
+            Instr::Fdiv(d, a, b) => {
+                regs[d.0 as usize] = ctx.div32(regs[a.0 as usize], regs[b.0 as usize])
+            }
+            Instr::Ffma(d, a, b, c) => {
+                regs[d.0 as usize] =
+                    ctx.fma32(regs[a.0 as usize], regs[b.0 as usize], regs[c.0 as usize])
+            }
+            Instr::Rcp(d, a) => regs[d.0 as usize] = ctx.rcp32(regs[a.0 as usize]),
+            Instr::Rsqrt(d, a) => regs[d.0 as usize] = ctx.rsqrt32(regs[a.0 as usize]),
+            Instr::Sqrt(d, a) => regs[d.0 as usize] = ctx.sqrt32(regs[a.0 as usize]),
+            Instr::Log2(d, a) => regs[d.0 as usize] = ctx.log2_32(regs[a.0 as usize]),
+            Instr::Fmax(d, a, b) => {
+                ctx.int_op(1);
+                regs[d.0 as usize] = regs[a.0 as usize].max(regs[b.0 as usize]);
+            }
+            Instr::Sel(d, c, a, b) => {
+                ctx.int_op(1);
+                regs[d.0 as usize] = if regs[c.0 as usize] > 0.0 {
+                    regs[a.0 as usize]
+                } else {
+                    regs[b.0 as usize]
+                };
+            }
+            Instr::Ld(d, buf, mode) => {
+                ctx.mem_op(1);
+                ctx.int_op(1);
+                let v = *Self::element(buffers, buf, mode, tid)?;
+                regs[d.0 as usize] = v;
+            }
+            Instr::St(buf, mode, s) => {
+                ctx.mem_op(1);
+                ctx.int_op(1);
+                let v = regs[s.0 as usize];
+                *Self::element(buffers, buf, mode, tid)? = v;
+            }
+        }
+        Ok(())
+    }
+
+    fn element<'b>(
+        buffers: &'b mut [Vec<f32>],
+        buf: usize,
+        mode: AddrMode,
+        tid: u32,
+    ) -> Result<&'b mut f32, ExecError> {
+        let idx: i64 = match mode {
+            AddrMode::Tid => tid as i64,
+            AddrMode::TidPlus(off) => tid as i64 + off,
+            AddrMode::Abs(i) => i as i64,
+        };
+        let buffer = buffers.get_mut(buf).ok_or(ExecError::UnknownBuffer { buffer: buf })?;
+        let len = buffer.len();
+        if idx < 0 || idx as usize >= len {
+            return Err(ExecError::OutOfBounds { buffer: buf, index: idx, len });
+        }
+        Ok(&mut buffer[idx as usize])
+    }
+
+    /// Builds the timing-model launch descriptor for a completed run.
+    pub fn kernel_launch(&self, prog: &Program, threads: u32) -> KernelLaunch {
+        KernelLaunch::new(
+        prog.name.clone(),
+        threads.div_ceil(256).max(1),
+        threads.min(256),
+        InstrMix {
+                fp: self.ctx.counts().clone(),
+                int_ops: self.ctx.int_ops(),
+                mem_ops: self.ctx.mem_ops(),
+            },
+    )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ihw_core::config::FpOp;
+
+    fn saxpy() -> Program {
+        Program::new(
+            "saxpy",
+            3,
+            vec![
+                Instr::Movi(Reg(0), 2.0),
+                Instr::Ld(Reg(1), 0, AddrMode::Tid),
+                Instr::Ld(Reg(2), 1, AddrMode::Tid),
+                Instr::Ffma(Reg(2), Reg(0), Reg(1), Reg(2)),
+                Instr::St(1, AddrMode::Tid, Reg(2)),
+            ],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn saxpy_functional() {
+        let mut bufs = vec![vec![1.0f32, 2.0, 3.0, 4.0], vec![10.0, 20.0, 30.0, 40.0]];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        interp.launch(&saxpy(), 4, &mut bufs).expect("runs");
+        assert_eq!(bufs[1], vec![12.0, 24.0, 36.0, 48.0]);
+    }
+
+    #[test]
+    fn counters_match_static_program() {
+        let mut bufs = vec![vec![0.0f32; 8], vec![0.0f32; 8]];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        interp.launch(&saxpy(), 8, &mut bufs).expect("runs");
+        assert_eq!(interp.ctx().counts().get(FpOp::Fma), 8);
+        assert_eq!(interp.ctx().mem_ops(), 3 * 8);
+        let k = interp.kernel_launch(&saxpy(), 8);
+        assert_eq!(k.mix.fp.total(), 8);
+        assert_eq!(k.name, "saxpy");
+    }
+
+    #[test]
+    fn imprecise_config_changes_results() {
+        // y = x·x with x = 1.5: Table 1 multiplier gives 2.0, not 2.25.
+        let prog = Program::new(
+            "square",
+            2,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::Tid),
+                Instr::Fmul(Reg(1), Reg(0), Reg(0)),
+                Instr::St(0, AddrMode::Tid, Reg(1)),
+            ],
+        )
+        .expect("valid");
+        let mut bufs = vec![vec![1.5f32]];
+        let mut interp = WarpInterpreter::new(IhwConfig::all_imprecise());
+        interp.launch(&prog, 1, &mut bufs).expect("runs");
+        assert_eq!(bufs[0][0], 2.0);
+    }
+
+    #[test]
+    fn sfu_instructions() {
+        let prog = Program::new(
+            "norm",
+            3,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::Tid),
+                Instr::Rsqrt(Reg(1), Reg(0)),
+                Instr::Sqrt(Reg(2), Reg(0)),
+                Instr::Fmul(Reg(1), Reg(1), Reg(2)), // √x · 1/√x ≈ 1
+                Instr::St(0, AddrMode::Tid, Reg(1)),
+            ],
+        )
+        .expect("valid");
+        let mut bufs = vec![vec![4.0f32, 9.0, 16.0]];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        interp.launch(&prog, 3, &mut bufs).expect("runs");
+        for &v in &bufs[0] {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+        assert_eq!(interp.ctx().counts().get(FpOp::Rsqrt), 3);
+        assert_eq!(interp.ctx().counts().get(FpOp::Sqrt), 3);
+    }
+
+    #[test]
+    fn select_is_divergence_free_conditional() {
+        // out[i] = |x[i]| via sel(x > 0, x, -x).
+        let prog = Program::new(
+            "abs",
+            4,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::Tid),
+                Instr::Movi(Reg(1), -1.0),
+                Instr::Fmul(Reg(1), Reg(0), Reg(1)), // -x
+                Instr::Sel(Reg(2), Reg(0), Reg(0), Reg(1)),
+                Instr::St(1, AddrMode::Tid, Reg(2)),
+            ],
+        )
+        .expect("valid");
+        let mut bufs = vec![vec![-3.0f32, 4.0, -0.5], vec![0.0f32; 3]];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        interp.launch(&prog, 3, &mut bufs).expect("runs");
+        assert_eq!(bufs[1], vec![3.0, 4.0, 0.5]);
+    }
+
+    #[test]
+    fn broadcast_and_offset_addressing() {
+        let prog = Program::new(
+            "shift",
+            2,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::TidPlus(1)),
+                Instr::Ld(Reg(1), 0, AddrMode::Abs(0)),
+                Instr::Fadd(Reg(0), Reg(0), Reg(1)),
+                Instr::St(1, AddrMode::Tid, Reg(0)),
+            ],
+        )
+        .expect("valid");
+        let mut bufs = vec![vec![100.0f32, 1.0, 2.0, 3.0], vec![0.0f32; 3]];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        interp.launch(&prog, 3, &mut bufs).expect("runs");
+        assert_eq!(bufs[1], vec![101.0, 102.0, 103.0]);
+    }
+
+    #[test]
+    fn register_validation_at_build_time() {
+        let err = Program::new("bad", 2, vec![Instr::Movi(Reg(5), 0.0)]).unwrap_err();
+        assert_eq!(err, ExecError::InvalidRegister { reg: 5, regs: 2 });
+        assert!(err.to_string().contains("register r5"));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let prog = Program::new("oob", 1, vec![Instr::Ld(Reg(0), 0, AddrMode::TidPlus(10))])
+            .expect("valid");
+        let mut bufs = vec![vec![0.0f32; 4]];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        let err = interp.launch(&prog, 4, &mut bufs).unwrap_err();
+        assert!(matches!(err, ExecError::OutOfBounds { buffer: 0, .. }));
+    }
+
+    #[test]
+    fn unknown_buffer_detected() {
+        let prog =
+            Program::new("nobuf", 1, vec![Instr::St(3, AddrMode::Tid, Reg(0))]).expect("valid");
+        let mut bufs = vec![vec![0.0f32; 4]];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        assert_eq!(
+            interp.launch(&prog, 1, &mut bufs).unwrap_err(),
+            ExecError::UnknownBuffer { buffer: 3 }
+        );
+    }
+
+    #[test]
+    fn unroll_builds_longer_kernels() {
+        let base = Program::new("acc", 2, vec![Instr::Movi(Reg(0), 0.0)]).expect("valid");
+        let body = [Instr::Movi(Reg(1), 1.0), Instr::Fadd(Reg(0), Reg(0), Reg(1))];
+        let prog = base.unroll(&body, 10).expect("valid");
+        assert_eq!(prog.instrs().len(), 1 + 20);
+        let with_st = Program::new(
+            "acc",
+            2,
+            prog.instrs()
+                .iter()
+                .copied()
+                .chain([Instr::St(0, AddrMode::Tid, Reg(0))])
+                .collect(),
+        )
+        .expect("valid");
+        let mut bufs = vec![vec![0.0f32; 2]];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        interp.launch(&with_st, 2, &mut bufs).expect("runs");
+        assert_eq!(bufs[0], vec![10.0, 10.0]);
+    }
+
+    #[test]
+    fn tid_instruction() {
+        let prog = Program::new(
+            "iota",
+            1,
+            vec![Instr::Tid(Reg(0)), Instr::St(0, AddrMode::Tid, Reg(0))],
+        )
+        .expect("valid");
+        let mut bufs = vec![vec![0.0f32; 4]];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        interp.launch(&prog, 4, &mut bufs).expect("runs");
+        assert_eq!(bufs[0], vec![0.0, 1.0, 2.0, 3.0]);
+    }
+}

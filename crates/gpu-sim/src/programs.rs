@@ -1,0 +1,129 @@
+//! Canned kernel-IR programs: standard GPU micro-kernels expressed in
+//! the [`crate::isa`] instruction set, for simulator validation and
+//! benchmarking.
+
+use crate::isa::{AddrMode, Instr, Program, Reg};
+
+/// `y[i] = a·x[i] + y[i]` over buffers `0` (x) and `1` (y).
+pub fn saxpy(a: f32) -> Program {
+    Program::new(
+        "saxpy",
+        3,
+        vec![
+            Instr::Movi(Reg(0), a),
+            Instr::Ld(Reg(1), 0, AddrMode::Tid),
+            Instr::Ld(Reg(2), 1, AddrMode::Tid),
+            Instr::Ffma(Reg(2), Reg(0), Reg(1), Reg(2)),
+            Instr::St(1, AddrMode::Tid, Reg(2)),
+        ],
+    )
+    .expect("saxpy is a valid program")
+}
+
+/// Per-element vector normalisation scale: `out[i] = 1/√(x[i]² + y[i]²)`
+/// over buffers `0` (x), `1` (y) → `2` (out). Exercises the SFU.
+pub fn rsqrt_norm() -> Program {
+    Program::new(
+        "rsqrt_norm",
+        3,
+        vec![
+            Instr::Ld(Reg(0), 0, AddrMode::Tid),
+            Instr::Ld(Reg(1), 1, AddrMode::Tid),
+            Instr::Fmul(Reg(2), Reg(0), Reg(0)),
+            Instr::Ffma(Reg(2), Reg(1), Reg(1), Reg(2)),
+            Instr::Rsqrt(Reg(2), Reg(2)),
+            Instr::St(2, AddrMode::Tid, Reg(2)),
+        ],
+    )
+    .expect("rsqrt_norm is a valid program")
+}
+
+/// Per-thread partial dot product of a `chunk`-element strip:
+/// `out[i] = Σ_j x[i+j]·y[i+j]` over buffers `0`, `1` → `2`.
+///
+/// The host reduces the partials; the kernel is the FMA chain.
+pub fn dot_partial(chunk: usize) -> Program {
+    let mut instrs = vec![Instr::Movi(Reg(2), 0.0)];
+    for j in 0..chunk {
+        instrs.push(Instr::Ld(Reg(0), 0, AddrMode::TidPlus(j as i64)));
+        instrs.push(Instr::Ld(Reg(1), 1, AddrMode::TidPlus(j as i64)));
+        instrs.push(Instr::Ffma(Reg(2), Reg(0), Reg(1), Reg(2)));
+    }
+    instrs.push(Instr::St(2, AddrMode::Tid, Reg(2)));
+    Program::new("dot_partial", 3, instrs).expect("dot_partial is a valid program")
+}
+
+/// A distance-to-origin kernel: `out[i] = √(x[i]² + y[i]²)` — the
+/// mul/add/sqrt profile of the RayTracing intersection math.
+pub fn distance() -> Program {
+    Program::new(
+        "distance",
+        3,
+        vec![
+            Instr::Ld(Reg(0), 0, AddrMode::Tid),
+            Instr::Ld(Reg(1), 1, AddrMode::Tid),
+            Instr::Fmul(Reg(2), Reg(0), Reg(0)),
+            Instr::Ffma(Reg(2), Reg(1), Reg(1), Reg(2)),
+            Instr::Sqrt(Reg(2), Reg(2)),
+            Instr::St(2, AddrMode::Tid, Reg(2)),
+        ],
+    )
+    .expect("distance is a valid program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::WarpInterpreter;
+    use ihw_core::config::IhwConfig;
+
+    #[test]
+    fn saxpy_matches_host() {
+        let n = 64;
+        let x: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+        let y: Vec<f32> = (0..n).map(|i| 100.0 - i as f32).collect();
+        let mut bufs = vec![x.clone(), y.clone()];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        interp.launch(&saxpy(3.0), n as u32, &mut bufs).expect("runs");
+        for i in 0..n {
+            assert_eq!(bufs[1][i], 3.0f32.mul_add(x[i], y[i]));
+        }
+    }
+
+    #[test]
+    fn rsqrt_norm_matches_host() {
+        let mut bufs = vec![vec![3.0f32, 1.0], vec![4.0f32, 1.0], vec![0.0f32; 2]];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        interp.launch(&rsqrt_norm(), 2, &mut bufs).expect("runs");
+        assert!((bufs[2][0] - 0.2).abs() < 1e-6);
+        assert!((bufs[2][1] - 1.0 / 2.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_partial_sums_strips() {
+        let n = 8;
+        let chunk = 4;
+        // Buffers sized n + chunk so strided loads stay in bounds.
+        let x: Vec<f32> = (0..n + chunk).map(|i| i as f32).collect();
+        let y = vec![2.0f32; n + chunk];
+        let mut bufs = vec![x, y, vec![0.0f32; n]];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        interp.launch(&dot_partial(chunk), n as u32, &mut bufs).expect("runs");
+        for i in 0..n {
+            let expect: f32 = (i..i + chunk).map(|j| j as f32 * 2.0).sum();
+            assert_eq!(bufs[2][i], expect, "thread {i}");
+        }
+    }
+
+    #[test]
+    fn distance_under_imprecise_sqrt() {
+        let mut bufs = vec![vec![3.0f32], vec![4.0f32], vec![0.0f32]];
+        let mut interp = WarpInterpreter::new(IhwConfig::all_imprecise());
+        interp.launch(&distance(), 1, &mut bufs).expect("runs");
+        let d = bufs[2][0] as f64;
+        // 3-4-5 triangle through imprecise mul/sqrt: within the compounded
+        // unit bounds.
+        assert!((d - 5.0).abs() / 5.0 < 0.35, "distance {d}");
+        assert!(d > 2.0, "not degenerate");
+    }
+}

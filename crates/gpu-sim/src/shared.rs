@@ -1,0 +1,153 @@
+//! A thread-safe wrapper around the counting dispatcher, for workloads
+//! that parallelise their functional simulation across host threads
+//! (block-parallel execution, multi-seed sweeps).
+//!
+//! Each worker clones a [`SharedFpCtx`] handle; arithmetic goes through a
+//! thread-local [`FpCtx`] shard created by [`SharedFpCtx::shard`] and the
+//! shard's counters are merged back on [`ContextShard::drop`], so the hot
+//! path takes no lock per operation.
+//!
+//! ```
+//! use gpu_sim::shared::SharedFpCtx;
+//! use ihw_core::config::{FpOp, IhwConfig};
+//!
+//! let shared = SharedFpCtx::new(IhwConfig::all_imprecise());
+//! crossbeam_like_scope(&shared);
+//! assert_eq!(shared.counts().get(FpOp::Mul), 2);
+//!
+//! fn crossbeam_like_scope(shared: &SharedFpCtx) {
+//!     // (Real callers use crossbeam::thread::scope; single thread here.)
+//!     let mut shard = shared.shard();
+//!     shard.ctx().mul32(1.5, 1.5);
+//!     let mut shard2 = shared.shard();
+//!     shard2.ctx().mul32(2.0, 2.0);
+//! }
+//! ```
+
+use crate::dispatch::FpCtx;
+use ihw_core::config::IhwConfig;
+use ihw_power::system::OpCounts;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared, mergeable performance counters over a fixed configuration.
+#[derive(Debug, Clone)]
+pub struct SharedFpCtx {
+    cfg: IhwConfig,
+    inner: Arc<Mutex<Totals>>,
+}
+
+#[derive(Debug, Default)]
+struct Totals {
+    counts: OpCounts,
+    int_ops: u64,
+    mem_ops: u64,
+}
+
+impl SharedFpCtx {
+    /// Creates a shared context for the given configuration.
+    pub fn new(cfg: IhwConfig) -> Self {
+        SharedFpCtx { cfg, inner: Arc::new(Mutex::new(Totals::default())) }
+    }
+
+    /// The configuration every shard dispatches with.
+    pub fn config(&self) -> &IhwConfig {
+        &self.cfg
+    }
+
+    /// Creates a thread-local shard; its counters merge back on drop.
+    pub fn shard(&self) -> ContextShard {
+        ContextShard { ctx: FpCtx::new(self.cfg), parent: Arc::clone(&self.inner) }
+    }
+
+    /// Merged floating point counters from all completed shards.
+    pub fn counts(&self) -> OpCounts {
+        self.inner.lock().counts.clone()
+    }
+
+    /// Merged integer-op count from all completed shards.
+    pub fn int_ops(&self) -> u64 {
+        self.inner.lock().int_ops
+    }
+
+    /// Merged memory-op count from all completed shards.
+    pub fn mem_ops(&self) -> u64 {
+        self.inner.lock().mem_ops
+    }
+}
+
+/// A worker's private dispatcher, merged into its [`SharedFpCtx`] on drop.
+#[derive(Debug)]
+pub struct ContextShard {
+    ctx: FpCtx,
+    parent: Arc<Mutex<Totals>>,
+}
+
+impl ContextShard {
+    /// The worker-local dispatcher (lock-free on the hot path).
+    pub fn ctx(&mut self) -> &mut FpCtx {
+        &mut self.ctx
+    }
+}
+
+impl Drop for ContextShard {
+    fn drop(&mut self) {
+        let mut totals = self.parent.lock();
+        totals.counts.merge(self.ctx.counts());
+        totals.int_ops += self.ctx.int_ops();
+        totals.mem_ops += self.ctx.mem_ops();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ihw_core::config::FpOp;
+
+    #[test]
+    fn shards_merge_on_drop() {
+        let shared = SharedFpCtx::new(IhwConfig::precise());
+        {
+            let mut s1 = shared.shard();
+            let _ = s1.ctx().mul32(2.0, 3.0);
+            let _ = s1.ctx().add32(1.0, 1.0);
+            s1.ctx().mem_op(4);
+        }
+        {
+            let mut s2 = shared.shard();
+            let _ = s2.ctx().mul32(2.0, 3.0);
+            s2.ctx().int_op(7);
+        }
+        assert_eq!(shared.counts().get(FpOp::Mul), 2);
+        assert_eq!(shared.counts().get(FpOp::Add), 1);
+        assert_eq!(shared.mem_ops(), 4);
+        assert_eq!(shared.int_ops(), 7);
+    }
+
+    #[test]
+    fn concurrent_shards_from_threads() {
+        let shared = SharedFpCtx::new(IhwConfig::all_imprecise());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let mut shard = shared.shard();
+                    for i in 0..1000 {
+                        let _ = shard.ctx().fma32(i as f32, 0.5, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.counts().get(FpOp::Fma), 4000);
+    }
+
+    #[test]
+    fn pending_shards_not_counted_until_dropped() {
+        let shared = SharedFpCtx::new(IhwConfig::precise());
+        let mut shard = shared.shard();
+        let _ = shard.ctx().sqrt32(4.0);
+        assert_eq!(shared.counts().total(), 0, "not merged yet");
+        drop(shard);
+        assert_eq!(shared.counts().get(FpOp::Sqrt), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! # ihw-power — non-functional metrics and system-level power estimation
+//!
+//! The power side of the paper's power-quality tradeoff framework:
+//!
+//! * [`metrics`] — power/latency/area/energy/EDP records and Table 2-style
+//!   normalisation;
+//! * [`library`] — the embedded 45 nm synthesis library (Tables 2, 3, 4;
+//!   see DESIGN.md §3 for the substitution rationale);
+//! * [`mul_power`] — the accuracy-configurable multiplier's power across
+//!   its configuration space (Figure 14);
+//! * [`system`] — the Figure 12 system-level power savings estimator.
+//!
+//! ```
+//! use ihw_power::prelude::*;
+//! use ihw_core::config::{FpOp, IhwConfig};
+//!
+//! let lib = SynthesisLibrary::cmos45();
+//! // Table 2: the imprecise multiplier runs at 4% of the DWIP power.
+//! assert!((lib.normalized(FpOp::Mul).power - 0.040).abs() < 1e-12);
+//!
+//! let model = SystemPowerModel::new();
+//! let counts: OpCounts = [(FpOp::Mul, 1_000_000)].into_iter().collect();
+//! let est = model.estimate(&counts, &IhwConfig::all_imprecise(), PowerShares::new(0.25, 0.10));
+//! assert!(est.system_savings > 0.2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod library;
+pub mod metrics;
+pub mod mul_power;
+pub mod system;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::library::{Precision, SynthesisLibrary};
+    pub use crate::metrics::{NormalizedMetrics, UnitMetrics};
+    pub use crate::mul_power::{mul_power_mw, power_reduction};
+    pub use crate::system::{
+        OpCounts, PowerShares, SystemPowerEstimate, SystemPowerModel, CORE_CLOCK_GHZ,
+    };
+}
+
+pub use prelude::*;

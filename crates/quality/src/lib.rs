@@ -1,0 +1,37 @@
+//! # ihw-quality — application-level quality metrics
+//!
+//! The application-specific quality metrics used throughout the paper's
+//! evaluation (Chapter 5):
+//!
+//! * [`metrics`] — MAE, MSE, RMSE, WED (worst error distance), PSNR and
+//!   relative error, for HotSpot, CP, and 435.gromacs;
+//! * [`ssim()`] — the structural similarity index of Wang et al. (paper
+//!   reference 31), for
+//!   RayTracing (Figures 17–18);
+//! * [`pratt`] — Pratt's figure of merit over binary edge maps (paper
+//!   reference 30), for
+//!   SRAD (Figure 16), including an exact Euclidean distance transform.
+//!
+//! ```
+//! use ihw_quality::metrics::{mae, wed};
+//!
+//! let reference = [1.0, 2.0, 3.0];
+//! let measured = [1.1, 2.0, 2.8];
+//! assert!((mae(&reference, &measured) - 0.1).abs() < 1e-12);
+//! assert!((wed(&reference, &measured) - 0.2).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod image;
+pub mod metrics;
+pub mod pratt;
+pub mod ssim;
+pub mod stats;
+
+pub use image::GrayImage;
+pub use metrics::{mae, max_rel_err_pct, mean_rel_err_pct, mse, psnr, rmse, wed};
+pub use pratt::pratt_fom;
+pub use ssim::ssim;
+pub use stats::Summary;

@@ -1,0 +1,171 @@
+//! Element-wise error metrics over paired samples.
+//!
+//! All functions compare a `reference` (precise) slice against a
+//! `measured` (imprecise) slice of the same length.
+
+/// Mean absolute error: `Σ|rᵢ − mᵢ| / n`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// ```
+/// use ihw_quality::metrics::mae;
+/// assert_eq!(mae(&[1.0, 3.0], &[2.0, 3.0]), 0.5);
+/// ```
+pub fn mae(reference: &[f64], measured: &[f64]) -> f64 {
+    check(reference, measured);
+    let sum: f64 = reference.iter().zip(measured).map(|(r, m)| (r - m).abs()).sum();
+    sum / reference.len() as f64
+}
+
+/// Mean squared error: `Σ(rᵢ − mᵢ)² / n`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mse(reference: &[f64], measured: &[f64]) -> f64 {
+    check(reference, measured);
+    let sum: f64 = reference.iter().zip(measured).map(|(r, m)| (r - m) * (r - m)).sum();
+    sum / reference.len() as f64
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(reference: &[f64], measured: &[f64]) -> f64 {
+    mse(reference, measured).sqrt()
+}
+
+/// Worst-case error distance: `max |rᵢ − mᵢ|` (the paper's WED).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn wed(reference: &[f64], measured: &[f64]) -> f64 {
+    check(reference, measured);
+    reference.iter().zip(measured).map(|(r, m)| (r - m).abs()).fold(0.0, f64::max)
+}
+
+/// Peak signal-to-noise ratio in dB for a signal with the given `peak`
+/// value. Returns `f64::INFINITY` for identical inputs.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn psnr(reference: &[f64], measured: &[f64], peak: f64) -> f64 {
+    let e = mse(reference, measured);
+    if e == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (peak * peak / e).log10()
+    }
+}
+
+/// Mean relative error in percent, skipping reference entries equal to 0.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mean_rel_err_pct(reference: &[f64], measured: &[f64]) -> f64 {
+    check(reference, measured);
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for (r, m) in reference.iter().zip(measured) {
+        if *r != 0.0 {
+            sum += ((r - m) / r).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64 * 100.0
+    }
+}
+
+/// Maximum relative error in percent, skipping reference entries equal to 0.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn max_rel_err_pct(reference: &[f64], measured: &[f64]) -> f64 {
+    check(reference, measured);
+    reference
+        .iter()
+        .zip(measured)
+        .filter(|(r, _)| **r != 0.0)
+        .map(|(r, m)| ((r - m) / r).abs())
+        .fold(0.0, f64::max)
+        * 100.0
+}
+
+fn check(reference: &[f64], measured: &[f64]) {
+    assert_eq!(reference.len(), measured.len(), "slice lengths must match");
+    assert!(!reference.is_empty(), "metrics need at least one sample");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_inputs_are_perfect() {
+        let x = [1.0, -2.0, 3.5];
+        assert_eq!(mae(&x, &x), 0.0);
+        assert_eq!(mse(&x, &x), 0.0);
+        assert_eq!(rmse(&x, &x), 0.0);
+        assert_eq!(wed(&x, &x), 0.0);
+        assert_eq!(psnr(&x, &x, 1.0), f64::INFINITY);
+        assert_eq!(mean_rel_err_pct(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let r = [0.0, 2.0, 4.0];
+        let m = [1.0, 2.0, 1.0];
+        assert_eq!(mae(&r, &m), (1.0 + 0.0 + 3.0) / 3.0);
+        assert_eq!(mse(&r, &m), (1.0 + 0.0 + 9.0) / 3.0);
+        assert_eq!(wed(&r, &m), 3.0);
+        // relative: skips r=0 entry → (0 + 0.75)/2 × 100
+        assert_eq!(mean_rel_err_pct(&r, &m), 37.5);
+        assert_eq!(max_rel_err_pct(&r, &m), 75.0);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // MSE 0.01 against peak 1.0 → 20 dB.
+        let r = [0.5, 0.5];
+        let m = [0.6, 0.4];
+        assert!((psnr(&r, &m, 1.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_is_sqrt_of_mse() {
+        let r = [1.0, 2.0, 3.0, 4.0];
+        let m = [1.5, 2.5, 2.5, 3.5];
+        assert!((rmse(&r, &m) - mse(&r, &m).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice lengths must match")]
+    fn length_mismatch_panics() {
+        let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_panics() {
+        let _ = mse(&[], &[]);
+    }
+
+    #[test]
+    fn metrics_are_symmetric_in_magnitude() {
+        let r = [1.0, 2.0];
+        let m = [1.5, 1.5];
+        assert_eq!(mae(&r, &m), mae(&m, &r));
+        assert_eq!(wed(&r, &m), wed(&m, &r));
+    }
+}

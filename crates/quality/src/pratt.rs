@@ -1,0 +1,226 @@
+//! Pratt's figure of merit for binary edge maps (Pinho, the paper's
+//! reference 30), the SRAD quality metric of Figure 16.
+//!
+//! ```text
+//! FOM = 1/max(N_ideal, N_detected) · Σ_{detected} 1 / (1 + α·d²)
+//! ```
+//!
+//! where `d` is the Euclidean distance from each detected edge pixel to
+//! the nearest ideal edge pixel and `α = 1/9` is the standard scaling
+//! constant. The distances come from an exact squared Euclidean distance
+//! transform (Felzenszwalb & Huttenlocher).
+
+/// Standard scaling constant `α = 1/9`.
+pub const ALPHA: f64 = 1.0 / 9.0;
+
+/// Computes Pratt's figure of merit between a detected and an ideal
+/// binary edge map (row-major, `width × height`).
+///
+/// Returns a value in `(0, 1]`; 1 means every detected pixel lies on an
+/// ideal edge *and* the counts match. Returns 0 when either map is empty
+/// (no edges detected or no ideal edges) unless both are empty, which
+/// scores 1 by convention.
+///
+/// # Panics
+///
+/// Panics if the slices don't both have `width × height` entries.
+pub fn pratt_fom(detected: &[bool], ideal: &[bool], width: usize, height: usize) -> f64 {
+    assert_eq!(detected.len(), width * height, "detected map size mismatch");
+    assert_eq!(ideal.len(), width * height, "ideal map size mismatch");
+    let n_det = detected.iter().filter(|&&e| e).count();
+    let n_ideal = ideal.iter().filter(|&&e| e).count();
+    if n_det == 0 || n_ideal == 0 {
+        return if n_det == n_ideal { 1.0 } else { 0.0 };
+    }
+    let dist2 = squared_edt(ideal, width, height);
+    let sum: f64 = detected
+        .iter()
+        .zip(&dist2)
+        .filter(|(&e, _)| e)
+        .map(|(_, &d2)| 1.0 / (1.0 + ALPHA * d2))
+        .sum();
+    sum / n_det.max(n_ideal) as f64
+}
+
+/// Exact squared Euclidean distance transform of a binary map: for each
+/// pixel, the squared distance to the nearest `true` pixel.
+///
+/// Implementation: the two-pass lower-envelope algorithm of Felzenszwalb &
+/// Huttenlocher (2012), `O(width·height)`.
+///
+/// # Panics
+///
+/// Panics if `map.len() != width * height`.
+pub fn squared_edt(map: &[bool], width: usize, height: usize) -> Vec<f64> {
+    assert_eq!(map.len(), width * height, "map size mismatch");
+    const INF: f64 = 1e20;
+    let mut grid: Vec<f64> =
+        map.iter().map(|&e| if e { 0.0 } else { INF }).collect();
+
+    // Transform columns, then rows.
+    let mut scratch = vec![0.0f64; width.max(height)];
+    for x in 0..width {
+        for y in 0..height {
+            scratch[y] = grid[y * width + x];
+        }
+        let out = dt_1d(&scratch[..height]);
+        for y in 0..height {
+            grid[y * width + x] = out[y];
+        }
+    }
+    for y in 0..height {
+        scratch[..width].copy_from_slice(&grid[y * width..(y + 1) * width]);
+        let out = dt_1d(&scratch[..width]);
+        grid[y * width..(y + 1) * width].copy_from_slice(&out);
+    }
+    grid
+}
+
+/// 1-D squared distance transform under the lower envelope of parabolas.
+fn dt_1d(f: &[f64]) -> Vec<f64> {
+    let n = f.len();
+    if n == 1 {
+        return vec![f[0]];
+    }
+    // Intersection abscissa of the parabolas rooted at q and p.
+    let sep = |q: usize, p: usize| {
+        ((f[q] + (q * q) as f64) - (f[p] + (p * p) as f64)) / (2.0 * (q as f64 - p as f64))
+    };
+    let mut d = vec![0.0f64; n];
+    let mut v = vec![0usize; n]; // parabola apex locations
+    let mut z = vec![0.0f64; n + 1]; // envelope boundaries
+    let mut k = 0usize;
+    v[0] = 0;
+    z[0] = f64::NEG_INFINITY;
+    z[1] = f64::INFINITY;
+    for q in 1..n {
+        let mut s = sep(q, v[k]);
+        while s <= z[k] {
+            k -= 1;
+            s = sep(q, v[k]);
+        }
+        k += 1;
+        v[k] = q;
+        z[k] = s;
+        z[k + 1] = f64::INFINITY;
+    }
+    let mut k = 0usize;
+    for (q, dq) in d.iter_mut().enumerate() {
+        while z[k + 1] < q as f64 {
+            k += 1;
+        }
+        let p = v[k];
+        let diff = q as f64 - p as f64;
+        *dq = diff * diff + f[p];
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_map(w: usize, h: usize, col: usize) -> Vec<bool> {
+        let mut m = vec![false; w * h];
+        for y in 0..h {
+            m[y * w + col] = true;
+        }
+        m
+    }
+
+    #[test]
+    fn perfect_match_scores_one() {
+        let m = line_map(16, 16, 8);
+        assert!((pratt_fom(&m, &m, 16, 16) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_pixel_offset_scores_below_one() {
+        let ideal = line_map(16, 16, 8);
+        let det = line_map(16, 16, 9);
+        let fom = pratt_fom(&det, &ideal, 16, 16);
+        // d = 1 for each detected pixel: 1/(1+1/9) = 0.9.
+        assert!((fom - 0.9).abs() < 1e-12, "fom {fom}");
+    }
+
+    #[test]
+    fn larger_offset_scores_lower() {
+        let ideal = line_map(32, 8, 10);
+        let f1 = pratt_fom(&line_map(32, 8, 11), &ideal, 32, 8);
+        let f3 = pratt_fom(&line_map(32, 8, 13), &ideal, 32, 8);
+        let f6 = pratt_fom(&line_map(32, 8, 16), &ideal, 32, 8);
+        assert!(f1 > f3 && f3 > f6, "{f1} {f3} {f6}");
+    }
+
+    #[test]
+    fn count_mismatch_penalised() {
+        // Detecting twice the edges (both on ideal ones would be
+        // impossible — the extras sit off-edge and also add distance).
+        let ideal = line_map(16, 16, 8);
+        let mut det = line_map(16, 16, 8);
+        for y in 0..16 {
+            det[y * 16 + 2] = true; // spurious far edge
+        }
+        let fom = pratt_fom(&det, &ideal, 16, 16);
+        assert!(fom < 0.6, "fom {fom}");
+    }
+
+    #[test]
+    fn empty_maps() {
+        let empty = vec![false; 16];
+        let some = {
+            let mut m = vec![false; 16];
+            m[5] = true;
+            m
+        };
+        assert_eq!(pratt_fom(&empty, &empty, 4, 4), 1.0);
+        assert_eq!(pratt_fom(&empty, &some, 4, 4), 0.0);
+        assert_eq!(pratt_fom(&some, &empty, 4, 4), 0.0);
+    }
+
+    #[test]
+    fn edt_exactness_vs_brute_force() {
+        // Random-ish sparse map; compare against O(n²) brute force.
+        let (w, h) = (13, 9);
+        let mut map = vec![false; w * h];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = (i * 2654435761) % 17 == 0;
+        }
+        let fast = squared_edt(&map, w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let mut best = f64::INFINITY;
+                for yy in 0..h {
+                    for xx in 0..w {
+                        if map[yy * w + xx] {
+                            let dx = x as f64 - xx as f64;
+                            let dy = y as f64 - yy as f64;
+                            best = best.min(dx * dx + dy * dy);
+                        }
+                    }
+                }
+                assert!(
+                    (fast[y * w + x] - best).abs() < 1e-9,
+                    "({x},{y}): {} vs {best}",
+                    fast[y * w + x]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edt_on_edge_pixels_is_zero() {
+        let map = line_map(8, 8, 3);
+        let d = squared_edt(&map, 8, 8);
+        for y in 0..8 {
+            assert_eq!(d[y * 8 + 3], 0.0);
+            assert_eq!(d[y * 8 + 5], 4.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_validation() {
+        let _ = pratt_fom(&[true], &[true, false], 2, 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Structural similarity index (SSIM) of Wang, Bovik, Sheikh &
+//! Simoncelli (the paper's reference 31), the RayTracing quality metric
+//! of Figures 17–18.
+//!
+//! The mean SSIM over 8×8 sliding windows is computed with the standard
+//! stabilisation constants `C₁ = (0.01·L)²`, `C₂ = (0.03·L)²` where `L` is
+//! the dynamic range of the samples.
+
+use crate::image::GrayImage;
+
+/// Window side length (8×8 uniform windows, as in the original paper's
+/// block variant).
+const WINDOW: usize = 8;
+
+/// Computes the mean SSIM between two equally sized images.
+///
+/// `dynamic_range` is the `L` constant (1.0 for unit-range images, 255 for
+/// 8-bit). A value of 1.0 means perfect structural identity.
+///
+/// # Panics
+///
+/// Panics if the images differ in size, are smaller than the 8×8 window,
+/// or `dynamic_range` is not positive.
+///
+/// ```
+/// use ihw_quality::{ssim, GrayImage};
+///
+/// let a = GrayImage::from_fn(16, 16, |x, y| ((x * y) % 7) as f64 / 7.0);
+/// assert_eq!(ssim(&a, &a, 1.0), 1.0);
+/// ```
+pub fn ssim(a: &GrayImage, b: &GrayImage, dynamic_range: f64) -> f64 {
+    assert_eq!(a.width(), b.width(), "image widths must match");
+    assert_eq!(a.height(), b.height(), "image heights must match");
+    assert!(
+        a.width() >= WINDOW && a.height() >= WINDOW,
+        "images must be at least {WINDOW}×{WINDOW}"
+    );
+    assert!(dynamic_range > 0.0, "dynamic range must be positive");
+
+    let c1 = (0.01 * dynamic_range).powi(2);
+    let c2 = (0.03 * dynamic_range).powi(2);
+    let n = (WINDOW * WINDOW) as f64;
+
+    let mut total = 0.0;
+    let mut windows = 0u64;
+    for wy in 0..=(a.height() - WINDOW) {
+        for wx in 0..=(a.width() - WINDOW) {
+            let mut sum_a = 0.0;
+            let mut sum_b = 0.0;
+            let mut sum_aa = 0.0;
+            let mut sum_bb = 0.0;
+            let mut sum_ab = 0.0;
+            for y in wy..wy + WINDOW {
+                for x in wx..wx + WINDOW {
+                    let pa = a.get(x, y);
+                    let pb = b.get(x, y);
+                    sum_a += pa;
+                    sum_b += pb;
+                    sum_aa += pa * pa;
+                    sum_bb += pb * pb;
+                    sum_ab += pa * pb;
+                }
+            }
+            let mu_a = sum_a / n;
+            let mu_b = sum_b / n;
+            let var_a = (sum_aa / n - mu_a * mu_a).max(0.0);
+            let var_b = (sum_bb / n - mu_b * mu_b).max(0.0);
+            let cov = sum_ab / n - mu_a * mu_b;
+            let s = ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2))
+                / ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2));
+            total += s;
+            windows += 1;
+        }
+    }
+    total / windows as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image(w: usize, h: usize) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| {
+            0.5 + 0.4 * ((x as f64 * 0.3).sin() * (y as f64 * 0.2).cos())
+        })
+    }
+
+    #[test]
+    fn identical_images_score_one() {
+        let img = test_image(32, 32);
+        assert_eq!(ssim(&img, &img, 1.0), 1.0);
+    }
+
+    #[test]
+    fn small_noise_scores_high() {
+        let a = test_image(32, 32);
+        let b = GrayImage::from_fn(32, 32, |x, y| {
+            a.get(x, y) + 0.002 * (((x * 31 + y * 17) % 7) as f64 - 3.0)
+        });
+        let s = ssim(&a, &b, 1.0);
+        assert!(s > 0.95, "ssim {s}");
+        assert!(s < 1.0);
+    }
+
+    #[test]
+    fn heavy_distortion_scores_low() {
+        let a = test_image(32, 32);
+        let b = GrayImage::from_fn(32, 32, |x, y| {
+            0.5 + 0.4 * (((x * 7919 + y * 104729) % 101) as f64 / 50.0 - 1.0)
+        });
+        let s = ssim(&a, &b, 1.0);
+        assert!(s < 0.5, "ssim {s}");
+    }
+
+    #[test]
+    fn constant_shift_reduces_luminance_term() {
+        let a = test_image(32, 32);
+        let b = GrayImage::from_fn(32, 32, |x, y| a.get(x, y) + 0.3);
+        let s = ssim(&a, &b, 1.0);
+        assert!(s < 0.95 && s > 0.0, "ssim {s}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = test_image(24, 24);
+        let b = GrayImage::from_fn(24, 24, |x, y| a.get(x, y) * 0.9 + 0.05);
+        let d = (ssim(&a, &b, 1.0) - ssim(&b, &a, 1.0)).abs();
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_noise_amplitude() {
+        let a = test_image(32, 32);
+        let noisy = |amp: f64| {
+            GrayImage::from_fn(32, 32, |x, y| {
+                a.get(x, y) + amp * (((x * 31 + y * 17) % 13) as f64 / 13.0 - 0.5)
+            })
+        };
+        let s1 = ssim(&a, &noisy(0.01), 1.0);
+        let s2 = ssim(&a, &noisy(0.1), 1.0);
+        let s3 = ssim(&a, &noisy(0.4), 1.0);
+        assert!(s1 > s2 && s2 > s3, "{s1} {s2} {s3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must match")]
+    fn size_mismatch_panics() {
+        let _ = ssim(&GrayImage::new(16, 16), &GrayImage::new(17, 16), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn tiny_image_panics() {
+        let _ = ssim(&GrayImage::new(4, 4), &GrayImage::new(4, 4), 1.0);
+    }
+}

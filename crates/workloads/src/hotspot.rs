@@ -1,0 +1,297 @@
+//! HotSpot — the Rodinia processor-temperature simulation benchmark
+//! (Figures 15 and 19; Skadron et al., paper reference 28).
+//!
+//! The kernel iteratively solves the discretized heat differential
+//! equation over a 2-D processor floor plan:
+//!
+//! ```text
+//! T'(c) = T(c) + step/Cap · [ P(c) + (T(n)+T(s)−2T(c))/Ry
+//!                                  + (T(e)+T(w)−2T(c))/Rx
+//!                                  + (T_amb − T(c))/Rz ]
+//! ```
+//!
+//! All floating point arithmetic (including the thermal-resistance
+//! divisions, which execute on the SFU) is routed through the simulator's
+//! [`FpCtx`]. The input power map is synthesized: a handful of hot
+//! functional blocks on a cool background, seeded deterministically.
+//!
+//! Quality metrics: mean absolute error and worst error distance over all
+//! temperature blocks, in Kelvin — the paper reports MAE 0.05 K with all
+//! IHW units enabled.
+
+use gpu_sim::dispatch::FpCtx;
+use gpu_sim::simt::{InstrMix, KernelLaunch};
+use ihw_core::config::IhwConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// HotSpot workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HotspotParams {
+    /// Grid rows (paper: 512).
+    pub rows: usize,
+    /// Grid columns (paper: 512).
+    pub cols: usize,
+    /// Simulation time steps.
+    pub steps: usize,
+    /// Seed for the synthetic floor-plan power map.
+    pub seed: u64,
+}
+
+impl Default for HotspotParams {
+    /// A laptop-scale instance (64×64, 32 steps) for tests; the repro
+    /// harness uses the paper's 512×512.
+    fn default() -> Self {
+        HotspotParams { rows: 64, cols: 64, steps: 32, seed: 0x9e3779b9 }
+    }
+}
+
+impl HotspotParams {
+    /// The paper's configuration: a 512×512 block processor.
+    pub fn paper() -> Self {
+        HotspotParams { rows: 512, cols: 512, steps: 60, seed: 0x9e3779b9 }
+    }
+}
+
+/// Result of a HotSpot run: the final temperature field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotspotOutput {
+    /// Rows of the temperature grid.
+    pub rows: usize,
+    /// Columns of the temperature grid.
+    pub cols: usize,
+    /// Final temperatures (K), row-major.
+    pub temps: Vec<f64>,
+}
+
+// Rodinia hotspot constants (chip geometry and material parameters).
+const T_CHIP: f32 = 0.0005; // m
+const CHIP_HEIGHT: f32 = 0.016; // m
+const CHIP_WIDTH: f32 = 0.016; // m
+const K_SI: f32 = 100.0; // W/(m·K)
+const SPEC_HEAT_SI: f32 = 1.75e6;
+const FACTOR_CHIP: f32 = 0.5;
+const T_AMB: f32 = 80.0 + 273.15; // ambient, K
+const MAX_PD: f32 = 3.0e6; // maximum power density, W/m²
+const PRECISION: f32 = 0.001;
+/// Initial-condition spread: like the Rodinia temperature input files,
+/// the starting field already carries the floor plan's structure, with
+/// hot functional blocks this many Kelvin above the cool baseline.
+const INIT_SPREAD_K: f32 = 30.0;
+const T_INIT_BASE: f32 = 50.0 + 273.15;
+
+/// Synthesizes a floor-plan power map: `n_blobs` rectangular hot blocks
+/// of random intensity on a low-power background.
+pub fn synth_power_map(params: &HotspotParams) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let (r, c) = (params.rows, params.cols);
+    let mut p = vec![0.2f32; r * c]; // background activity
+    let n_blobs = 6 + (r / 32).min(10);
+    for _ in 0..n_blobs {
+        let bw = rng.gen_range(c / 10..c / 3);
+        let bh = rng.gen_range(r / 10..r / 3);
+        let x0 = rng.gen_range(0..c - bw);
+        let y0 = rng.gen_range(0..r - bh);
+        let intensity = rng.gen_range(0.6f32..1.0);
+        for y in y0..y0 + bh {
+            for x in x0..x0 + bw {
+                p[y * c + x] = p[y * c + x].max(intensity);
+            }
+        }
+    }
+    p
+}
+
+/// Runs the HotSpot kernel under the arithmetic configuration carried by
+/// `ctx`, counting every floating point operation.
+pub fn run(params: &HotspotParams, ctx: &mut FpCtx) -> HotspotOutput {
+    let (r, c) = (params.rows, params.cols);
+    let power = synth_power_map(params);
+
+    // Host-side setup (matches the Rodinia driver, not counted: this part
+    // runs on the CPU in the benchmark).
+    let grid_height = CHIP_HEIGHT / r as f32;
+    let grid_width = CHIP_WIDTH / c as f32;
+    let cap = FACTOR_CHIP * SPEC_HEAT_SI * T_CHIP * grid_width * grid_height;
+    let rx = grid_width / (2.0 * K_SI * T_CHIP * grid_height);
+    let ry = grid_height / (2.0 * K_SI * T_CHIP * grid_width);
+    let rz = T_CHIP / (K_SI * grid_height * grid_width);
+    let max_slope = MAX_PD / (FACTOR_CHIP * T_CHIP * SPEC_HEAT_SI);
+    let step = PRECISION / max_slope;
+    let step_div_cap = step / cap;
+
+    // Host-side scaling of the power map into Watts per node: activity ×
+    // maximum power density × cell area, which keeps the per-step
+    // temperature increment grid-size independent.
+    let cell_area = grid_width * grid_height;
+    let power_w: Vec<f32> = power.iter().map(|&p| p * MAX_PD * cell_area).collect();
+
+    // Structured initial condition (the Rodinia temp input analogue).
+    let mut t: Vec<f32> =
+        power.iter().map(|&p| T_INIT_BASE + INIT_SPREAD_K * p).collect();
+    let mut t_next = t.clone();
+
+    for _ in 0..params.steps {
+        for y in 0..r {
+            for x in 0..c {
+                let idx = y * c + x;
+                let tc = t[idx];
+                let tn = if y > 0 { t[idx - c] } else { tc };
+                let ts = if y + 1 < r { t[idx + c] } else { tc };
+                let tw = if x > 0 { t[idx - 1] } else { tc };
+                let te = if x + 1 < c { t[idx + 1] } else { tc };
+                ctx.int_op(4); // index arithmetic and branches
+                ctx.mem_op(2); // tiled: one shared-memory load + one store
+                               // reach global memory per cell on average
+
+                // Vertical and horizontal conduction terms and the heat
+                // sink term. The ÷R divisions compile to SFU reciprocal +
+                // FPU multiply, as the CUDA fast-math path does.
+                let v1 = ctx.add32(tn, ts);
+                let two_tc = ctx.add32(tc, tc);
+                let dv = ctx.sub32(v1, two_tc);
+                let ry_inv = ctx.rcp32(ry);
+                let vert = ctx.mul32(dv, ry_inv);
+                let h1 = ctx.add32(te, tw);
+                let dh = ctx.sub32(h1, two_tc);
+                let rx_inv = ctx.rcp32(rx);
+                let horiz = ctx.mul32(dh, rx_inv);
+                let damb = ctx.sub32(T_AMB, tc);
+                let rz_inv = ctx.rcp32(rz);
+                let sink = ctx.mul32(damb, rz_inv);
+                let s1 = ctx.add32(power_w[idx], vert);
+                let s2 = ctx.add32(s1, horiz);
+                let s3 = ctx.add32(s2, sink);
+                let delta = ctx.mul32(step_div_cap, s3);
+                t_next[idx] = ctx.add32(tc, delta);
+            }
+        }
+        std::mem::swap(&mut t, &mut t_next);
+    }
+
+    HotspotOutput { rows: r, cols: c, temps: t.iter().map(|&v| v as f64).collect() }
+}
+
+/// Convenience: runs under a fresh context and returns output + context.
+pub fn run_with_config(params: &HotspotParams, cfg: IhwConfig) -> (HotspotOutput, FpCtx) {
+    let mut ctx = FpCtx::new(cfg);
+    let out = run(params, &mut ctx);
+    (out, ctx)
+}
+
+/// Builds the kernel-launch descriptor from an executed context (one
+/// thread per grid cell, 256-thread blocks, Rodinia-style).
+pub fn kernel_launch(params: &HotspotParams, ctx: &FpCtx) -> KernelLaunch {
+    let threads = (params.rows * params.cols) as u32;
+    KernelLaunch::new(
+        "hotspot",
+        threads.div_ceil(256),
+        256,
+        InstrMix {
+            fp: ctx.counts().clone(),
+            int_ops: ctx.int_ops(),
+            mem_ops: ctx.mem_ops(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ihw_core::config::FpOp;
+    use ihw_quality::metrics::{mae, wed};
+
+    fn small() -> HotspotParams {
+        HotspotParams { rows: 24, cols: 24, steps: 10, seed: 7 }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = run_with_config(&small(), IhwConfig::precise());
+        let (b, _) = run_with_config(&small(), IhwConfig::precise());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn temperatures_physical() {
+        let (out, _) = run_with_config(&small(), IhwConfig::precise());
+        for &t in &out.temps {
+            assert!(t > 273.0 && t < 520.0, "temperature {t} K implausible");
+        }
+        // The field carries the floor plan structure: hot spots well above
+        // the baseline.
+        let max = out.temps.iter().cloned().fold(f64::MIN, f64::max);
+        let min = out.temps.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min > 10.0, "no thermal structure: range {min}..{max}");
+        // And the solver actually evolved the field from its initial state.
+        let params = small();
+        let power = synth_power_map(&params);
+        let evolved = out.temps.iter().zip(&power).any(|(&t, &p)| {
+            (t - (T_INIT_BASE + INIT_SPREAD_K * p) as f64).abs() > 1e-4
+        });
+        assert!(evolved, "solver did not change the field");
+    }
+
+    #[test]
+    fn hot_blocks_stay_hotter() {
+        let params = small();
+        let power = synth_power_map(&params);
+        let (out, _) = run_with_config(&params, IhwConfig::precise());
+        // The hottest cell should sit on a high-power block.
+        let (hot_idx, _) = out
+            .temps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .expect("nonempty");
+        assert!(power[hot_idx] > 0.5, "hottest cell power {}", power[hot_idx]);
+    }
+
+    #[test]
+    fn imprecise_error_small() {
+        // The algorithm "tends to iteratively average out errors"; MAE
+        // with all IHW on stays tiny relative to the ≈360 K field.
+        let params = small();
+        let (precise, _) = run_with_config(&params, IhwConfig::precise());
+        let (imprecise, _) = run_with_config(&params, IhwConfig::all_imprecise());
+        let e = mae(&precise.temps, &imprecise.temps);
+        assert!(e < 5.0, "MAE {e} K too large");
+        let w = wed(&precise.temps, &imprecise.temps);
+        assert!(w < 25.0, "WED {w} K too large");
+        // Relative to the ≈400 K field the degradation is negligible.
+        let mean_t = precise.temps.iter().sum::<f64>() / precise.temps.len() as f64;
+        assert!(e / mean_t < 0.015, "relative MAE {}", e / mean_t);
+    }
+
+    #[test]
+    fn counts_cover_fpu_and_sfu() {
+        let (_, ctx) = run_with_config(&small(), IhwConfig::precise());
+        assert!(ctx.counts().get(FpOp::Add) > 0);
+        assert!(ctx.counts().get(FpOp::Mul) > 0);
+        assert!(ctx.counts().get(FpOp::Rcp) > 0, "thermal reciprocals hit the SFU");
+        assert!(ctx.int_ops() > 0 && ctx.mem_ops() > 0);
+        // Per-cell op budget: 10 adds/subs + 3 rcps + 4 muls per step.
+        let cells = 24 * 24 * 10;
+        assert_eq!(ctx.counts().get(FpOp::Add), 10 * cells);
+        assert_eq!(ctx.counts().get(FpOp::Rcp), 3 * cells);
+        assert_eq!(ctx.counts().get(FpOp::Mul), 4 * cells);
+    }
+
+    #[test]
+    fn kernel_launch_geometry() {
+        let params = small();
+        let (_, ctx) = run_with_config(&params, IhwConfig::precise());
+        let k = kernel_launch(&params, &ctx);
+        assert_eq!(k.threads_per_block, 256);
+        assert_eq!(k.blocks, (24 * 24u32).div_ceil(256));
+        assert_eq!(k.mix.fp.total(), ctx.counts().total());
+    }
+
+    #[test]
+    fn power_map_in_range() {
+        let p = synth_power_map(&HotspotParams::default());
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(p.iter().any(|&v| v > 0.55), "some hot blocks exist");
+    }
+}

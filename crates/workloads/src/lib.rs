@@ -1,0 +1,47 @@
+//! # ihw-workloads — the paper's benchmark applications
+//!
+//! Every application evaluated in Chapter 5, rebuilt on synthetic inputs
+//! (the substitution rationale is in DESIGN.md §3) with all floating
+//! point arithmetic routed through the simulator's counting dispatcher:
+//!
+//! | Module | Benchmark | Precision | Quality metric | Paper artefacts |
+//! |--------|-----------|-----------|----------------|-----------------|
+//! | [`hotspot`] | Rodinia HotSpot thermal simulation | single | MAE, WED (K) | Figures 15, 19; Table 5 |
+//! | [`srad`] | Rodinia SRAD despeckler | single | Pratt FOM | Figure 16; Table 5 |
+//! | [`raytrace`] | ISPASS ray tracer | single | SSIM | Figures 17, 18; Table 5 |
+//! | [`cp`] | Coulomb potential (ion placement) | single | MAE | Figure 20; Table 6 |
+//! | [`art`] | 179.art neural network | double | vigilance | Figure 21(a); Table 6 |
+//! | [`md`] | 435.gromacs molecular dynamics | double | error % (≤1.25%) | Figure 21(b); Table 6 |
+//! | [`sphinx`] | 482.sphinx3 voice recognition | double | words correct | Table 7 |
+//! | [`jpeg`] | JPEG decompression (IDCT) | single | PSNR (dB) | Figure 5 (motivating example) |
+//! | [`kmeans`] | Rodinia KMeans clustering | single | assignment agreement | Figure 2 set (extension) |
+//! | [`backprop`] | Rodinia neural-net training | single | held-out accuracy | Figure 2 set (extension) |
+//! | [`cfd`] | LBM D2Q9 lid-driven cavity | single | velocity MAE | Figure 2 set (extension) |
+//! | [`hotspot3d`] | Rodinia HotSpot3D (stacked die) | single | MAE (K) | Figure 2 set (extension) |
+//!
+//! ```
+//! use ihw_core::config::IhwConfig;
+//! use ihw_workloads::hotspot;
+//!
+//! let params = hotspot::HotspotParams { rows: 16, cols: 16, steps: 4, seed: 1 };
+//! let (precise, _) = hotspot::run_with_config(&params, IhwConfig::precise());
+//! let (imprecise, _) = hotspot::run_with_config(&params, IhwConfig::all_imprecise());
+//! let mae = ihw_quality::metrics::mae(&precise.temps, &imprecise.temps);
+//! assert!(mae < 10.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod art;
+pub mod backprop;
+pub mod cfd;
+pub mod cp;
+pub mod hotspot;
+pub mod hotspot3d;
+pub mod jpeg;
+pub mod kmeans;
+pub mod md;
+pub mod raytrace;
+pub mod sphinx;
+pub mod srad;

@@ -1,0 +1,49 @@
+//! The Figure 10 iterative quality-tuning loop applied to the ray
+//! tracer: walk candidate datapath configurations from most aggressive
+//! to least until the SSIM fidelity constraint is met.
+//!
+//! ```text
+//! cargo run --release --example raytrace_tuning
+//! ```
+
+use imprecise_gpgpu::core::config::IhwConfig;
+use imprecise_gpgpu::core::prelude::MulUnit;
+use imprecise_gpgpu::quality::ssim;
+use imprecise_gpgpu::sim::tuner::{tune, QualityConstraint};
+use imprecise_gpgpu::workloads::raytrace::{render_with_config, RayParams};
+
+fn main() {
+    let params = RayParams { size: 48, max_depth: 3 };
+    let (reference, _) = render_with_config(&params, IhwConfig::precise());
+
+    // Candidates ordered from lowest power (most aggressive) to highest.
+    let candidates: Vec<(&str, IhwConfig)> = vec![
+        ("all IHW units", IhwConfig::all_imprecise()),
+        ("basic + Table-1 multiplier", IhwConfig::ray_basic().with_mul(MulUnit::Imprecise)),
+        ("basic + AC multiplier tr15", IhwConfig::ray_with_ac_mul(15)),
+        ("basic + AC multiplier tr0", IhwConfig::ray_with_ac_mul(0)),
+        ("basic + imprecise rsqrt", IhwConfig::ray_with_rsqrt()),
+        ("rcp, add, sqrt imprecise", IhwConfig::ray_basic()),
+    ];
+
+    let constraint = QualityConstraint::AtLeast(0.60);
+    println!("fidelity constraint: SSIM ≥ 0.60\n");
+    let outcome = tune(
+        candidates,
+        |(name, cfg)| {
+            let (img, _) = render_with_config(&params, *cfg);
+            let s = ssim(&reference, &img, 1.0);
+            println!("  evaluated {name:<32} SSIM = {s:.3}");
+            s
+        },
+        constraint,
+    );
+
+    match outcome.selected {
+        Some((name, _)) => println!(
+            "\naccepted configuration after {} iterations: {name}",
+            outcome.iterations()
+        ),
+        None => println!("\nno candidate met the constraint; falling back to precise"),
+    }
+}

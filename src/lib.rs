@@ -1,0 +1,35 @@
+//! # imprecise-gpgpu — facade crate
+//!
+//! Reproduction of *"Low Power GPGPU Computation with Imprecise Hardware"*
+//! (Zhang, Putic, Lach — DAC 2014). This crate re-exports the whole
+//! workspace so examples, integration tests and downstream users can
+//! depend on a single package:
+//!
+//! * [`core`] (`ihw-core`) — the imprecise FP/SFU unit models;
+//! * [`qmc`] (`ihw-qmc`) — low-discrepancy input sequences;
+//! * [`error`] (`ihw-error`) — error characterization (Figures 8–9);
+//! * [`power`] (`ihw-power`) — 45 nm synthesis library and the system-level
+//!   power estimator (Tables 2–5, Figure 12);
+//! * [`quality`] (`ihw-quality`) — MAE/MSE/WED/SSIM/Pratt quality metrics;
+//! * [`sim`] (`gpu-sim`) — the SIMT performance simulator and GPUWattch-style
+//!   power model;
+//! * [`workloads`] (`ihw-workloads`) — HotSpot, SRAD, RayTracing, CP, ART,
+//!   MD and Sphinx-like benchmarks.
+//!
+//! ```
+//! use imprecise_gpgpu::core::prelude::*;
+//!
+//! let cfg = IhwConfig::all_imprecise();
+//! assert_eq!(cfg.mul32(1.5, 1.5), 2.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use gpu_sim as sim;
+pub use ihw_core as core;
+pub use ihw_error as error;
+pub use ihw_power as power;
+pub use ihw_qmc as qmc;
+pub use ihw_quality as quality;
+pub use ihw_workloads as workloads;

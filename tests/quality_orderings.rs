@@ -1,0 +1,98 @@
+//! Cross-crate quality-ordering tests: the paper's qualitative results
+//! must hold across the workload + quality-metric stack.
+
+use imprecise_gpgpu::core::config::{IhwConfig, MulUnit};
+use imprecise_gpgpu::core::prelude::{AcMulConfig, MulPath, TruncatedMul};
+use imprecise_gpgpu::quality::metrics::mae;
+use imprecise_gpgpu::quality::ssim;
+use imprecise_gpgpu::workloads::{art, cp, hotspot, raytrace, sphinx};
+
+fn mul_cfg(unit: MulUnit) -> IhwConfig {
+    IhwConfig::precise().with_mul(unit)
+}
+
+#[test]
+fn figure19_ac_mul_dominates_truncation_on_hotspot() {
+    // Figure 19's point: in the power-quality plane the log path strictly
+    // dominates intuitive truncation — comparable (or better) MAE at many
+    // times the power reduction.
+    use imprecise_gpgpu::power::{power_reduction, Precision};
+    let params = hotspot::HotspotParams { rows: 32, cols: 32, steps: 10, seed: 11 };
+    let (reference, _) = hotspot::run_with_config(&params, IhwConfig::precise());
+    let lp19 = MulUnit::AcMul(AcMulConfig::new(MulPath::Log, 19));
+    let bt22 = MulUnit::Truncated(TruncatedMul::new(22));
+    let (lp_out, _) = hotspot::run_with_config(&params, mul_cfg(lp19));
+    let (bt_out, _) = hotspot::run_with_config(&params, mul_cfg(bt22));
+    let mae_lp = mae(&reference.temps, &lp_out.temps);
+    let mae_bt = mae(&reference.temps, &bt_out.temps);
+    assert!(
+        mae_lp < mae_bt * 2.0,
+        "log path quality comparable or better: {mae_lp} vs {mae_bt}"
+    );
+    let pr_lp = power_reduction(&lp19, Precision::Single);
+    let pr_bt = power_reduction(&bt22, Precision::Single);
+    assert!(
+        pr_lp > pr_bt * 5.0,
+        "at {pr_lp:.0}x vs {pr_bt:.1}x power reduction — strict dominance"
+    );
+}
+
+#[test]
+fn figure20_full_path_tracks_precise_on_cp() {
+    let params = cp::CpParams { size: 16, atoms: 48, seed: 2 };
+    let (reference, _) = cp::run_with_config(&params, IhwConfig::precise());
+    let (fp0, _) = cp::run_with_config(
+        &params,
+        mul_cfg(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, 0))),
+    );
+    let (lp0, _) = cp::run_with_config(
+        &params,
+        mul_cfg(MulUnit::AcMul(AcMulConfig::new(MulPath::Log, 0))),
+    );
+    let mae_fp = mae(&reference.potential, &fp0.potential);
+    let mae_lp = mae(&reference.potential, &lp0.potential);
+    assert!(mae_fp <= mae_lp, "full path (2.04%) ≤ log path (11.11%): {mae_fp} vs {mae_lp}");
+}
+
+#[test]
+fn figure21_vigilance_monotone_in_truncation() {
+    let params = art::ArtParams::default();
+    let (image, _) = art::synth_image(&params);
+    let run = |cfg: IhwConfig| {
+        let mut ctx = imprecise_gpgpu::sim::FpCtx::new(cfg);
+        art::run(&params, &image, &mut ctx).vigilance
+    };
+    let precise = run(IhwConfig::precise());
+    let fp0 = run(mul_cfg(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, 0))));
+    let fp48 = run(mul_cfg(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, 48))));
+    assert!(precise > 0.8);
+    assert!((precise - fp0).abs() < 0.1, "full path tr0 barely moves vigilance");
+    assert!(fp48 <= fp0 + 0.05, "heavy truncation cannot improve confidence");
+}
+
+#[test]
+fn raytracing_ssim_ordering_full_stack() {
+    let params = raytrace::RayParams { size: 32, max_depth: 3 };
+    let (reference, _) = raytrace::render_with_config(&params, IhwConfig::precise());
+    let s = |cfg: IhwConfig| {
+        let (img, _) = raytrace::render_with_config(&params, cfg);
+        ssim(&reference, &img, 1.0)
+    };
+    let basic = s(IhwConfig::ray_basic());
+    let ac_full = s(IhwConfig::ray_with_ac_mul(0));
+    let table1_mul = s(IhwConfig::ray_basic().with_mul(MulUnit::Imprecise));
+    // Figure 18's central claim.
+    assert!(basic > ac_full, "adding any imprecise multiplier costs quality");
+    assert!(ac_full > table1_mul, "AC multiplier rescues the Table 1 unit's damage");
+}
+
+#[test]
+fn sphinx_recognition_ordering() {
+    let params = sphinx::SphinxParams { words: 8, frames: 14, ..sphinx::SphinxParams::default() };
+    let run = |cfg: IhwConfig| sphinx::run_with_config(&params, cfg).0.correct;
+    let precise = run(IhwConfig::precise());
+    let fp44 = run(mul_cfg(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, 44))));
+    let lp44 = run(mul_cfg(MulUnit::AcMul(AcMulConfig::new(MulPath::Log, 44))));
+    assert_eq!(precise, params.words);
+    assert!(fp44 >= lp44, "Table 7: full path ≥ log path ({fp44} vs {lp44})");
+}
