@@ -1,0 +1,19 @@
+//! Offline shim for the subset of the `serde` API this workspace uses.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on result structs so
+//! they stay serialization-ready, but no code path actually serializes
+//! (there is no `serde_json`/format crate in the dependency set — the
+//! repro harness emits CSV and hand-rolled JSON directly). This shim
+//! therefore provides the two marker traits and no-op derive macros, so
+//! every `#[derive(Serialize, Deserialize)]` and `#[serde(...)]`
+//! attribute compiles unchanged while the container remains offline.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde
+//! shim: they accept the same `#[serde(...)]` helper attributes as the
+//! real macros and expand to nothing, because nothing in this workspace
+//! actually serializes through serde.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers), expands
+/// to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers),
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
