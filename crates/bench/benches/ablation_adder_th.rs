@@ -15,7 +15,11 @@ fn bench(c: &mut Criterion) {
         .collect();
     for th in [1u32, 4, 8, 16, 27] {
         g.bench_function(format!("iadd32_th{th}"), |b| {
-            b.iter(|| xs.iter().map(|&(x, y)| iadd32(black_box(x), black_box(y), th)).sum::<f32>())
+            b.iter(|| {
+                xs.iter()
+                    .map(|&(x, y)| iadd32(black_box(x), black_box(y), th))
+                    .sum::<f32>()
+            })
         });
         g.bench_function(format!("characterize_th{th}"), |b| {
             b.iter(|| black_box(characterize(CharTarget::IfpAdd { th }, 5_000).error_rate()))

@@ -7,7 +7,14 @@ use ihw_qmc::{star_discrepancy_1d, Halton, Hammersley};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_qmc");
     g.bench_function("halton_2d_generate_4096", |b| {
-        b.iter(|| black_box(Halton::<2>::new().take(4096).map(|p| p[0] + p[1]).sum::<f64>()))
+        b.iter(|| {
+            black_box(
+                Halton::<2>::new()
+                    .take(4096)
+                    .map(|p| p[0] + p[1])
+                    .sum::<f64>(),
+            )
+        })
     });
     g.bench_function("hammersley_generate_4096", |b| {
         b.iter(|| black_box(Hammersley::new(4096).map(|p| p[0] + p[1]).sum::<f64>()))

@@ -48,15 +48,18 @@ fn bench(c: &mut Criterion) {
         let sm = SegmentedMitchell::new(segments);
         g.bench_function(format!("segmented_mul_{segments}"), |b| {
             b.iter(|| {
-                (1u64..257)
-                    .map(|i| black_box(sm.mul(i * 7919 + 1, i * 104729 + 1)))
-                    .count()
+                (1u64..257).fold(0u128, |acc, i| {
+                    acc ^ black_box(sm.mul(i * 7919 + 1, i * 104729 + 1))
+                })
             })
         });
     }
 
     g.bench_function("dual_mode_render_16px", |b| {
-        let params = RayParams { size: 16, max_depth: 2 };
+        let params = RayParams {
+            size: 16,
+            max_depth: 2,
+        };
         let mask = [false, true, true, true];
         b.iter(|| black_box(render_sited(&params, &mask).mean()))
     });

@@ -7,14 +7,26 @@ use ihw_core::config::{IhwConfig, MulUnit};
 use ihw_workloads::hotspot::{run_with_config, HotspotParams};
 
 fn bench(c: &mut Criterion) {
-    let params = HotspotParams { rows: 32, cols: 32, steps: 8, seed: 7 };
+    let params = HotspotParams {
+        rows: 32,
+        cols: 32,
+        steps: 8,
+        seed: 7,
+    };
     let mut g = c.benchmark_group("fig15_hotspot");
     g.sample_size(10);
     g.bench_function("precise", |b| {
         b.iter(|| black_box(run_with_config(&params, IhwConfig::precise()).0.temps.len()))
     });
     g.bench_function("all_imprecise", |b| {
-        b.iter(|| black_box(run_with_config(&params, IhwConfig::all_imprecise()).0.temps.len()))
+        b.iter(|| {
+            black_box(
+                run_with_config(&params, IhwConfig::all_imprecise())
+                    .0
+                    .temps
+                    .len(),
+            )
+        })
     });
     let ac = IhwConfig::precise().with_mul(MulUnit::AcMul(AcMulConfig::new(MulPath::Log, 19)));
     g.bench_function("ac_mul_log_tr19", |b| {

@@ -6,14 +6,32 @@ use ihw_core::config::IhwConfig;
 use ihw_workloads::srad::{evaluate_fom, run_with_config, SradParams};
 
 fn bench(c: &mut Criterion) {
-    let params = SradParams { size: 32, iterations: 8, ..SradParams::default() };
+    let params = SradParams {
+        size: 32,
+        iterations: 8,
+        ..SradParams::default()
+    };
     let mut g = c.benchmark_group("fig16_srad");
     g.sample_size(10);
     g.bench_function("precise", |b| {
-        b.iter(|| black_box(run_with_config(&params, IhwConfig::precise()).0.image.mean()))
+        b.iter(|| {
+            black_box(
+                run_with_config(&params, IhwConfig::precise())
+                    .0
+                    .image
+                    .mean(),
+            )
+        })
     });
     g.bench_function("all_imprecise", |b| {
-        b.iter(|| black_box(run_with_config(&params, IhwConfig::all_imprecise()).0.image.mean()))
+        b.iter(|| {
+            black_box(
+                run_with_config(&params, IhwConfig::all_imprecise())
+                    .0
+                    .image
+                    .mean(),
+            )
+        })
     });
     g.bench_function("quality_eval", |b| {
         let (out, scene, _) = run_with_config(&params, IhwConfig::precise());

@@ -7,7 +7,10 @@ use ihw_quality::ssim;
 use ihw_workloads::raytrace::{render_with_config, RayParams};
 
 fn bench(c: &mut Criterion) {
-    let params = RayParams { size: 24, max_depth: 3 };
+    let params = RayParams {
+        size: 24,
+        max_depth: 3,
+    };
     let mut g = c.benchmark_group("fig17_raytrace");
     g.sample_size(10);
     let configs: [(&str, IhwConfig); 4] = [

@@ -7,11 +7,22 @@ use ihw_core::config::IhwConfig;
 use ihw_workloads::cp::{run_with_config, CpParams};
 
 fn bench(c: &mut Criterion) {
-    let params = CpParams { size: 16, atoms: 32, seed: 3 };
+    let params = CpParams {
+        size: 16,
+        atoms: 32,
+        seed: 3,
+    };
     let mut g = c.benchmark_group("fig20_cp");
     g.sample_size(10);
     g.bench_function("precise", |b| {
-        b.iter(|| black_box(run_with_config(&params, IhwConfig::precise()).0.potential.len()))
+        b.iter(|| {
+            black_box(
+                run_with_config(&params, IhwConfig::precise())
+                    .0
+                    .potential
+                    .len(),
+            )
+        })
     });
     for cfg in [MulConfig::Lp(12), MulConfig::Fp(12), MulConfig::Bt(19)] {
         g.bench_function(cfg.label(), |b| {

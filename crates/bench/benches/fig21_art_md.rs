@@ -9,22 +9,49 @@ use ihw_workloads::{art, md};
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig21_art_md");
     g.sample_size(10);
-    let art_params = art::ArtParams { image_size: 32, ..art::ArtParams::default() };
+    let art_params = art::ArtParams {
+        image_size: 32,
+        ..art::ArtParams::default()
+    };
     g.bench_function("art_precise", |b| {
-        b.iter(|| black_box(art::run_with_config(&art_params, IhwConfig::precise()).0.vigilance))
+        b.iter(|| {
+            black_box(
+                art::run_with_config(&art_params, IhwConfig::precise())
+                    .0
+                    .vigilance,
+            )
+        })
     });
     g.bench_function("art_fp_tr44", |b| {
         b.iter(|| {
-            black_box(art::run_with_config(&art_params, MulConfig::Fp(44).config()).0.vigilance)
+            black_box(
+                art::run_with_config(&art_params, MulConfig::Fp(44).config())
+                    .0
+                    .vigilance,
+            )
         })
     });
-    let md_params = md::MdParams { particles: 27, steps: 10, ..md::MdParams::default() };
+    let md_params = md::MdParams {
+        particles: 27,
+        steps: 10,
+        ..md::MdParams::default()
+    };
     g.bench_function("md_precise", |b| {
-        b.iter(|| black_box(md::run_with_config(&md_params, IhwConfig::precise()).0.avg_potential))
+        b.iter(|| {
+            black_box(
+                md::run_with_config(&md_params, IhwConfig::precise())
+                    .0
+                    .avg_potential,
+            )
+        })
     });
     g.bench_function("md_fp_tr44", |b| {
         b.iter(|| {
-            black_box(md::run_with_config(&md_params, MulConfig::Fp(44).config()).0.avg_potential)
+            black_box(
+                md::run_with_config(&md_params, MulConfig::Fp(44).config())
+                    .0
+                    .avg_potential,
+            )
         })
     });
     g.finish();

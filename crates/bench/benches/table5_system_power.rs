@@ -25,8 +25,13 @@ fn bench(c: &mut Criterion) {
     g.bench_function("ray_basic", |b| {
         b.iter(|| {
             black_box(
-                estimate_savings(GpuBenchmark::Ray, Scale::Quick, IhwConfig::ray_basic(), "RAY")
-                    .holistic,
+                estimate_savings(
+                    GpuBenchmark::Ray,
+                    Scale::Quick,
+                    IhwConfig::ray_basic(),
+                    "RAY",
+                )
+                .holistic,
             )
         })
     });

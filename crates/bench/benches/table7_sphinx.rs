@@ -7,7 +7,11 @@ use ihw_core::config::IhwConfig;
 use ihw_workloads::sphinx::{run_with_config, SphinxParams};
 
 fn bench(c: &mut Criterion) {
-    let params = SphinxParams { words: 6, frames: 12, ..SphinxParams::default() };
+    let params = SphinxParams {
+        words: 6,
+        frames: 12,
+        ..SphinxParams::default()
+    };
     let mut g = c.benchmark_group("table7_sphinx");
     g.sample_size(10);
     g.bench_function("precise", |b| {

@@ -20,32 +20,62 @@ fn bench_units(c: &mut Criterion) {
     let xs = inputs();
     let mut g = c.benchmark_group("unit_ops");
     g.bench_function("precise_add", |b| {
-        b.iter(|| xs.iter().map(|&(x, y)| black_box(x) + black_box(y)).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&(x, y)| black_box(x) + black_box(y))
+                .sum::<f32>()
+        })
     });
     g.bench_function("iadd32_th8", |b| {
-        b.iter(|| xs.iter().map(|&(x, y)| iadd32(black_box(x), black_box(y), 8)).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&(x, y)| iadd32(black_box(x), black_box(y), 8))
+                .sum::<f32>()
+        })
     });
     g.bench_function("precise_mul", |b| {
-        b.iter(|| xs.iter().map(|&(x, y)| black_box(x) * black_box(y)).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&(x, y)| black_box(x) * black_box(y))
+                .sum::<f32>()
+        })
     });
     g.bench_function("imul32", |b| {
-        b.iter(|| xs.iter().map(|&(x, y)| imul32(black_box(x), black_box(y))).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&(x, y)| imul32(black_box(x), black_box(y)))
+                .sum::<f32>()
+        })
     });
     let log = AcMulConfig::new(MulPath::Log, 19);
     g.bench_function("ac_mul_log_tr19", |b| {
-        b.iter(|| xs.iter().map(|&(x, y)| log.mul32(black_box(x), black_box(y))).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&(x, y)| log.mul32(black_box(x), black_box(y)))
+                .sum::<f32>()
+        })
     });
     let full = AcMulConfig::new(MulPath::Full, 0);
     g.bench_function("ac_mul_full_tr0", |b| {
-        b.iter(|| xs.iter().map(|&(x, y)| full.mul32(black_box(x), black_box(y))).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&(x, y)| full.mul32(black_box(x), black_box(y)))
+                .sum::<f32>()
+        })
     });
     let tm = TruncatedMul::new(21);
     g.bench_function("trunc_mul_21", |b| {
-        b.iter(|| xs.iter().map(|&(x, y)| tm.mul32(black_box(x), black_box(y))).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&(x, y)| tm.mul32(black_box(x), black_box(y)))
+                .sum::<f32>()
+        })
     });
     g.bench_function("mitchell_mul_u64", |b| {
         b.iter(|| {
-            (1u64..257).map(|i| mitchell_mul(black_box(i * 7919), black_box(i * 104729))).count()
+            (1u64..257).fold(0u128, |acc, i| {
+                acc ^ mitchell_mul(black_box(i * 7919), black_box(i * 104729))
+            })
         })
     });
     g.bench_function("ircp32", |b| {
@@ -61,7 +91,11 @@ fn bench_units(c: &mut Criterion) {
         b.iter(|| xs.iter().map(|&(x, _)| ilog2_32(black_box(x))).sum::<f32>())
     });
     g.bench_function("idiv32", |b| {
-        b.iter(|| xs.iter().map(|&(x, y)| idiv32(black_box(x), black_box(y))).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&(x, y)| idiv32(black_box(x), black_box(y)))
+                .sum::<f32>()
+        })
     });
     g.finish();
 }

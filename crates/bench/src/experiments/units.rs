@@ -14,7 +14,13 @@ use ihw_power::mul_power::power_reduction;
 /// Table 1: the imprecise function set with measured vs. theoretical
 /// maximum error over each function's reduced range.
 pub fn table1() -> Table {
-    let mut t = Table::new(["function", "imprecise form", "range", "eps_max (theory)", "eps_max (measured)"]);
+    let mut t = Table::new([
+        "function",
+        "imprecise form",
+        "range",
+        "eps_max (theory)",
+        "eps_max (measured)",
+    ]);
     let sweep = |f: &dyn Fn(f32) -> f32, exact: &dyn Fn(f64) -> f64, lo: f64, hi: f64| -> f64 {
         let mut worst = 0.0f64;
         for i in 0..200_000u32 {
@@ -148,9 +154,13 @@ pub fn fig13() -> String {
     for op in FpOp::ALL {
         let n = lib.normalized(op);
         out.push_str(&format!("{:>7}:", op.mnemonic()));
-        for (label, v) in
-            [("P", n.power), ("L", n.latency), ("A", n.area), ("E", n.energy), ("EDP", n.edp)]
-        {
+        for (label, v) in [
+            ("P", n.power),
+            ("L", n.latency),
+            ("A", n.area),
+            ("E", n.energy),
+            ("EDP", n.edp),
+        ] {
             let bar = "#".repeat((v * 20.0).round() as usize);
             out.push_str(&format!("  {label}={v:.3} {bar}"));
         }
@@ -164,8 +174,16 @@ pub fn table3() -> Table {
     let add = SynthesisLibrary::int_adder25();
     let mul = SynthesisLibrary::int_mult24();
     let mut t = Table::new(["function", "power (mW)", "latency (ns)"]);
-    t.row(["25bit Add".to_string(), format!("{:.2}", add.power_mw), format!("{:.2}", add.latency_ns)]);
-    t.row(["24bit Mult".to_string(), format!("{:.2}", mul.power_mw), format!("{:.2}", mul.latency_ns)]);
+    t.row([
+        "25bit Add".to_string(),
+        format!("{:.2}", add.power_mw),
+        format!("{:.2}", add.latency_ns),
+    ]);
+    t.row([
+        "24bit Mult".to_string(),
+        format!("{:.2}", mul.power_mw),
+        format!("{:.2}", mul.latency_ns),
+    ]);
     t.row([
         "ratio".to_string(),
         format!("{:.1}x", mul.power_mw / add.power_mw),
@@ -179,12 +197,30 @@ pub fn table3() -> Table {
 pub fn table4() -> Table {
     let mut t = Table::new(["configuration", "power (mW)", "latency (ns)", "area (um^2)"]);
     let entries: [(&str, ihw_power::metrics::UnitMetrics); 6] = [
-        ("DW_fp_mult_32", SynthesisLibrary::dw_fp_mult(Precision::Single)),
-        ("ifpmul32* (same latency)", SynthesisLibrary::ac_mult_same_latency(Precision::Single)),
-        ("ifpmul32o (min latency)", SynthesisLibrary::ac_mult_min_latency(Precision::Single)),
-        ("DW_fp_mult_64", SynthesisLibrary::dw_fp_mult(Precision::Double)),
-        ("ifpmul64* (same latency)", SynthesisLibrary::ac_mult_same_latency(Precision::Double)),
-        ("ifpmul64o (min latency)", SynthesisLibrary::ac_mult_min_latency(Precision::Double)),
+        (
+            "DW_fp_mult_32",
+            SynthesisLibrary::dw_fp_mult(Precision::Single),
+        ),
+        (
+            "ifpmul32* (same latency)",
+            SynthesisLibrary::ac_mult_same_latency(Precision::Single),
+        ),
+        (
+            "ifpmul32o (min latency)",
+            SynthesisLibrary::ac_mult_min_latency(Precision::Single),
+        ),
+        (
+            "DW_fp_mult_64",
+            SynthesisLibrary::dw_fp_mult(Precision::Double),
+        ),
+        (
+            "ifpmul64* (same latency)",
+            SynthesisLibrary::ac_mult_same_latency(Precision::Double),
+        ),
+        (
+            "ifpmul64o (min latency)",
+            SynthesisLibrary::ac_mult_min_latency(Precision::Double),
+        ),
     ];
     for (name, m) in entries {
         t.row([
@@ -201,8 +237,7 @@ pub fn table4() -> Table {
 /// error frequency (error rate) and error magnitude (mean error %), into
 /// the paper's FSM / FLM / ISM / ILM quadrants.
 pub fn fig4(scale: Scale) -> Table {
-    let mut t =
-        Table::new(["unit", "error rate %", "mean error %", "taxonomy quadrant"]);
+    let mut t = Table::new(["unit", "error rate %", "mean error %", "taxonomy quadrant"]);
     for target in CharTarget::figure8_set() {
         let pmf = characterize(target, scale.char_samples() / 10);
         let frequent = pmf.error_rate() > 0.5;
@@ -282,10 +317,7 @@ pub fn fig14(scale: Scale, precision: Precision) -> Vec<TradeoffPoint> {
             );
             let unit = MulUnit::AcMul(cfg);
             points.push(TradeoffPoint {
-                label: format!(
-                    "{} path",
-                    if path == MulPath::Log { "Log" } else { "Full" }
-                ),
+                label: format!("{} path", if path == MulPath::Log { "Log" } else { "Full" }),
                 truncation: tr,
                 max_error_pct: max_err * 100.0,
                 power_reduction: power_reduction(&unit, precision),
@@ -375,7 +407,11 @@ mod tests {
             .iter()
             .find(|p| p.label == "Bit truncation" && p.truncation == 21)
             .expect("bt tr21 present");
-        assert!(log19.power_reduction > 20.0, "log19 {}x", log19.power_reduction);
+        assert!(
+            log19.power_reduction > 20.0,
+            "log19 {}x",
+            log19.power_reduction
+        );
         assert!(bt21.power_reduction < 5.0, "bt21 {}x", bt21.power_reduction);
         assert!(log19.max_error_pct < 25.0);
     }

@@ -58,10 +58,14 @@ impl AcAdder {
     /// widest supported fraction).
     pub fn new(th: u32, truncation: u32) -> Result<AcAdder, ConfigureAdderError> {
         if !TH_RANGE.contains(&th) {
-            return Err(ConfigureAdderError { message: "TH must lie in [1, 27]" });
+            return Err(ConfigureAdderError {
+                message: "TH must lie in [1, 27]",
+            });
         }
         if truncation > 52 {
-            return Err(ConfigureAdderError { message: "truncation exceeds the f64 fraction" });
+            return Err(ConfigureAdderError {
+                message: "truncation exceeds the f64 fraction",
+            });
         }
         Ok(AcAdder { th, truncation })
     }
@@ -86,7 +90,10 @@ impl AcAdder {
             return bits;
         }
         let mask = fmt.frac_mask() & !((1u64 << t) - 1);
-        fmt.assemble(crate::format::Parts { frac: parts.frac & mask, ..parts })
+        fmt.assemble(crate::format::Parts {
+            frac: parts.frac & mask,
+            ..parts
+        })
     }
 
     /// Addition on raw bit patterns.
@@ -101,14 +108,12 @@ impl AcAdder {
 
     /// Single precision addition.
     pub fn add32(&self, a: f32, b: f32) -> f32 {
-        f32::from_bits(self.add_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64)
-            as u32)
+        f32::from_bits(self.add_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64) as u32)
     }
 
     /// Single precision subtraction.
     pub fn sub32(&self, a: f32, b: f32) -> f32 {
-        f32::from_bits(self.sub_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64)
-            as u32)
+        f32::from_bits(self.sub_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64) as u32)
     }
 
     /// Double precision addition.

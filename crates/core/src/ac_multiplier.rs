@@ -105,8 +105,7 @@ impl AcMulConfig {
     /// assert_eq!(log.mul32(2.0, 8.0), 16.0); // powers of two exact
     /// ```
     pub fn mul32(&self, a: f32, b: f32) -> f32 {
-        f32::from_bits(self.mul_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64)
-            as u32)
+        f32::from_bits(self.mul_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64) as u32)
     }
 
     /// Multiplies two double precision values under this configuration.
@@ -175,7 +174,10 @@ mod tests {
             }
         }
         assert!(worst <= AC_FULL_PATH_MAX_ERROR + 1e-6, "worst {worst}");
-        assert!(worst > 0.015, "bound should nearly be attained, got {worst}");
+        assert!(
+            worst > 0.015,
+            "bound should nearly be attained, got {worst}"
+        );
     }
 
     #[test]
@@ -199,9 +201,9 @@ mod tests {
         let cfg = AcMulConfig::new(MulPath::Log, 0);
         let a = 1.9999f32;
         let log_err = rel_err32(&cfg, a, a);
-        let orig_err =
-            ((crate::multiplier::imul32(a, a) as f64 - (a as f64).powi(2)) / (a as f64).powi(2))
-                .abs();
+        let orig_err = ((crate::multiplier::imul32(a, a) as f64 - (a as f64).powi(2))
+            / (a as f64).powi(2))
+        .abs();
         assert!(log_err < orig_err);
     }
 
@@ -302,6 +304,9 @@ mod tests {
             }
         }
         assert!(worst < 0.20, "headline config max error ≈18%, got {worst}");
-        assert!(worst > 0.13, "error should be near the published 18%, got {worst}");
+        assert!(
+            worst > 0.13,
+            "error should be near the published 18%, got {worst}"
+        );
     }
 }

@@ -142,8 +142,9 @@ fn add_normals(fmt: Format, a: u64, b: u64, th: u32) -> u64 {
 /// assert_eq!(y, 8.0); // exact: no alignment loss at d = 0..1
 /// ```
 pub fn iadd32(a: f32, b: f32, th: u32) -> f32 {
-    f32::from_bits(imprecise_add_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64, th)
-        as u32)
+    f32::from_bits(
+        imprecise_add_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64, th) as u32,
+    )
 }
 
 /// Imprecise single precision subtraction `a - b` with threshold `th`.
@@ -152,8 +153,9 @@ pub fn iadd32(a: f32, b: f32, th: u32) -> f32 {
 ///
 /// Panics if `th` is outside [`TH_RANGE`].
 pub fn isub32(a: f32, b: f32, th: u32) -> f32 {
-    f32::from_bits(imprecise_sub_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64, th)
-        as u32)
+    f32::from_bits(
+        imprecise_sub_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64, th) as u32,
+    )
 }
 
 /// Imprecise double precision addition with threshold `th`.
@@ -162,7 +164,12 @@ pub fn isub32(a: f32, b: f32, th: u32) -> f32 {
 ///
 /// Panics if `th` is outside [`TH_RANGE`].
 pub fn iadd64(a: f64, b: f64, th: u32) -> f64 {
-    f64::from_bits(imprecise_add_bits(Format::DOUBLE, a.to_bits(), b.to_bits(), th))
+    f64::from_bits(imprecise_add_bits(
+        Format::DOUBLE,
+        a.to_bits(),
+        b.to_bits(),
+        th,
+    ))
 }
 
 /// Imprecise double precision subtraction `a - b` with threshold `th`.
@@ -171,7 +178,12 @@ pub fn iadd64(a: f64, b: f64, th: u32) -> f64 {
 ///
 /// Panics if `th` is outside [`TH_RANGE`].
 pub fn isub64(a: f64, b: f64, th: u32) -> f64 {
-    f64::from_bits(imprecise_sub_bits(Format::DOUBLE, a.to_bits(), b.to_bits(), th))
+    f64::from_bits(imprecise_sub_bits(
+        Format::DOUBLE,
+        a.to_bits(),
+        b.to_bits(),
+        th,
+    ))
 }
 
 #[cfg(test)]
@@ -192,7 +204,11 @@ mod tests {
         // d = 10 >= TH = 8: small operand fully suppressed.
         assert_eq!(iadd32(1024.0, 1.0, 8), 1024.0);
         assert_eq!(iadd32(1.0, 1024.0, 8), 1024.0);
-        assert_eq!(isub32(1024.0, 1.0, 8), 1024.0, "subtraction also returns big operand");
+        assert_eq!(
+            isub32(1024.0, 1.0, 8),
+            1024.0,
+            "subtraction also returns big operand"
+        );
         assert_eq!(iadd64(1024.0, 1.0, 8), 1024.0);
     }
 

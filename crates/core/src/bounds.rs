@@ -137,7 +137,9 @@ mod tests {
 
     #[test]
     fn path_bounds_ordered() {
-        assert!(AC_FULL_PATH_MAX_ERROR < AC_LOG_PATH_MAX_ERROR);
-        assert!(AC_LOG_PATH_MAX_ERROR < IFPMUL_MAX_ERROR);
+        const {
+            assert!(AC_FULL_PATH_MAX_ERROR < AC_LOG_PATH_MAX_ERROR);
+            assert!(AC_LOG_PATH_MAX_ERROR < IFPMUL_MAX_ERROR);
+        }
     }
 }

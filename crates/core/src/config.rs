@@ -187,7 +187,9 @@ impl IhwConfig {
     /// in §5.3.1.
     pub const fn all_imprecise() -> Self {
         IhwConfig {
-            add: AddUnit::Imprecise { th: Self::DEFAULT_TH },
+            add: AddUnit::Imprecise {
+                th: Self::DEFAULT_TH,
+            },
             mul: MulUnit::Imprecise,
             div: UnitMode::Imprecise,
             rcp: UnitMode::Imprecise,
@@ -202,7 +204,9 @@ impl IhwConfig {
     /// addition/subtraction and square root imprecise (SSIM 0.95).
     pub const fn ray_basic() -> Self {
         IhwConfig {
-            add: AddUnit::Imprecise { th: Self::DEFAULT_TH },
+            add: AddUnit::Imprecise {
+                th: Self::DEFAULT_TH,
+            },
             mul: MulUnit::Precise,
             div: UnitMode::Precise,
             rcp: UnitMode::Imprecise,
@@ -226,7 +230,10 @@ impl IhwConfig {
     /// 13.56% system power saving).
     pub const fn ray_with_ac_mul(truncation: u32) -> Self {
         let mut c = Self::ray_basic();
-        c.mul = MulUnit::AcMul(AcMulConfig::new(crate::ac_multiplier::MulPath::Full, truncation));
+        c.mul = MulUnit::AcMul(AcMulConfig::new(
+            crate::ac_multiplier::MulPath::Full,
+            truncation,
+        ));
         c
     }
 

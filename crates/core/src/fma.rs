@@ -45,7 +45,13 @@ pub fn ifma32(a: f32, b: f32, c: f32, th: u32) -> f32 {
 ///
 /// Panics if `th` is outside [`crate::adder::TH_RANGE`].
 pub fn ifma64(a: f64, b: f64, c: f64, th: u32) -> f64 {
-    f64::from_bits(imprecise_fma_bits(Format::DOUBLE, a.to_bits(), b.to_bits(), c.to_bits(), th))
+    f64::from_bits(imprecise_fma_bits(
+        Format::DOUBLE,
+        a.to_bits(),
+        b.to_bits(),
+        c.to_bits(),
+        th,
+    ))
 }
 
 #[cfg(test)]

@@ -65,9 +65,15 @@ pub enum RoundedClass {
 
 impl Format {
     /// IEEE-754 binary32 (single precision).
-    pub const SINGLE: Format = Format { exp_bits: 8, frac_bits: 23 };
+    pub const SINGLE: Format = Format {
+        exp_bits: 8,
+        frac_bits: 23,
+    };
     /// IEEE-754 binary64 (double precision).
-    pub const DOUBLE: Format = Format { exp_bits: 11, frac_bits: 52 };
+    pub const DOUBLE: Format = Format {
+        exp_bits: 11,
+        frac_bits: 52,
+    };
 
     /// Total width of the format in bits.
     #[inline]
@@ -174,7 +180,11 @@ impl Format {
     /// Bit pattern of a signed infinity.
     #[inline]
     pub fn infinity(&self, sign: u64) -> u64 {
-        self.assemble(Parts { sign, biased_exp: self.exp_max(), frac: 0 })
+        self.assemble(Parts {
+            sign,
+            biased_exp: self.exp_max(),
+            frac: 0,
+        })
     }
 
     /// Bit pattern of the canonical quiet NaN.
@@ -325,7 +335,11 @@ mod tests {
         let z = f.decompose(f32_bits(0.0));
         assert_eq!(f.classify(&z), RoundedClass::Zero);
         let sub = f.decompose(f32_bits(f32::MIN_POSITIVE / 2.0));
-        assert_eq!(f.classify(&sub), RoundedClass::Zero, "subnormal flushes to zero");
+        assert_eq!(
+            f.classify(&sub),
+            RoundedClass::Zero,
+            "subnormal flushes to zero"
+        );
         let n = f.decompose(f32_bits(1.0));
         assert_eq!(f.classify(&n), RoundedClass::Normal);
         let inf = f.decompose(f32_bits(f32::INFINITY));

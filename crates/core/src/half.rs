@@ -24,7 +24,10 @@ use serde::{Deserialize, Serialize};
 impl Format {
     /// IEEE-754 binary16 (half precision): 5 exponent bits, 10 fraction
     /// bits, bias 15.
-    pub const HALF: Format = Format { exp_bits: 5, frac_bits: 10 };
+    pub const HALF: Format = Format {
+        exp_bits: 5,
+        frac_bits: 10,
+    };
 }
 
 /// A half precision value stored as its raw bit pattern.
@@ -229,14 +232,20 @@ mod tests {
         assert_eq!(iadd16(big, small, 8).to_f32(), 1024.0);
         let y = iadd16(F16::from_f32(1.5), F16::from_f32(1.25), 8);
         assert_eq!(y.to_f32(), 2.75);
-        assert_eq!(isub16(F16::from_f32(3.0), F16::from_f32(1.0), 8).to_f32(), 2.0);
+        assert_eq!(
+            isub16(F16::from_f32(3.0), F16::from_f32(1.0), 8).to_f32(),
+            2.0
+        );
     }
 
     #[test]
     fn sfu_units_work_at_half_precision() {
         let x = F16::from_f32(0.75);
         let rcp = ircp16(x).to_f32() as f64;
-        assert!((rcp * 0.75 - 1.0).abs() < bounds::RCP_MAX_ERROR + 5e-3, "rcp {rcp}");
+        assert!(
+            (rcp * 0.75 - 1.0).abs() < bounds::RCP_MAX_ERROR + 5e-3,
+            "rcp {rcp}"
+        );
         let s = isqrt16(F16::from_f32(2.0)).to_f32() as f64;
         assert!((s / 2.0f64.sqrt() - 1.0).abs() < bounds::SQRT_MAX_ERROR + 5e-3);
         let r = irsqrt16(F16::from_f32(2.0)).to_f32() as f64;

@@ -78,8 +78,8 @@ pub mod prelude {
     pub use crate::format::Format;
     pub use crate::half::F16;
     pub use crate::mitchell::{mitchell_div, mitchell_mul};
-    pub use crate::segmented::SegmentedMitchell;
     pub use crate::multiplier::{imul32, imul64};
+    pub use crate::segmented::SegmentedMitchell;
     pub use crate::sfu::{
         idiv32, idiv64, ilog2_32, ilog2_64, ircp32, ircp64, irsqrt32, irsqrt64, isqrt32, isqrt64,
     };

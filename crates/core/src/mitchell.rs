@@ -37,7 +37,7 @@ fn log_approx(n: u64) -> (u32, u128) {
     debug_assert!(n != 0);
     let k = 63 - n.leading_zeros();
     let x = n ^ (1u64 << k); // strip the leading one
-    // Scale x / 2^k into LOG_FRAC_BITS fixed point.
+                             // Scale x / 2^k into LOG_FRAC_BITS fixed point.
     let frac = (x as u128) << (LOG_FRAC_BITS - k);
     (k, frac)
 }

@@ -65,8 +65,9 @@ pub fn imprecise_mul_bits(fmt: Format, a: u64, b: u64) -> u64 {
 /// assert!(err <= 0.25);
 /// ```
 pub fn imul32(a: f32, b: f32) -> f32 {
-    f32::from_bits(imprecise_mul_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64)
-        as u32)
+    f32::from_bits(
+        imprecise_mul_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64) as u32,
+    )
 }
 
 /// Imprecise double precision multiplication.
@@ -150,7 +151,11 @@ mod tests {
         assert!(imul32(f32::INFINITY, 0.0).is_nan());
         assert_eq!(imul32(f32::INFINITY, -2.0), f32::NEG_INFINITY);
         assert_eq!(imul32(0.0, -3.0), -0.0);
-        assert_eq!(imul32(f32::MIN_POSITIVE / 2.0, 1e30), 0.0, "subnormal flushed");
+        assert_eq!(
+            imul32(f32::MIN_POSITIVE / 2.0, 1e30),
+            0.0,
+            "subnormal flushed"
+        );
     }
 
     #[test]

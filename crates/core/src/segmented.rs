@@ -50,7 +50,10 @@ impl SegmentedMitchell {
     ///
     /// Panics if `segments` is not a power of two or exceeds 256.
     pub fn new(segments: u32) -> Self {
-        assert!(segments.is_power_of_two(), "segment count must be a power of two");
+        assert!(
+            segments.is_power_of_two(),
+            "segment count must be a power of two"
+        );
         let segment_bits = segments.trailing_zeros();
         assert!(segment_bits <= 8, "at most 256 segments supported");
         let n = segments as usize;
@@ -69,7 +72,10 @@ impl SegmentedMitchell {
         };
         SegmentedMitchell {
             segment_bits,
-            log_corr: table(&|x| (1.0 + x).log2() - x).into_iter().map(|v| v.max(0) as u64).collect(),
+            log_corr: table(&|x| (1.0 + x).log2() - x)
+                .into_iter()
+                .map(|v| v.max(0) as u64)
+                .collect(),
             exp_corr: table(&|x| x.exp2() - 1.0 - x),
         }
     }
@@ -88,7 +94,11 @@ impl SegmentedMitchell {
     fn corrected_log(&self, n: u64) -> (u32, u64) {
         let k = 63 - n.leading_zeros();
         let x = n ^ (1u64 << k);
-        let frac = if k == 0 { 0u64 } else { ((x as u128) << (FRAC_BITS - k)) as u64 };
+        let frac = if k == 0 {
+            0u64
+        } else {
+            ((x as u128) << (FRAC_BITS - k)) as u64
+        };
         // Clamp below 1.0: near x → 1 the piecewise-constant correction
         // can push x + c(x) over the log₂(2) ceiling.
         let corrected = (frac + self.log_corr[self.segment(frac)]).min((1u64 << FRAC_BITS) - 1);
@@ -188,7 +198,10 @@ mod tests {
                 worst_ma = worst_ma.max(em);
             }
         }
-        assert!(worst_sm < worst_ma / 2.0, "4-segment {worst_sm} vs plain {worst_ma}");
+        assert!(
+            worst_sm < worst_ma / 2.0,
+            "4-segment {worst_sm} vs plain {worst_ma}"
+        );
         assert!(worst_sm < 0.06, "4-segment error {worst_sm}");
     }
 

@@ -276,8 +276,9 @@ sfu_wrappers! {
 /// assert!((q - 3.5).abs() / 3.5 < 0.059 + 1e-6);
 /// ```
 pub fn idiv32(a: f32, b: f32) -> f32 {
-    f32::from_bits(imprecise_div_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64)
-        as u32)
+    f32::from_bits(
+        imprecise_div_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64) as u32,
+    )
 }
 
 /// Imprecise double precision division `a/b`.

@@ -80,8 +80,7 @@ impl TruncatedMul {
 
     /// Multiplies two single precision values.
     pub fn mul32(&self, a: f32, b: f32) -> f32 {
-        f32::from_bits(self.mul_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64)
-            as u32)
+        f32::from_bits(self.mul_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64) as u32)
     }
 
     /// Multiplies two double precision values.

@@ -27,7 +27,9 @@ pub mod pmf;
 pub mod targets;
 
 pub use pmf::ErrorPmf;
-pub use targets::{characterize, characterize64, characterize_with_offset, convergence, CharTarget};
+pub use targets::{
+    characterize, characterize64, characterize_with_offset, convergence, CharTarget,
+};
 
 use ihw_qmc::Halton;
 
@@ -54,7 +56,11 @@ pub fn characterize_binary_f32(
                 let exact = &exact;
                 s.spawn(move |_| {
                     let start = 1 + seq_offset + t as u64 * chunk;
-                    let n = if t == threads - 1 { samples - chunk * (threads as u64 - 1) } else { chunk };
+                    let n = if t == threads - 1 {
+                        samples - chunk * (threads as u64 - 1)
+                    } else {
+                        chunk
+                    };
                     let mut pmf = ErrorPmf::new();
                     for p in Halton::<2>::new().starting_at(start).take(n as usize) {
                         let a = p[0] as f32;
@@ -99,7 +105,11 @@ pub fn characterize_unary_f32(
                 let exact = &exact;
                 s.spawn(move |_| {
                     let start = 1 + seq_offset + t as u64 * chunk;
-                    let n = if t == threads - 1 { samples - chunk * (threads as u64 - 1) } else { chunk };
+                    let n = if t == threads - 1 {
+                        samples - chunk * (threads as u64 - 1)
+                    } else {
+                        chunk
+                    };
                     let mut pmf = ErrorPmf::new();
                     for p in Halton::<1>::new().starting_at(start).take(n as usize) {
                         let x = p[0] as f32;
@@ -146,7 +156,11 @@ pub fn characterize_binary_f64(
                 let exact = &exact;
                 s.spawn(move |_| {
                     let start = 1 + seq_offset + t as u64 * chunk;
-                    let n = if t == threads - 1 { samples - chunk * (threads as u64 - 1) } else { chunk };
+                    let n = if t == threads - 1 {
+                        samples - chunk * (threads as u64 - 1)
+                    } else {
+                        chunk
+                    };
                     let mut pmf = ErrorPmf::new();
                     for p in Halton::<2>::new().starting_at(start).take(n as usize) {
                         let (a, b) = (p[0], p[1]);
@@ -175,7 +189,10 @@ fn worker_count(samples: u64) -> usize {
     if samples < 50_000 {
         return 1;
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
 }
 
 #[cfg(test)]
@@ -184,7 +201,12 @@ mod tests {
 
     #[test]
     fn precise_op_has_zero_error_rate() {
-        let pmf = characterize_binary_f32(|a, b| a * b, |a, b| (a as f32 as f64) * (b as f32 as f64), 5_000, 0);
+        let pmf = characterize_binary_f32(
+            |a, b| a * b,
+            |a, b| (a as f32 as f64) * (b as f32 as f64),
+            5_000,
+            0,
+        );
         // f32 multiply of f32 inputs vs f64 reference of the same inputs
         // differs only by the final rounding, far below the 2^-40 % floor.
         assert!(pmf.max_error_pct() < 1e-4, "max {}", pmf.max_error_pct());

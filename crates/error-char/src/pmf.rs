@@ -42,7 +42,11 @@ impl ErrorPmf {
             self.exact_matches += 1;
             return;
         }
-        let rel = if exact != 0.0 { dist / exact.abs() } else { f64::INFINITY };
+        let rel = if exact != 0.0 {
+            dist / exact.abs()
+        } else {
+            f64::INFINITY
+        };
         self.max_err = self.max_err.max(rel);
         self.sum_err += rel;
         let pct = rel * 100.0;

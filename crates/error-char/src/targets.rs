@@ -70,8 +70,14 @@ impl CharTarget {
     pub fn figure9_set() -> Vec<CharTarget> {
         let mut v = Vec::new();
         for &t in &[0u32, 8, 17, 18, 19] {
-            v.push(CharTarget::AcMul { path: MulPath::Log, truncation: t });
-            v.push(CharTarget::AcMul { path: MulPath::Full, truncation: t });
+            v.push(CharTarget::AcMul {
+                path: MulPath::Log,
+                truncation: t,
+            });
+            v.push(CharTarget::AcMul {
+                path: MulPath::Full,
+                truncation: t,
+            });
         }
         v
     }
@@ -87,10 +93,16 @@ impl CharTarget {
             CharTarget::Isqrt => "isqrt".to_string(),
             CharTarget::Ilog2 => "ilog2".to_string(),
             CharTarget::Ifma { th } => format!("ifma TH={th}"),
-            CharTarget::AcMul { path: MulPath::Log, truncation } => {
+            CharTarget::AcMul {
+                path: MulPath::Log,
+                truncation,
+            } => {
                 format!("Log Path Tr{truncation}")
             }
-            CharTarget::AcMul { path: MulPath::Full, truncation } => {
+            CharTarget::AcMul {
+                path: MulPath::Full,
+                truncation,
+            } => {
                 format!("Full Path Tr{truncation}")
             }
             CharTarget::TruncMul { truncation } => format!("BitTrunc Tr{truncation}"),
@@ -112,7 +124,13 @@ pub fn characterize64(target: CharTarget, samples: u64) -> ErrorPmf {
     use ihw_core::sfu::idiv64;
     match target {
         CharTarget::IfpAdd { th } => characterize_binary_f64(
-            move |a, b| if b > a { isub64(a, b, th) } else { iadd64(a, b, th) },
+            move |a, b| {
+                if b > a {
+                    isub64(a, b, th)
+                } else {
+                    iadd64(a, b, th)
+                }
+            },
             |a, b| if b > a { a - b } else { a + b },
             samples,
             0,
@@ -130,12 +148,9 @@ pub fn characterize64(target: CharTarget, samples: u64) -> ErrorPmf {
         // Unary SFUs and the FMA reuse the f32 harness's structure; their
         // f64 error profile matches the f32 one (same linear
         // approximations), so route through the f64 scalar wrappers.
-        CharTarget::Ircp => characterize_binary_f64(
-            |a, _| ihw_core::sfu::ircp64(a),
-            |a, _| 1.0 / a,
-            samples,
-            0,
-        ),
+        CharTarget::Ircp => {
+            characterize_binary_f64(|a, _| ihw_core::sfu::ircp64(a), |a, _| 1.0 / a, samples, 0)
+        }
         CharTarget::Irsqrt => characterize_binary_f64(
             |a, _| ihw_core::sfu::irsqrt64(a),
             |a, _| 1.0 / a.sqrt(),
@@ -185,7 +200,13 @@ pub fn characterize_with_offset(target: CharTarget, samples: u64, offset: u64) -
             // Alternate add and subtract on the sign of the second operand's
             // index parity via its magnitude: use subtraction when b > a so
             // both effective operations are exercised.
-            move |a, b| if b > a { isub32(a, b, th) } else { iadd32(a, b, th) },
+            move |a, b| {
+                if b > a {
+                    isub32(a, b, th)
+                } else {
+                    iadd32(a, b, th)
+                }
+            },
             |a, b| if b > a { a - b } else { a + b },
             samples,
             offset,
@@ -193,9 +214,7 @@ pub fn characterize_with_offset(target: CharTarget, samples: u64, offset: u64) -
         CharTarget::IfpMul => characterize_binary_f32(imul32, |a, b| a * b, samples, offset),
         CharTarget::IfpDiv => characterize_binary_f32(idiv32, |a, b| a / b, samples, offset),
         CharTarget::Ircp => characterize_unary_f32(ircp32, |x| 1.0 / x, samples, offset),
-        CharTarget::Irsqrt => {
-            characterize_unary_f32(irsqrt32, |x| 1.0 / x.sqrt(), samples, offset)
-        }
+        CharTarget::Irsqrt => characterize_unary_f32(irsqrt32, |x| 1.0 / x.sqrt(), samples, offset),
         CharTarget::Isqrt => characterize_unary_f32(isqrt32, |x| x.sqrt(), samples, offset),
         CharTarget::Ilog2 => characterize_unary_f32(ilog2_32, |x| x.log2(), samples, offset),
         CharTarget::Ifma { th } => characterize_binary_f32(
@@ -227,11 +246,14 @@ mod tests {
         // §4.2: "the floating point adder … dominated by frequent small
         // magnitude (FSM) error"; the >8% tail probability is ≈ 0.
         let pmf = characterize(CharTarget::IfpAdd { th: 8 }, N);
-        assert!(pmf.tail_probability(8.0) < 0.01, "tail {}", pmf.tail_probability(8.0));
+        assert!(
+            pmf.tail_probability(8.0) < 0.01,
+            "tail {}",
+            pmf.tail_probability(8.0)
+        );
         // Bulk of the mass sits below 1% error (bins ≤ 0). The *mean* is
         // not asserted: case (d) cancellations legitimately explode it.
-        let below_one_pct: f64 =
-            pmf.iter().filter(|&(b, _)| b <= 0).map(|(_, p)| p).sum();
+        let below_one_pct: f64 = pmf.iter().filter(|&(b, _)| b <= 0).map(|(_, p)| p).sum();
         assert!(below_one_pct > 0.5, "FSM mass {below_one_pct}");
     }
 
@@ -264,8 +286,20 @@ mod tests {
 
     #[test]
     fn full_path_much_tighter_than_log_path() {
-        let full = characterize(CharTarget::AcMul { path: MulPath::Full, truncation: 0 }, N);
-        let log = characterize(CharTarget::AcMul { path: MulPath::Log, truncation: 0 }, N);
+        let full = characterize(
+            CharTarget::AcMul {
+                path: MulPath::Full,
+                truncation: 0,
+            },
+            N,
+        );
+        let log = characterize(
+            CharTarget::AcMul {
+                path: MulPath::Log,
+                truncation: 0,
+            },
+            N,
+        );
         assert!(full.max_error_pct() <= bounds::AC_FULL_PATH_MAX_ERROR * 100.0 + 1e-6);
         assert!(log.max_error_pct() <= bounds::AC_LOG_PATH_MAX_ERROR * 100.0 + 1e-6);
         assert!(full.max_error_pct() < log.max_error_pct() / 2.0);
@@ -275,8 +309,20 @@ mod tests {
     fn truncation_shifts_mode_right() {
         // Figure 9: "as the number of truncation bits increases, the error
         // probability tends to be clustered to the right".
-        let t0 = characterize(CharTarget::AcMul { path: MulPath::Log, truncation: 0 }, N);
-        let t19 = characterize(CharTarget::AcMul { path: MulPath::Log, truncation: 19 }, N);
+        let t0 = characterize(
+            CharTarget::AcMul {
+                path: MulPath::Log,
+                truncation: 0,
+            },
+            N,
+        );
+        let t19 = characterize(
+            CharTarget::AcMul {
+                path: MulPath::Log,
+                truncation: 19,
+            },
+            N,
+        );
         assert!(t19.mode_bin().expect("has errors") >= t0.mode_bin().expect("has errors"));
         assert!(t19.mean_error_pct() > t0.mean_error_pct());
     }
@@ -285,9 +331,27 @@ mod tests {
     fn tr18_vs_tr19_noticeable_difference() {
         // §4.2: "only a small difference between Tr17 and Tr18, … a
         // noticeable difference appears between 18 and 19 bits truncation".
-        let t17 = characterize(CharTarget::AcMul { path: MulPath::Log, truncation: 17 }, N);
-        let t18 = characterize(CharTarget::AcMul { path: MulPath::Log, truncation: 18 }, N);
-        let t19 = characterize(CharTarget::AcMul { path: MulPath::Log, truncation: 19 }, N);
+        let t17 = characterize(
+            CharTarget::AcMul {
+                path: MulPath::Log,
+                truncation: 17,
+            },
+            N,
+        );
+        let t18 = characterize(
+            CharTarget::AcMul {
+                path: MulPath::Log,
+                truncation: 18,
+            },
+            N,
+        );
+        let t19 = characterize(
+            CharTarget::AcMul {
+                path: MulPath::Log,
+                truncation: 19,
+            },
+            N,
+        );
         let d_17_18 = (t18.mean_error_pct() - t17.mean_error_pct()).abs();
         let d_18_19 = (t19.mean_error_pct() - t18.mean_error_pct()).abs();
         assert!(d_18_19 > d_17_18);
@@ -317,16 +381,26 @@ mod tests {
         let pmf = characterize64(CharTarget::IfpMul, N);
         assert!(pmf.max_error_pct() <= bounds::IFPMUL_MAX_ERROR * 100.0 + 1e-6);
         let full = characterize64(
-            CharTarget::AcMul { path: MulPath::Full, truncation: 0 },
+            CharTarget::AcMul {
+                path: MulPath::Full,
+                truncation: 0,
+            },
             N,
         );
         assert!(full.max_error_pct() <= bounds::AC_FULL_PATH_MAX_ERROR * 100.0 + 1e-6);
         // Deep f64 truncation (tr48) behaves like shallow f32 truncation.
         let tr48 = characterize64(
-            CharTarget::AcMul { path: MulPath::Log, truncation: 48 },
+            CharTarget::AcMul {
+                path: MulPath::Log,
+                truncation: 48,
+            },
             N,
         );
-        assert!(tr48.max_error_pct() < 20.0, "lp tr48 {}", tr48.max_error_pct());
+        assert!(
+            tr48.max_error_pct() < 20.0,
+            "lp tr48 {}",
+            tr48.max_error_pct()
+        );
     }
 
     #[test]
@@ -335,7 +409,10 @@ mod tests {
         let runs = convergence(CharTarget::IfpMul, &[5_000, 20_000, 80_000]);
         let (_, max_small, rate_small) = runs[0];
         let (_, max_big, rate_big) = runs[2];
-        assert!((max_big - max_small).abs() < 2.0, "{max_small} vs {max_big}");
+        assert!(
+            (max_big - max_small).abs() < 2.0,
+            "{max_small} vs {max_big}"
+        );
         assert!((rate_big - rate_small).abs() < 0.02);
         // The estimate can only tighten upward toward the true max.
         assert!(max_big >= max_small - 1e-9);
@@ -350,7 +427,11 @@ mod tests {
     #[test]
     fn labels_are_paper_style() {
         assert_eq!(
-            CharTarget::AcMul { path: MulPath::Log, truncation: 17 }.label(),
+            CharTarget::AcMul {
+                path: MulPath::Log,
+                truncation: 17
+            }
+            .label(),
             "Log Path Tr17"
         );
         assert_eq!(CharTarget::IfpAdd { th: 8 }.label(), "ifpadd TH=8");

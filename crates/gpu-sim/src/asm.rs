@@ -68,20 +68,29 @@ pub fn assemble(name: impl Into<String>, source: &str) -> Result<Program, AsmErr
             continue;
         }
         let (mnemonic, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
-        let operands: Vec<&str> =
-            rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
-        let err = |message: &str| AsmError { line: line_no, message: message.to_string() };
+        let operands: Vec<&str> = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let err = |message: &str| AsmError {
+            line: line_no,
+            message: message.to_string(),
+        };
         let instr = match mnemonic.to_ascii_lowercase().as_str() {
             "movi" => {
-                let [d, imm] = two(&operands).map_err(|m| err(m))?;
-                Instr::Movi(reg(d).map_err(|m| err(&m))?, immediate(imm).map_err(|m| err(&m))?)
+                let [d, imm] = two(&operands).map_err(&err)?;
+                Instr::Movi(
+                    reg(d).map_err(|m| err(&m))?,
+                    immediate(imm).map_err(|m| err(&m))?,
+                )
             }
             "tid" => {
-                let [d] = one(&operands).map_err(|m| err(m))?;
+                let [d] = one(&operands).map_err(&err)?;
                 Instr::Tid(reg(d).map_err(|m| err(&m))?)
             }
             m @ ("fadd" | "fsub" | "fmul" | "fdiv" | "fmax") => {
-                let [d, a, b] = three(&operands).map_err(|msg| err(msg))?;
+                let [d, a, b] = three(&operands).map_err(&err)?;
                 let (d, a, b) = (
                     reg(d).map_err(|m| err(&m))?,
                     reg(a).map_err(|m| err(&m))?,
@@ -96,7 +105,7 @@ pub fn assemble(name: impl Into<String>, source: &str) -> Result<Program, AsmErr
                 }
             }
             "sel" => {
-                let [d, c, a, b] = four(&operands).map_err(|m| err(m))?;
+                let [d, c, a, b] = four(&operands).map_err(&err)?;
                 Instr::Sel(
                     reg(d).map_err(|m| err(&m))?,
                     reg(c).map_err(|m| err(&m))?,
@@ -105,7 +114,7 @@ pub fn assemble(name: impl Into<String>, source: &str) -> Result<Program, AsmErr
                 )
             }
             "ffma" => {
-                let [d, a, b, c] = four(&operands).map_err(|m| err(m))?;
+                let [d, a, b, c] = four(&operands).map_err(&err)?;
                 Instr::Ffma(
                     reg(d).map_err(|m| err(&m))?,
                     reg(a).map_err(|m| err(&m))?,
@@ -114,7 +123,7 @@ pub fn assemble(name: impl Into<String>, source: &str) -> Result<Program, AsmErr
                 )
             }
             m @ ("rcp" | "rsqrt" | "sqrt" | "log2") => {
-                let [d, a] = two(&operands).map_err(|msg| err(msg))?;
+                let [d, a] = two(&operands).map_err(&err)?;
                 let (d, a) = (reg(d).map_err(|m| err(&m))?, reg(a).map_err(|m| err(&m))?);
                 match m {
                     "rcp" => Instr::Rcp(d, a),
@@ -124,12 +133,12 @@ pub fn assemble(name: impl Into<String>, source: &str) -> Result<Program, AsmErr
                 }
             }
             "ld" => {
-                let [d, mem] = two(&operands).map_err(|m| err(m))?;
+                let [d, mem] = two(&operands).map_err(&err)?;
                 let (buf, mode) = memref(mem).map_err(|m| err(&m))?;
                 Instr::Ld(reg(d).map_err(|m| err(&m))?, buf, mode)
             }
             "st" => {
-                let [mem, s] = two(&operands).map_err(|m| err(m))?;
+                let [mem, s] = two(&operands).map_err(&err)?;
                 let (buf, mode) = memref(mem).map_err(|m| err(&m))?;
                 Instr::St(buf, mode, reg(s).map_err(|m| err(&m))?)
             }
@@ -145,7 +154,10 @@ pub fn assemble(name: impl Into<String>, source: &str) -> Result<Program, AsmErr
             line: 0,
             message: format!("register r{reg} exceeds register file {regs}"),
         },
-        other => AsmError { line: 0, message: other.to_string() },
+        other => AsmError {
+            line: 0,
+            message: other.to_string(),
+        },
     })
 }
 
@@ -170,7 +182,9 @@ fn reg(s: &str) -> Result<Reg, String> {
         .strip_prefix('r')
         .or_else(|| s.strip_prefix('R'))
         .ok_or_else(|| format!("expected register, got '{s}'"))?;
-    body.parse::<u8>().map(Reg).map_err(|_| format!("bad register index '{s}'"))
+    body.parse::<u8>()
+        .map(Reg)
+        .map_err(|_| format!("bad register index '{s}'"))
 }
 
 fn immediate(s: &str) -> Result<f32, String> {
@@ -178,14 +192,17 @@ fn immediate(s: &str) -> Result<f32, String> {
 }
 
 fn memref(s: &str) -> Result<(usize, AddrMode), String> {
-    let (buf_part, rest) =
-        s.split_once('[').ok_or_else(|| format!("expected bN[...], got '{s}'"))?;
+    let (buf_part, rest) = s
+        .split_once('[')
+        .ok_or_else(|| format!("expected bN[...], got '{s}'"))?;
     let buf = buf_part
         .strip_prefix('b')
         .or_else(|| buf_part.strip_prefix('B'))
         .and_then(|n| n.parse::<usize>().ok())
         .ok_or_else(|| format!("bad buffer name '{buf_part}'"))?;
-    let inner = rest.strip_suffix(']').ok_or_else(|| format!("missing ']' in '{s}'"))?;
+    let inner = rest
+        .strip_suffix(']')
+        .ok_or_else(|| format!("missing ']' in '{s}'"))?;
     let mode = if inner == "tid" {
         AddrMode::Tid
     } else if let Some(off) = inner.strip_prefix("tid") {
@@ -194,7 +211,11 @@ fn memref(s: &str) -> Result<(usize, AddrMode), String> {
             .map_err(|_| format!("bad tid offset '{off}'"))?;
         AddrMode::TidPlus(value)
     } else {
-        AddrMode::Abs(inner.parse::<usize>().map_err(|_| format!("bad address '{inner}'"))?)
+        AddrMode::Abs(
+            inner
+                .parse::<usize>()
+                .map_err(|_| format!("bad address '{inner}'"))?,
+        )
     };
     Ok((buf, mode))
 }
@@ -251,7 +272,9 @@ mod tests {
         )
         .expect("assembles");
         let mut bufs = vec![vec![0.0f32]];
-        WarpInterpreter::new(IhwConfig::precise()).launch(&prog, 1, &mut bufs).expect("runs");
+        WarpInterpreter::new(IhwConfig::precise())
+            .launch(&prog, 1, &mut bufs)
+            .expect("runs");
         assert_eq!(bufs[0][0], 2.25);
     }
 
@@ -275,7 +298,9 @@ mod tests {
             vec![0.0f32; 4],
         ];
         bufs[1][7] = 100.0;
-        WarpInterpreter::new(IhwConfig::precise()).launch(&prog, 3, &mut bufs).expect("runs");
+        WarpInterpreter::new(IhwConfig::precise())
+            .launch(&prog, 3, &mut bufs)
+            .expect("runs");
         // thread 1: b0[3] + b0[2] + 100 = 105
         assert_eq!(bufs[2][1], 105.0);
         // Negative offsets parse (they are valid for tid ≥ offset).
@@ -284,7 +309,10 @@ mod tests {
         let err = WarpInterpreter::new(IhwConfig::precise())
             .launch(&neg, 2, &mut bufs2)
             .unwrap_err();
-        assert!(matches!(err, crate::isa::ExecError::OutOfBounds { index: -1, .. }));
+        assert!(matches!(
+            err,
+            crate::isa::ExecError::OutOfBounds { index: -1, .. }
+        ));
     }
 
     #[test]
@@ -303,7 +331,9 @@ mod tests {
         )
         .expect("assembles");
         let mut bufs = vec![vec![5.0f32]];
-        WarpInterpreter::new(IhwConfig::precise()).launch(&prog, 1, &mut bufs).expect("runs");
+        WarpInterpreter::new(IhwConfig::precise())
+            .launch(&prog, 1, &mut bufs)
+            .expect("runs");
         // sqrt·rsqrt = 1, rcp(1) = 1, log2(1) = 0.
         assert!(bufs[0][0].abs() < 1e-6);
     }
@@ -331,7 +361,9 @@ mod tests {
     fn register_file_sized_automatically() {
         let prog = assemble("wide", "movi r7, 1.0\nst b0[0], r7").expect("assembles");
         let mut bufs = vec![vec![0.0f32]];
-        WarpInterpreter::new(IhwConfig::precise()).launch(&prog, 1, &mut bufs).expect("runs");
+        WarpInterpreter::new(IhwConfig::precise())
+            .launch(&prog, 1, &mut bufs)
+            .expect("runs");
         assert_eq!(bufs[0][0], 1.0);
     }
 }

@@ -35,7 +35,10 @@ pub struct DvfsPoint {
 
 impl DvfsPoint {
     /// The nominal operating point.
-    pub const NOMINAL: DvfsPoint = DvfsPoint { voltage: 1.0, frequency: 1.0 };
+    pub const NOMINAL: DvfsPoint = DvfsPoint {
+        voltage: 1.0,
+        frequency: 1.0,
+    };
 
     /// Creates a scaled operating point.
     ///
@@ -45,8 +48,14 @@ impl DvfsPoint {
     /// does not exceed what the voltage supports (first-order:
     /// `f ≤ V`, the near-linear region above threshold).
     pub fn scaled(voltage: f64, frequency: f64) -> Self {
-        assert!(voltage > 0.0 && voltage <= 1.2, "voltage factor out of range");
-        assert!(frequency > 0.0 && frequency <= 1.2, "frequency factor out of range");
+        assert!(
+            voltage > 0.0 && voltage <= 1.2,
+            "voltage factor out of range"
+        );
+        assert!(
+            frequency > 0.0 && frequency <= 1.2,
+            "frequency factor out of range"
+        );
         assert!(
             frequency <= voltage + 1e-9,
             "frequency {frequency} unsupported at voltage {voltage}"
@@ -92,13 +101,15 @@ impl Default for DvfsPoint {
 ///
 /// Panics unless `ihw_system_savings ∈ [0, 1]` and
 /// `dynamic_share ∈ [0, 1]`.
-pub fn combined_power_factor(
-    ihw_system_savings: f64,
-    point: DvfsPoint,
-    dynamic_share: f64,
-) -> f64 {
-    assert!((0.0..=1.0).contains(&ihw_system_savings), "savings out of range");
-    assert!((0.0..=1.0).contains(&dynamic_share), "dynamic share out of range");
+pub fn combined_power_factor(ihw_system_savings: f64, point: DvfsPoint, dynamic_share: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&ihw_system_savings),
+        "savings out of range"
+    );
+    assert!(
+        (0.0..=1.0).contains(&dynamic_share),
+        "dynamic share out of range"
+    );
     let dynamic = dynamic_share * (1.0 - ihw_system_savings) * point.dynamic_power_factor();
     let leakage = (1.0 - dynamic_share) * point.leakage_factor();
     dynamic + leakage

@@ -141,7 +141,10 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::UnknownBuffer { buffer } => write!(f, "unknown buffer {buffer}"),
             ExecError::OutOfBounds { buffer, index, len } => {
-                write!(f, "access to element {index} of buffer {buffer} (len {len})")
+                write!(
+                    f,
+                    "access to element {index} of buffer {buffer} (len {len})"
+                )
             }
         }
     }
@@ -176,7 +179,11 @@ impl Program {
                 }
             }
         }
-        Ok(Program { name: name.into(), regs, instrs })
+        Ok(Program {
+            name: name.into(),
+            regs,
+            instrs,
+        })
     }
 
     /// Kernel name.
@@ -207,7 +214,9 @@ pub struct WarpInterpreter {
 impl WarpInterpreter {
     /// Creates an interpreter over the given datapath configuration.
     pub fn new(cfg: IhwConfig) -> Self {
-        WarpInterpreter { ctx: FpCtx::new(cfg) }
+        WarpInterpreter {
+            ctx: FpCtx::new(cfg),
+        }
     }
 
     /// The accumulated counters (shared across launches until reset).
@@ -304,21 +313,27 @@ impl WarpInterpreter {
         Ok(())
     }
 
-    fn element<'b>(
-        buffers: &'b mut [Vec<f32>],
+    fn element(
+        buffers: &mut [Vec<f32>],
         buf: usize,
         mode: AddrMode,
         tid: u32,
-    ) -> Result<&'b mut f32, ExecError> {
+    ) -> Result<&mut f32, ExecError> {
         let idx: i64 = match mode {
             AddrMode::Tid => tid as i64,
             AddrMode::TidPlus(off) => tid as i64 + off,
             AddrMode::Abs(i) => i as i64,
         };
-        let buffer = buffers.get_mut(buf).ok_or(ExecError::UnknownBuffer { buffer: buf })?;
+        let buffer = buffers
+            .get_mut(buf)
+            .ok_or(ExecError::UnknownBuffer { buffer: buf })?;
         let len = buffer.len();
         if idx < 0 || idx as usize >= len {
-            return Err(ExecError::OutOfBounds { buffer: buf, index: idx, len });
+            return Err(ExecError::OutOfBounds {
+                buffer: buf,
+                index: idx,
+                len,
+            });
         }
         Ok(&mut buffer[idx as usize])
     }
@@ -326,15 +341,15 @@ impl WarpInterpreter {
     /// Builds the timing-model launch descriptor for a completed run.
     pub fn kernel_launch(&self, prog: &Program, threads: u32) -> KernelLaunch {
         KernelLaunch::new(
-        prog.name.clone(),
-        threads.div_ceil(256).max(1),
-        threads.min(256),
-        InstrMix {
+            prog.name.clone(),
+            threads.div_ceil(256).max(1),
+            threads.min(256),
+            InstrMix {
                 fp: self.ctx.counts().clone(),
                 int_ops: self.ctx.int_ops(),
                 mem_ops: self.ctx.mem_ops(),
             },
-    )
+        )
     }
 }
 
@@ -493,7 +508,10 @@ mod tests {
     #[test]
     fn unroll_builds_longer_kernels() {
         let base = Program::new("acc", 2, vec![Instr::Movi(Reg(0), 0.0)]).expect("valid");
-        let body = [Instr::Movi(Reg(1), 1.0), Instr::Fadd(Reg(0), Reg(0), Reg(1))];
+        let body = [
+            Instr::Movi(Reg(1), 1.0),
+            Instr::Fadd(Reg(0), Reg(0), Reg(1)),
+        ];
         let prog = base.unroll(&body, 10).expect("valid");
         assert_eq!(prog.instrs().len(), 1 + 20);
         let with_st = Program::new(

@@ -45,9 +45,9 @@
 
 pub mod asm;
 pub mod dispatch;
-pub mod memory;
 pub mod dvfs;
 pub mod isa;
+pub mod memory;
 pub mod programs;
 pub mod shared;
 pub mod simt;
@@ -58,8 +58,8 @@ pub mod wattch;
 pub mod prelude {
     pub use crate::dispatch::FpCtx;
     pub use crate::dvfs::DvfsPoint;
-    pub use crate::memory::MemoryHierarchy;
     pub use crate::isa::{Instr, Program, Reg, WarpInterpreter};
+    pub use crate::memory::MemoryHierarchy;
     pub use crate::shared::SharedFpCtx;
     pub use crate::simt::{GpuConfig, InstrMix, KernelLaunch, SimStats, Simulator, UnitClass};
     pub use crate::tuner::{tune, tune_sites, QualityConstraint, TuningOutcome, TuningStep};

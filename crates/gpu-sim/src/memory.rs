@@ -59,8 +59,14 @@ impl MemoryHierarchy {
     /// Panics if either hit rate is outside `[0, 1]` or any latency,
     /// energy or bandwidth figure is non-positive.
     pub fn validate(&self) {
-        assert!((0.0..=1.0).contains(&self.l1_hit_rate), "l1 hit rate out of range");
-        assert!((0.0..=1.0).contains(&self.l2_hit_rate), "l2 hit rate out of range");
+        assert!(
+            (0.0..=1.0).contains(&self.l1_hit_rate),
+            "l1 hit rate out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.l2_hit_rate),
+            "l2 hit rate out of range"
+        );
         assert!(self.l1_latency > 0 && self.l2_latency > 0 && self.dram_latency > 0);
         assert!(self.l1_energy_pj > 0.0 && self.l2_energy_pj > 0.0 && self.dram_energy_pj > 0.0);
         assert!(self.access_bytes > 0.0 && self.dram_bytes_per_cycle > 0.0);
@@ -76,8 +82,7 @@ impl MemoryHierarchy {
         let l1_miss = 1.0 - self.l1_hit_rate;
         self.l1_latency as f64
             + l1_miss
-                * (self.l2_latency as f64
-                    + (1.0 - self.l2_hit_rate) * self.dram_latency as f64)
+                * (self.l2_latency as f64 + (1.0 - self.l2_hit_rate) * self.dram_latency as f64)
     }
 
     /// Expected energy per access in pJ (every access touches L1; misses

@@ -84,7 +84,9 @@ mod tests {
         let y: Vec<f32> = (0..n).map(|i| 100.0 - i as f32).collect();
         let mut bufs = vec![x.clone(), y.clone()];
         let mut interp = WarpInterpreter::new(IhwConfig::precise());
-        interp.launch(&saxpy(3.0), n as u32, &mut bufs).expect("runs");
+        interp
+            .launch(&saxpy(3.0), n as u32, &mut bufs)
+            .expect("runs");
         for i in 0..n {
             assert_eq!(bufs[1][i], 3.0f32.mul_add(x[i], y[i]));
         }
@@ -108,10 +110,12 @@ mod tests {
         let y = vec![2.0f32; n + chunk];
         let mut bufs = vec![x, y, vec![0.0f32; n]];
         let mut interp = WarpInterpreter::new(IhwConfig::precise());
-        interp.launch(&dot_partial(chunk), n as u32, &mut bufs).expect("runs");
-        for i in 0..n {
+        interp
+            .launch(&dot_partial(chunk), n as u32, &mut bufs)
+            .expect("runs");
+        for (i, &got) in bufs[2].iter().enumerate().take(n) {
             let expect: f32 = (i..i + chunk).map(|j| j as f32 * 2.0).sum();
-            assert_eq!(bufs[2][i], expect, "thread {i}");
+            assert_eq!(got, expect, "thread {i}");
         }
     }
 

@@ -47,7 +47,10 @@ struct Totals {
 impl SharedFpCtx {
     /// Creates a shared context for the given configuration.
     pub fn new(cfg: IhwConfig) -> Self {
-        SharedFpCtx { cfg, inner: Arc::new(Mutex::new(Totals::default())) }
+        SharedFpCtx {
+            cfg,
+            inner: Arc::new(Mutex::new(Totals::default())),
+        }
     }
 
     /// The configuration every shard dispatches with.
@@ -57,7 +60,10 @@ impl SharedFpCtx {
 
     /// Creates a thread-local shard; its counters merge back on drop.
     pub fn shard(&self) -> ContextShard {
-        ContextShard { ctx: FpCtx::new(self.cfg), parent: Arc::clone(&self.inner) }
+        ContextShard {
+            ctx: FpCtx::new(self.cfg),
+            parent: Arc::clone(&self.inner),
+        }
     }
 
     /// Merged floating point counters from all completed shards.

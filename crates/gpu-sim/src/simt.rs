@@ -88,7 +88,12 @@ pub enum UnitClass {
 
 impl UnitClass {
     /// All SM issue ports (DRAM is not an issue port).
-    pub const ALL: [UnitClass; 4] = [UnitClass::Fpu, UnitClass::Sfu, UnitClass::Alu, UnitClass::Lsu];
+    pub const ALL: [UnitClass; 4] = [
+        UnitClass::Fpu,
+        UnitClass::Sfu,
+        UnitClass::Alu,
+        UnitClass::Lsu,
+    ];
 
     /// The port an FP operation class issues to.
     pub fn for_fp_op(op: FpOp) -> UnitClass {
@@ -147,13 +152,22 @@ pub struct KernelLaunch {
     pub warp_efficiency: f64,
 }
 
+// Referenced from the `#[serde(default)]` attribute, which the offline
+// serde shim expands to nothing — keep it alive for when the real
+// dependency returns.
+#[allow(dead_code)]
 fn default_warp_efficiency() -> f64 {
     1.0
 }
 
 impl KernelLaunch {
     /// Creates a launch descriptor with full warp efficiency.
-    pub fn new(name: impl Into<String>, blocks: u32, threads_per_block: u32, mix: InstrMix) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        blocks: u32,
+        threads_per_block: u32,
+        mix: InstrMix,
+    ) -> Self {
         KernelLaunch {
             name: name.into(),
             blocks,
@@ -295,8 +309,10 @@ impl Simulator {
         let per_class = self.warp_instrs(k);
         // Per-SM instruction queue, interleaved deterministically across
         // classes (largest-remainder round robin).
-        let mut remaining: Vec<(UnitClass, u64)> =
-            per_class.iter().map(|&(u, n)| (u, n.div_ceil(sms))).collect();
+        let mut remaining: Vec<(UnitClass, u64)> = per_class
+            .iter()
+            .map(|&(u, n)| (u, n.div_ceil(sms)))
+            .collect();
         let total: u64 = remaining.iter().map(|&(_, n)| n).sum();
         let mut queue = Vec::with_capacity(total as usize);
         while remaining.iter().any(|&(_, n)| n > 0) {
@@ -391,19 +407,23 @@ impl Simulator {
         // warp-instruction queue strides by both factors.
         let stride = (self.cfg.num_sms * self.cfg.warp_size).max(1) as usize;
         let queue: Vec<UnitClass> = trace.iter().copied().step_by(stride).collect();
-        let warps_resident = (threads.div_ceil(self.cfg.warp_size as u64)
-            / self.cfg.num_sms as u64)
+        let warps_resident = (threads.div_ceil(self.cfg.warp_size as u64) / self.cfg.num_sms as u64)
             .clamp(1, self.cfg.max_warps_per_sm as u64) as usize;
         let cycles = self.run_scheduler(&queue, warps_resident) + self.cfg.pipeline_depth as u64;
-        let total_warp_instr =
-            (trace.len() as u64).div_ceil(self.cfg.warp_size as u64).max(1);
+        let total_warp_instr = (trace.len() as u64)
+            .div_ceil(self.cfg.warp_size as u64)
+            .max(1);
         let mut per_unit = [0u64; 4];
         for &u in trace {
             if let Some(i) = UnitClass::ALL.iter().position(|&x| x == u) {
                 per_unit[i] += 1;
             }
         }
-        let (bi, _) = per_unit.iter().enumerate().max_by_key(|(_, &n)| n).expect("four units");
+        let (bi, _) = per_unit
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &n)| n)
+            .expect("four units");
         SimStats {
             cycles,
             time_us: cycles as f64 / (self.cfg.clock_ghz * 1e3),
@@ -482,7 +502,16 @@ mod tests {
         fp.record(FpOp::Add, fpu / 2);
         fp.record(FpOp::Mul, fpu - fpu / 2);
         fp.record(FpOp::Rcp, sfu);
-        KernelLaunch::new("test", 120, 256, InstrMix { fp, int_ops: alu, mem_ops: mem })
+        KernelLaunch::new(
+            "test",
+            120,
+            256,
+            InstrMix {
+                fp,
+                int_ops: alu,
+                mem_ops: mem,
+            },
+        )
     }
 
     #[test]
@@ -587,7 +616,12 @@ mod tests {
         let synth = sim.simulate_detailed(&k);
         assert!(replay.cycles > 0);
         let ratio = replay.cycles as f64 / synth.cycles as f64;
-        assert!((0.3..3.0).contains(&ratio), "replay {} vs synth {}", replay.cycles, synth.cycles);
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "replay {} vs synth {}",
+            replay.cycles,
+            synth.cycles
+        );
     }
 
     #[test]

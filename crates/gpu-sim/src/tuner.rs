@@ -86,12 +86,22 @@ pub fn tune<C: Clone>(
     for config in candidates {
         let quality = evaluate(&config);
         let accepted = constraint.satisfied_by(quality);
-        history.push(TuningStep { config: config.clone(), quality, accepted });
+        history.push(TuningStep {
+            config: config.clone(),
+            quality,
+            accepted,
+        });
         if accepted {
-            return TuningOutcome { selected: Some(config), history };
+            return TuningOutcome {
+                selected: Some(config),
+                history,
+            };
         }
     }
-    TuningOutcome { selected: None, history }
+    TuningOutcome {
+        selected: None,
+        history,
+    }
 }
 
 /// Result of a per-site tuning run (see [`tune_sites`]).
@@ -164,7 +174,11 @@ pub fn tune_sites(
             break;
         }
     }
-    SiteTuningOutcome { enabled, quality, evaluations }
+    SiteTuningOutcome {
+        enabled,
+        quality,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -194,8 +208,7 @@ mod tests {
 
     #[test]
     fn returns_none_when_unsatisfiable() {
-        let outcome =
-            tune(vec![1, 2, 3], |_| 0.1, QualityConstraint::AtLeast(0.99));
+        let outcome = tune(vec![1, 2, 3], |_| 0.1, QualityConstraint::AtLeast(0.99));
         assert_eq!(outcome.selected, None);
         assert_eq!(outcome.iterations(), 3);
         assert!(outcome.history.iter().all(|s| !s.accepted));
@@ -255,9 +268,11 @@ mod tests {
 
     #[test]
     fn site_tuning_all_critical() {
-        let outcome =
-            tune_sites(4, |mask| if mask.iter().any(|&e| e) { 0.0 } else { 1.0 },
-                QualityConstraint::AtLeast(0.5));
+        let outcome = tune_sites(
+            4,
+            |mask| if mask.iter().any(|&e| e) { 0.0 } else { 1.0 },
+            QualityConstraint::AtLeast(0.5),
+        );
         assert!(outcome.enabled.iter().all(|&e| !e));
         assert_eq!(outcome.quality, 1.0);
     }

@@ -165,7 +165,16 @@ mod tests {
         fp.record(FpOp::Mul, 2_500_000);
         fp.record(FpOp::Rcp, 800_000);
         fp.record(FpOp::Sqrt, 700_000);
-        KernelLaunch::new("compute", 4096, 256, InstrMix { fp, int_ops: 5_000_000, mem_ops: 2_500_000 })
+        KernelLaunch::new(
+            "compute",
+            4096,
+            256,
+            InstrMix {
+                fp,
+                int_ops: 5_000_000,
+                mem_ops: 2_500_000,
+            },
+        )
     }
 
     fn run(k: &KernelLaunch) -> PowerBreakdown {
@@ -181,7 +190,11 @@ mod tests {
             (0.20..=0.50).contains(&arith),
             "arithmetic share {arith} outside the Figure 2 band"
         );
-        assert!(b.alu_share() < 0.10, "ALU share {} should stay <10%", b.alu_share());
+        assert!(
+            b.alu_share() < 0.10,
+            "ALU share {} should stay <10%",
+            b.alu_share()
+        );
     }
 
     #[test]
@@ -210,7 +223,16 @@ mod tests {
         let mut fp = OpCounts::new();
         fp.record(FpOp::Add, 1_000_000);
         fp.record(FpOp::Rsqrt, 3_000_000);
-        let k = KernelLaunch::new("sfu", 4096, 256, InstrMix { fp, int_ops: 1_000_000, mem_ops: 500_000 });
+        let k = KernelLaunch::new(
+            "sfu",
+            4096,
+            256,
+            InstrMix {
+                fp,
+                int_ops: 1_000_000,
+                mem_ops: 500_000,
+            },
+        );
         let b = run(&k);
         assert!(b.sfu_share() > b.fpu_share());
     }

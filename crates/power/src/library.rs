@@ -2,7 +2,7 @@
 //!
 //! The paper obtains non-functional metrics by synthesizing every IHW unit
 //! and its Synopsys DesignWare IP (DWIP) counterpart with Design Compiler
-//! + Encounter and measuring post-layout SPICE power in HSIM (Figure 11).
+//! and Encounter, measuring post-layout SPICE power in HSIM (Figure 11).
 //! That toolchain is proprietary, so this module embeds a *calibrated
 //! library*: the published numbers (Tables 2, 3, 4) are stored directly,
 //! and the DWIP absolute baselines that the thesis does not publish are
@@ -83,11 +83,8 @@ impl SynthesisLibrary {
                     .find(|(o, ..)| *o == op)
                     .copied()
                     .expect("every op has a Table 2 row");
-                let ihw = UnitMetrics::new(
-                    base.power_mw * pn,
-                    base.latency_ns * ln,
-                    base.area_um2 * an,
-                );
+                let ihw =
+                    UnitMetrics::new(base.power_mw * pn, base.latency_ns * ln, base.area_um2 * an);
                 (op, base, ihw)
             })
             .collect();
@@ -96,7 +93,11 @@ impl SynthesisLibrary {
 
     /// DWIP (precise baseline) metrics for an operation class.
     pub fn dwip(&self, op: FpOp) -> UnitMetrics {
-        self.single.iter().find(|(o, ..)| *o == op).expect("op present").1
+        self.single
+            .iter()
+            .find(|(o, ..)| *o == op)
+            .expect("op present")
+            .1
     }
 
     /// Returns a copy with one unit's absolute power scaled (both the
@@ -123,7 +124,11 @@ impl SynthesisLibrary {
 
     /// IHW (Table 1 imprecise unit) metrics for an operation class.
     pub fn ihw(&self, op: FpOp) -> UnitMetrics {
-        self.single.iter().find(|(o, ..)| *o == op).expect("op present").2
+        self.single
+            .iter()
+            .find(|(o, ..)| *o == op)
+            .expect("op present")
+            .2
     }
 
     /// Normalized IHW metrics (the Table 2 row for `op`).
@@ -240,12 +245,21 @@ mod tests {
     fn unit_power_scaling_preserves_ratios() {
         let lib = SynthesisLibrary::cmos45();
         let scaled = lib.with_unit_power_scaled(FpOp::Add, 2.0);
-        assert_eq!(scaled.dwip(FpOp::Add).power_mw, lib.dwip(FpOp::Add).power_mw * 2.0);
-        assert_eq!(scaled.ihw(FpOp::Add).power_mw, lib.ihw(FpOp::Add).power_mw * 2.0);
+        assert_eq!(
+            scaled.dwip(FpOp::Add).power_mw,
+            lib.dwip(FpOp::Add).power_mw * 2.0
+        );
+        assert_eq!(
+            scaled.ihw(FpOp::Add).power_mw,
+            lib.ihw(FpOp::Add).power_mw * 2.0
+        );
         // Table 2 ratio untouched.
         assert!((scaled.normalized(FpOp::Add).power - 0.31).abs() < 1e-12);
         // Other units untouched.
-        assert_eq!(scaled.dwip(FpOp::Mul).power_mw, lib.dwip(FpOp::Mul).power_mw);
+        assert_eq!(
+            scaled.dwip(FpOp::Mul).power_mw,
+            lib.dwip(FpOp::Mul).power_mw
+        );
     }
 
     #[test]

@@ -17,7 +17,11 @@ pub struct UnitMetrics {
 impl UnitMetrics {
     /// Creates a metrics record.
     pub const fn new(power_mw: f64, latency_ns: f64, area_um2: f64) -> Self {
-        UnitMetrics { power_mw, latency_ns, area_um2 }
+        UnitMetrics {
+            power_mw,
+            latency_ns,
+            area_um2,
+        }
     }
 
     /// Energy per operation in picojoules (`power × latency`).

@@ -170,10 +170,16 @@ mod tests {
         // The paper's Figure 14 argument: at 21 truncated bits the
         // intuitive scheme only reaches ≈2–3×, while the log path exceeds
         // 25× at comparable error.
-        let trunc = power_reduction(&MulUnit::Truncated(TruncatedMul::new(21)), Precision::Single);
+        let trunc = power_reduction(
+            &MulUnit::Truncated(TruncatedMul::new(21)),
+            Precision::Single,
+        );
         assert!(trunc > 2.0 && trunc < 4.0, "trunc 21: {trunc}×");
         let log = power_reduction(&ac(MulPath::Log, 19), Precision::Single);
-        assert!(log / trunc > 6.0, "AC multiplier dominates: {log}× vs {trunc}×");
+        assert!(
+            log / trunc > 6.0,
+            "AC multiplier dominates: {log}× vs {trunc}×"
+        );
     }
 
     #[test]

@@ -52,12 +52,20 @@ impl OpCounts {
 
     /// Total count of FPU-class ops (add/mul/fma).
     pub fn fpu_total(&self) -> u64 {
-        self.counts.iter().filter(|(op, _)| !op.is_sfu()).map(|(_, &c)| c).sum()
+        self.counts
+            .iter()
+            .filter(|(op, _)| !op.is_sfu())
+            .map(|(_, &c)| c)
+            .sum()
     }
 
     /// Total count of SFU-class ops.
     pub fn sfu_total(&self) -> u64 {
-        self.counts.iter().filter(|(op, _)| op.is_sfu()).map(|(_, &c)| c).sum()
+        self.counts
+            .iter()
+            .filter(|(op, _)| op.is_sfu())
+            .map(|(_, &c)| c)
+            .sum()
     }
 
     /// Merges another counter set into this one.
@@ -215,8 +223,11 @@ impl SystemPowerModel {
         // Combined arithmetic savings: energy-weighted over both classes.
         let dw_arith = dw_fpu_eng + dw_sfu_eng;
         let ihw_arith = ihw_fpu_eng + ihw_sfu_eng;
-        let arithmetic_savings =
-            if dw_arith > 0.0 { (dw_arith - ihw_arith) / dw_arith } else { 0.0 };
+        let arithmetic_savings = if dw_arith > 0.0 {
+            (dw_arith - ihw_arith) / dw_arith
+        } else {
+            0.0
+        };
 
         let system_savings = shares.fpu * fpu_improvement + shares.sfu * sfu_improvement;
 
@@ -322,7 +333,11 @@ mod tests {
             PowerShares::new(0.25, 0.10),
         );
         assert!(est.fpu_improvement > 0.7, "fpu {}", est.fpu_improvement);
-        assert!(est.arithmetic_savings > 0.6, "arith {}", est.arithmetic_savings);
+        assert!(
+            est.arithmetic_savings > 0.6,
+            "arith {}",
+            est.arithmetic_savings
+        );
         assert!(
             est.system_savings > 0.2 && est.system_savings < 0.35,
             "system {}",
@@ -383,8 +398,11 @@ mod tests {
     #[test]
     fn empty_counts_are_harmless() {
         let model = SystemPowerModel::new();
-        let est =
-            model.estimate(&OpCounts::new(), &IhwConfig::all_imprecise(), PowerShares::new(0.2, 0.1));
+        let est = model.estimate(
+            &OpCounts::new(),
+            &IhwConfig::all_imprecise(),
+            PowerShares::new(0.2, 0.1),
+        );
         assert_eq!(est.system_savings, 0.0);
     }
 }

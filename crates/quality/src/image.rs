@@ -26,7 +26,11 @@ impl GrayImage {
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be positive");
-        GrayImage { width, height, data: vec![0.0; width * height] }
+        GrayImage {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
     }
 
     /// Builds an image from a per-pixel function `f(x, y)`.
@@ -51,8 +55,16 @@ impl GrayImage {
     /// Panics if `data.len() != width * height` or a dimension is zero.
     pub fn from_vec(width: usize, height: usize, data: Vec<f64>) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be positive");
-        assert_eq!(data.len(), width * height, "buffer size must match dimensions");
-        GrayImage { width, height, data }
+        assert_eq!(
+            data.len(),
+            width * height,
+            "buffer size must match dimensions"
+        );
+        GrayImage {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Image width in pixels.
@@ -72,7 +84,10 @@ impl GrayImage {
     /// Panics if the coordinates are out of bounds.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> f64 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x]
     }
 
@@ -83,7 +98,10 @@ impl GrayImage {
     /// Panics if the coordinates are out of bounds.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, v: f64) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x] = v;
     }
 
@@ -115,7 +133,11 @@ impl GrayImage {
         let (lo, hi) = self.min_max();
         let span = (hi - lo).max(1e-12);
         let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
-        out.extend(self.data.iter().map(|&v| (((v - lo) / span) * 255.0).round() as u8));
+        out.extend(
+            self.data
+                .iter()
+                .map(|&v| (((v - lo) / span) * 255.0).round() as u8),
+        );
         out
     }
 
@@ -141,14 +163,10 @@ impl GrayImage {
                 let p = |dx: isize, dy: isize| {
                     self.data[(y as isize + dy) as usize * w + (x as isize + dx) as usize]
                 };
-                let gx = -p(-1, -1) - 2.0 * p(-1, 0) - p(-1, 1)
-                    + p(1, -1)
-                    + 2.0 * p(1, 0)
-                    + p(1, 1);
-                let gy = -p(-1, -1) - 2.0 * p(0, -1) - p(1, -1)
-                    + p(-1, 1)
-                    + 2.0 * p(0, 1)
-                    + p(1, 1);
+                let gx =
+                    -p(-1, -1) - 2.0 * p(-1, 0) - p(-1, 1) + p(1, -1) + 2.0 * p(1, 0) + p(1, 1);
+                let gy =
+                    -p(-1, -1) - 2.0 * p(0, -1) - p(1, -1) + p(-1, 1) + 2.0 * p(0, 1) + p(1, 1);
                 edges[y * w + x] = (gx * gx + gy * gy).sqrt() > threshold;
             }
         }

@@ -15,7 +15,11 @@
 /// ```
 pub fn mae(reference: &[f64], measured: &[f64]) -> f64 {
     check(reference, measured);
-    let sum: f64 = reference.iter().zip(measured).map(|(r, m)| (r - m).abs()).sum();
+    let sum: f64 = reference
+        .iter()
+        .zip(measured)
+        .map(|(r, m)| (r - m).abs())
+        .sum();
     sum / reference.len() as f64
 }
 
@@ -26,7 +30,11 @@ pub fn mae(reference: &[f64], measured: &[f64]) -> f64 {
 /// Panics if the slices differ in length or are empty.
 pub fn mse(reference: &[f64], measured: &[f64]) -> f64 {
     check(reference, measured);
-    let sum: f64 = reference.iter().zip(measured).map(|(r, m)| (r - m) * (r - m)).sum();
+    let sum: f64 = reference
+        .iter()
+        .zip(measured)
+        .map(|(r, m)| (r - m) * (r - m))
+        .sum();
     sum / reference.len() as f64
 }
 
@@ -46,7 +54,11 @@ pub fn rmse(reference: &[f64], measured: &[f64]) -> f64 {
 /// Panics if the slices differ in length or are empty.
 pub fn wed(reference: &[f64], measured: &[f64]) -> f64 {
     check(reference, measured);
-    reference.iter().zip(measured).map(|(r, m)| (r - m).abs()).fold(0.0, f64::max)
+    reference
+        .iter()
+        .zip(measured)
+        .map(|(r, m)| (r - m).abs())
+        .fold(0.0, f64::max)
 }
 
 /// Peak signal-to-noise ratio in dB for a signal with the given `peak`

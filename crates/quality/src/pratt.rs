@@ -54,8 +54,7 @@ pub fn pratt_fom(detected: &[bool], ideal: &[bool], width: usize, height: usize)
 pub fn squared_edt(map: &[bool], width: usize, height: usize) -> Vec<f64> {
     assert_eq!(map.len(), width * height, "map size mismatch");
     const INF: f64 = 1e20;
-    let mut grid: Vec<f64> =
-        map.iter().map(|&e| if e { 0.0 } else { INF }).collect();
+    let mut grid: Vec<f64> = map.iter().map(|&e| if e { 0.0 } else { INF }).collect();
 
     // Transform columns, then rows.
     let mut scratch = vec![0.0f64; width.max(height)];

@@ -30,7 +30,10 @@ impl Summary {
     /// Panics on an empty sample or NaN values.
     pub fn of(samples: &[f64]) -> Summary {
         assert!(!samples.is_empty(), "summary needs at least one sample");
-        assert!(samples.iter().all(|v| !v.is_nan()), "samples must not be NaN");
+        assert!(
+            samples.iter().all(|v| !v.is_nan()),
+            "samples must not be NaN"
+        );
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {

@@ -39,7 +39,12 @@ pub struct ArtParams {
 
 impl Default for ArtParams {
     fn default() -> Self {
-        ArtParams { image_size: 48, object: 0, noise_milli: 60, seed: 0xa47 }
+        ArtParams {
+            image_size: 48,
+            object: 0,
+            noise_milli: 60,
+            seed: 0xa47,
+        }
     }
 }
 
@@ -61,11 +66,11 @@ pub fn templates() -> [[f64; PATCH * PATCH]; 2] {
     let mut plane = [0.05f64; PATCH * PATCH];
     for i in 0..PATCH {
         // Helicopter: vertical body + horizontal rotor at the top.
-        heli[1 * PATCH + i] = 0.9; // rotor
+        heli[PATCH + i] = 0.9; // rotor
         heli[i * PATCH + PATCH / 2] = 0.8; // body
-        // Airplane: fuselage + swept wings.
+                                           // Airplane: fuselage + swept wings.
         plane[i * PATCH + PATCH / 2] = 0.85; // fuselage
-        if i >= 2 && i < PATCH - 2 {
+        if (2..PATCH - 2).contains(&i) {
             plane[(PATCH / 2) * PATCH + i] = 0.9; // wings
         }
     }
@@ -81,8 +86,9 @@ pub fn synth_image(params: &ArtParams) -> (Vec<f64>, (usize, usize)) {
     let n = params.image_size;
     let mut rng = StdRng::seed_from_u64(params.seed);
     let noise = params.noise_milli as f64 / 1000.0;
-    let mut img: Vec<f64> =
-        (0..n * n).map(|_| 0.05 + rng.gen_range(0.0..noise)).collect();
+    let mut img: Vec<f64> = (0..n * n)
+        .map(|_| 0.05 + rng.gen_range(0.0..noise))
+        .collect();
     let tpl = templates()[params.object.min(1)];
     let x0 = rng.gen_range(2..n - PATCH - 2);
     let y0 = rng.gen_range(2..n - PATCH - 2);
@@ -115,7 +121,11 @@ pub fn run(params: &ArtParams, image: &[f64], ctx: &mut FpCtx) -> ArtOutput {
     assert_eq!(image.len(), n * n, "image size mismatch");
     let weights = bottom_up_weights();
 
-    let mut best = ArtOutput { category: 0, location: (0, 0), vigilance: -1.0 };
+    let mut best = ArtOutput {
+        category: 0,
+        location: (0, 0),
+        vigilance: -1.0,
+    };
     for y0 in 0..=(n - PATCH) {
         for x0 in 0..=(n - PATCH) {
             ctx.int_op(6);
@@ -146,7 +156,11 @@ pub fn run(params: &ArtParams, image: &[f64], ctx: &mut FpCtx) -> ArtOutput {
                 // Vigilance: cosine match of the window to the category.
                 let vig = ctx.mul64(act, inv_norm);
                 if vig > best.vigilance {
-                    best = ArtOutput { category: cat, location: (x0, y0), vigilance: vig };
+                    best = ArtOutput {
+                        category: cat,
+                        location: (x0, y0),
+                        vigilance: vig,
+                    };
                 }
             }
         }
@@ -188,14 +202,24 @@ mod tests {
     #[test]
     fn recognizes_embedded_object_precisely() {
         for object in 0..2 {
-            let params = ArtParams { object, ..ArtParams::default() };
+            let params = ArtParams {
+                object,
+                ..ArtParams::default()
+            };
             let (image, loc) = synth_image(&params);
             let mut ctx = FpCtx::new(IhwConfig::precise());
             let out = run(&params, &image, &mut ctx);
             assert_eq!(out.category, object, "wrong category for object {object}");
-            let (dx, dy) =
-                (out.location.0.abs_diff(loc.0), out.location.1.abs_diff(loc.1));
-            assert!(dx <= 2 && dy <= 2, "location {:?} vs {:?}", out.location, loc);
+            let (dx, dy) = (
+                out.location.0.abs_diff(loc.0),
+                out.location.1.abs_diff(loc.1),
+            );
+            assert!(
+                dx <= 2 && dy <= 2,
+                "location {:?} vs {:?}",
+                out.location,
+                loc
+            );
             assert!(out.vigilance > 0.8, "vigilance {}", out.vigilance);
         }
     }
@@ -214,9 +238,8 @@ mod tests {
         // at 26× power reduction, while intuitive truncation collapses.
         let params = ArtParams::default();
         let (p, _) = run_with_config(&params, IhwConfig::precise());
-        let mk_ac = |t| {
-            IhwConfig::precise().with_mul(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, t)))
-        };
+        let mk_ac =
+            |t| IhwConfig::precise().with_mul(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, t)));
         let (full44, _) = run_with_config(&params, mk_ac(44));
         assert!(
             full44.vigilance > p.vigilance - 0.2,

@@ -39,7 +39,13 @@ pub struct BackpropParams {
 
 impl Default for BackpropParams {
     fn default() -> Self {
-        BackpropParams { train: 240, test: 64, epochs: 80, learning_rate: 0.8, seed: 0xbac }
+        BackpropParams {
+            train: 240,
+            test: 64,
+            epochs: 80,
+            learning_rate: 0.8,
+            seed: 0xbac,
+        }
     }
 }
 
@@ -93,7 +99,9 @@ struct Net {
 impl Net {
     fn init(rng: &mut StdRng) -> Net {
         Net {
-            w1: (0..HIDDEN * INPUTS).map(|_| rng.gen_range(-0.5f32..0.5)).collect(),
+            w1: (0..HIDDEN * INPUTS)
+                .map(|_| rng.gen_range(-0.5f32..0.5))
+                .collect(),
             b1: vec![0.0; HIDDEN],
             w2: (0..HIDDEN).map(|_| rng.gen_range(-0.5f32..0.5)).collect(),
             b2: 0.0,
@@ -106,14 +114,14 @@ impl Net {
         for (j, hj) in h.iter_mut().enumerate() {
             ctx.mem_op(1);
             let mut acc = self.b1[j];
-            for i in 0..INPUTS {
-                acc = ctx.fma32(self.w1[j * INPUTS + i], x[i], acc);
+            for (i, &xi) in x.iter().enumerate() {
+                acc = ctx.fma32(self.w1[j * INPUTS + i], xi, acc);
             }
             *hj = sigmoid(ctx, acc);
         }
         let mut out = self.b2;
-        for j in 0..HIDDEN {
-            out = ctx.fma32(self.w2[j], h[j], out);
+        for (j, &hj) in h.iter().enumerate() {
+            out = ctx.fma32(self.w2[j], hj, out);
         }
         (h, sigmoid(ctx, out))
     }
@@ -141,18 +149,18 @@ pub fn run(params: &BackpropParams, ctx: &mut FpCtx) -> BackpropOutput {
             let err_y = ctx.mul32(err, y);
             let dy = ctx.mul32(err_y, one_minus_y);
             // Hidden-layer gradients and updates.
-            for j in 0..HIDDEN {
-                let one_minus_h = ctx.sub32(1.0, h[j]);
-                let hh = ctx.mul32(h[j], one_minus_h);
+            for (j, &hj) in h.iter().enumerate() {
+                let one_minus_h = ctx.sub32(1.0, hj);
+                let hh = ctx.mul32(hj, one_minus_h);
                 let dy_w2 = ctx.mul32(dy, net.w2[j]);
                 let dj = ctx.mul32(dy_w2, hh);
                 // w2 update uses the pre-update hidden activation.
                 let lr_dy = ctx.mul32(lr, dy);
-                let dw2 = ctx.mul32(lr_dy, h[j]);
+                let dw2 = ctx.mul32(lr_dy, hj);
                 net.w2[j] = ctx.sub32(net.w2[j], dw2);
                 let lr_dj = ctx.mul32(lr, dj);
-                for i in 0..INPUTS {
-                    let dw = ctx.mul32(lr_dj, x[i]);
+                for (i, &xi) in x.iter().enumerate() {
+                    let dw = ctx.mul32(lr_dj, xi);
                     let w = &mut net.w1[j * INPUTS + i];
                     *w = ctx.sub32(*w, dw);
                 }
@@ -171,7 +179,10 @@ pub fn run(params: &BackpropParams, ctx: &mut FpCtx) -> BackpropOutput {
             correct += 1;
         }
     }
-    BackpropOutput { accuracy: correct as f64 / test.len() as f64, train_loss: loss }
+    BackpropOutput {
+        accuracy: correct as f64 / test.len() as f64,
+        train_loss: loss,
+    }
 }
 
 /// Convenience: runs under a fresh context.
@@ -221,7 +232,8 @@ mod tests {
         // SGD is error tolerant: all-IHW training stays usable (the same
         // resiliency class as 179.art's network in the paper).
         let (precise, _) = run_with_config(&BackpropParams::default(), IhwConfig::precise());
-        let (imprecise, _) = run_with_config(&BackpropParams::default(), IhwConfig::all_imprecise());
+        let (imprecise, _) =
+            run_with_config(&BackpropParams::default(), IhwConfig::all_imprecise());
         assert!(
             imprecise.accuracy > precise.accuracy - 0.2,
             "imprecise {} vs precise {}",

@@ -18,8 +18,17 @@ use ihw_core::config::IhwConfig;
 use serde::{Deserialize, Serialize};
 
 /// D2Q9 lattice directions.
-const E: [(i32, i32); 9] =
-    [(0, 0), (1, 0), (0, 1), (-1, 0), (0, -1), (1, 1), (-1, 1), (-1, -1), (1, -1)];
+const E: [(i32, i32); 9] = [
+    (0, 0),
+    (1, 0),
+    (0, 1),
+    (-1, 0),
+    (0, -1),
+    (1, 1),
+    (-1, 1),
+    (-1, -1),
+    (1, -1),
+];
 /// D2Q9 lattice weights.
 const W: [f32; 9] = [
     4.0 / 9.0,
@@ -50,14 +59,23 @@ pub struct CfdParams {
 
 impl Default for CfdParams {
     fn default() -> Self {
-        CfdParams { size: 24, steps: 60, lid_velocity: 0.08, tau: 0.7 }
+        CfdParams {
+            size: 24,
+            steps: 60,
+            lid_velocity: 0.08,
+            tau: 0.7,
+        }
     }
 }
 
 impl CfdParams {
     /// Repro-scale instance.
     pub fn paper() -> Self {
-        CfdParams { size: 64, steps: 200, ..Default::default() }
+        CfdParams {
+            size: 64,
+            steps: 200,
+            ..Default::default()
+        }
     }
 }
 
@@ -75,7 +93,11 @@ pub struct CfdOutput {
 impl CfdOutput {
     /// Velocity-magnitude field (for maps and norms).
     pub fn speed(&self) -> Vec<f64> {
-        self.ux.iter().zip(&self.uy).map(|(x, y)| (x * x + y * y).sqrt()).collect()
+        self.ux
+            .iter()
+            .zip(&self.uy)
+            .map(|(x, y)| (x * x + y * y).sqrt())
+            .collect()
     }
 }
 
@@ -148,8 +170,7 @@ pub fn run(params: &CfdParams, ctx: &mut FpCtx) -> CfdOutput {
                         let mut fb = f[idx(x, y, i)];
                         if ny >= n as i32 {
                             // Moving-lid correction: −6 w_i ρ₀ (e_i · U).
-                            let corr =
-                                6.0 * W[i] * params.lid_velocity * E[i].0 as f32;
+                            let corr = 6.0 * W[i] * params.lid_velocity * E[i].0 as f32;
                             fb = ctx.sub32(fb, corr);
                         }
                         f_new[idx(x, y, OPP[i])] = fb;
@@ -212,7 +233,11 @@ mod tests {
     use ihw_quality::metrics::mae;
 
     fn small() -> CfdParams {
-        CfdParams { size: 16, steps: 30, ..CfdParams::default() }
+        CfdParams {
+            size: 16,
+            steps: 30,
+            ..CfdParams::default()
+        }
     }
 
     #[test]
@@ -268,7 +293,10 @@ mod tests {
         let mut rcp_only = IhwConfig::precise();
         rcp_only.rcp = UnitMode::Imprecise;
         let (r, _) = run_with_config(&params, rcp_only);
-        assert!(mae(&p.speed(), &r.speed()) < peak * 0.15, "reciprocal tolerated");
+        assert!(
+            mae(&p.speed(), &r.speed()) < peak * 0.15,
+            "reciprocal tolerated"
+        );
 
         let (all, _) = run_with_config(&params, IhwConfig::all_imprecise());
         let e_all = mae(&p.speed(), &all.speed());

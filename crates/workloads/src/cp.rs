@@ -33,14 +33,22 @@ pub struct CpParams {
 impl Default for CpParams {
     /// Test-scale instance; the repro harness uses 64×64 with 192 atoms.
     fn default() -> Self {
-        CpParams { size: 32, atoms: 64, seed: 0xc0ffee }
+        CpParams {
+            size: 32,
+            atoms: 64,
+            seed: 0xc0ffee,
+        }
     }
 }
 
 impl CpParams {
     /// Repro-scale instance.
     pub fn paper() -> Self {
-        CpParams { size: 64, atoms: 192, seed: 0xc0ffee }
+        CpParams {
+            size: 64,
+            atoms: 192,
+            seed: 0xc0ffee,
+        }
     }
 }
 
@@ -166,7 +174,11 @@ mod tests {
     #[test]
     fn potential_matches_direct_sum() {
         // Cross-check the counted kernel against an uninstrumented sum.
-        let params = CpParams { size: 8, atoms: 16, seed: 3 };
+        let params = CpParams {
+            size: 8,
+            atoms: 16,
+            seed: 3,
+        };
         let atoms = synth_atoms(&params);
         let (out, _) = run_with_config(&params, IhwConfig::precise());
         for gy in 0..8 {
@@ -205,10 +217,10 @@ mod tests {
         // at larger power reduction than intuitive truncation.
         let params = CpParams::default();
         let (reference, _) = run_with_config(&params, IhwConfig::precise());
-        let ac = IhwConfig::precise()
-            .with_mul(MulUnit::AcMul(AcMulConfig::new(MulPath::Log, 12)));
-        let tr = IhwConfig::precise()
-            .with_mul(MulUnit::Truncated(ihw_core::truncated::TruncatedMul::new(19)));
+        let ac = IhwConfig::precise().with_mul(MulUnit::AcMul(AcMulConfig::new(MulPath::Log, 12)));
+        let tr = IhwConfig::precise().with_mul(MulUnit::Truncated(
+            ihw_core::truncated::TruncatedMul::new(19),
+        ));
         let (ac_out, _) = run_with_config(&params, ac);
         let (tr_out, _) = run_with_config(&params, tr);
         let ac_mae = mae(&reference.potential, &ac_out.potential);
@@ -223,8 +235,8 @@ mod tests {
         let (reference, _) = run_with_config(&params, IhwConfig::precise());
         let mut prev = -1.0f64;
         for t in [0u32, 8, 16, 22] {
-            let cfg = IhwConfig::precise()
-                .with_mul(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, t)));
+            let cfg =
+                IhwConfig::precise().with_mul(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, t)));
             let (out, _) = run_with_config(&params, cfg);
             let e = mae(&reference.potential, &out.potential);
             assert!(e >= prev * 0.5, "t={t}: MAE {e} collapsed vs {prev}");

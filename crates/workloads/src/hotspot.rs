@@ -43,14 +43,24 @@ impl Default for HotspotParams {
     /// A laptop-scale instance (64×64, 32 steps) for tests; the repro
     /// harness uses the paper's 512×512.
     fn default() -> Self {
-        HotspotParams { rows: 64, cols: 64, steps: 32, seed: 0x9e3779b9 }
+        HotspotParams {
+            rows: 64,
+            cols: 64,
+            steps: 32,
+            seed: 0x9e3779b9,
+        }
     }
 }
 
 impl HotspotParams {
     /// The paper's configuration: a 512×512 block processor.
     pub fn paper() -> Self {
-        HotspotParams { rows: 512, cols: 512, steps: 60, seed: 0x9e3779b9 }
+        HotspotParams {
+            rows: 512,
+            cols: 512,
+            steps: 60,
+            seed: 0x9e3779b9,
+        }
     }
 }
 
@@ -128,8 +138,10 @@ pub fn run(params: &HotspotParams, ctx: &mut FpCtx) -> HotspotOutput {
     let power_w: Vec<f32> = power.iter().map(|&p| p * MAX_PD * cell_area).collect();
 
     // Structured initial condition (the Rodinia temp input analogue).
-    let mut t: Vec<f32> =
-        power.iter().map(|&p| T_INIT_BASE + INIT_SPREAD_K * p).collect();
+    let mut t: Vec<f32> = power
+        .iter()
+        .map(|&p| T_INIT_BASE + INIT_SPREAD_K * p)
+        .collect();
     let mut t_next = t.clone();
 
     for _ in 0..params.steps {
@@ -170,7 +182,11 @@ pub fn run(params: &HotspotParams, ctx: &mut FpCtx) -> HotspotOutput {
         std::mem::swap(&mut t, &mut t_next);
     }
 
-    HotspotOutput { rows: r, cols: c, temps: t.iter().map(|&v| v as f64).collect() }
+    HotspotOutput {
+        rows: r,
+        cols: c,
+        temps: t.iter().map(|&v| v as f64).collect(),
+    }
 }
 
 /// Convenience: runs under a fresh context and returns output + context.
@@ -203,7 +219,12 @@ mod tests {
     use ihw_quality::metrics::{mae, wed};
 
     fn small() -> HotspotParams {
-        HotspotParams { rows: 24, cols: 24, steps: 10, seed: 7 }
+        HotspotParams {
+            rows: 24,
+            cols: 24,
+            steps: 10,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -227,9 +248,11 @@ mod tests {
         // And the solver actually evolved the field from its initial state.
         let params = small();
         let power = synth_power_map(&params);
-        let evolved = out.temps.iter().zip(&power).any(|(&t, &p)| {
-            (t - (T_INIT_BASE + INIT_SPREAD_K * p) as f64).abs() > 1e-4
-        });
+        let evolved = out
+            .temps
+            .iter()
+            .zip(&power)
+            .any(|(&t, &p)| (t - (T_INIT_BASE + INIT_SPREAD_K * p) as f64).abs() > 1e-4);
         assert!(evolved, "solver did not change the field");
     }
 
@@ -245,7 +268,11 @@ mod tests {
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
             .expect("nonempty");
-        assert!(power[hot_idx] > 0.5, "hottest cell power {}", power[hot_idx]);
+        assert!(
+            power[hot_idx] > 0.5,
+            "hottest cell power {}",
+            power[hot_idx]
+        );
     }
 
     #[test]
@@ -269,7 +296,10 @@ mod tests {
         let (_, ctx) = run_with_config(&small(), IhwConfig::precise());
         assert!(ctx.counts().get(FpOp::Add) > 0);
         assert!(ctx.counts().get(FpOp::Mul) > 0);
-        assert!(ctx.counts().get(FpOp::Rcp) > 0, "thermal reciprocals hit the SFU");
+        assert!(
+            ctx.counts().get(FpOp::Rcp) > 0,
+            "thermal reciprocals hit the SFU"
+        );
         assert!(ctx.int_ops() > 0 && ctx.mem_ops() > 0);
         // Per-cell op budget: 10 adds/subs + 3 rcps + 4 muls per step.
         let cells = 24 * 24 * 10;

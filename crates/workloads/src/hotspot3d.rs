@@ -31,7 +31,13 @@ pub struct Hotspot3dParams {
 
 impl Default for Hotspot3dParams {
     fn default() -> Self {
-        Hotspot3dParams { rows: 24, cols: 24, layers: 4, steps: 12, seed: 0x3d }
+        Hotspot3dParams {
+            rows: 24,
+            cols: 24,
+            layers: 4,
+            steps: 12,
+            seed: 0x3d,
+        }
     }
 }
 
@@ -39,7 +45,13 @@ impl Hotspot3dParams {
     /// Repro-scale instance (Rodinia ships 512×512×8; this keeps the
     /// layer count and scales the plane).
     pub fn paper() -> Self {
-        Hotspot3dParams { rows: 128, cols: 128, layers: 8, steps: 24, seed: 0x3d }
+        Hotspot3dParams {
+            rows: 128,
+            cols: 128,
+            layers: 8,
+            steps: 24,
+            seed: 0x3d,
+        }
     }
 }
 
@@ -117,8 +129,7 @@ pub fn run(params: &Hotspot3dParams, ctx: &mut FpCtx) -> Hotspot3dOutput {
                     let idx = z * plane + y * c + x;
                     let tc = t[idx];
                     let get = |dz: isize, dy: isize, dx: isize| -> f32 {
-                        let (nz, ny, nx) =
-                            (z as isize + dz, y as isize + dy, x as isize + dx);
+                        let (nz, ny, nx) = (z as isize + dz, y as isize + dy, x as isize + dx);
                         if nz < 0
                             || nz >= l as isize
                             || ny < 0
@@ -222,7 +233,10 @@ mod tests {
     fn heat_flows_bottom_to_top() {
         // Power enters the silicon (bottom) layer; after some steps the
         // bottom runs hotter than the sink-cooled top.
-        let params = Hotspot3dParams { steps: 24, ..Hotspot3dParams::default() };
+        let params = Hotspot3dParams {
+            steps: 24,
+            ..Hotspot3dParams::default()
+        };
         let (out, _) = run_with_config(&params, IhwConfig::precise());
         let plane = params.rows * params.cols;
         let bottom_mean: f64 = out.temps[..plane].iter().sum::<f64>() / plane as f64;
@@ -256,7 +270,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two layers")]
     fn validates_layers() {
-        let params = Hotspot3dParams { layers: 1, ..Hotspot3dParams::default() };
+        let params = Hotspot3dParams {
+            layers: 1,
+            ..Hotspot3dParams::default()
+        };
         let mut ctx = FpCtx::new(IhwConfig::precise());
         let _ = run(&params, &mut ctx);
     }

@@ -37,7 +37,11 @@ pub struct JpegParams {
 
 impl Default for JpegParams {
     fn default() -> Self {
-        JpegParams { size: 64, quant_scale: 1, seed: 0x1dc7 }
+        JpegParams {
+            size: 64,
+            quant_scale: 1,
+            seed: 0x1dc7,
+        }
     }
 }
 
@@ -85,7 +89,11 @@ pub fn synth_scene(params: &JpegParams) -> GrayImage {
 
 /// 1-D DCT-II basis value `cos((2j+1)·uπ/16)` with orthonormal scaling.
 fn dct_cos(u: usize, j: usize) -> f64 {
-    let c = if u == 0 { (1.0f64 / BLOCK as f64).sqrt() } else { (2.0f64 / BLOCK as f64).sqrt() };
+    let c = if u == 0 {
+        (1.0f64 / BLOCK as f64).sqrt()
+    } else {
+        (2.0f64 / BLOCK as f64).sqrt()
+    };
     c * ((2 * j + 1) as f64 * u as f64 * std::f64::consts::PI / (2.0 * BLOCK as f64)).cos()
 }
 
@@ -107,9 +115,8 @@ pub fn encode(image: &GrayImage, quant_scale: u32) -> CompressedImage {
                     let mut acc = 0.0;
                     for y in 0..BLOCK {
                         for x in 0..BLOCK {
-                            acc += (image.get(bx + x, by + y) - 128.0)
-                                * dct_cos(v, x)
-                                * dct_cos(u, y);
+                            acc +=
+                                (image.get(bx + x, by + y) - 128.0) * dct_cos(v, x) * dct_cos(u, y);
                         }
                     }
                     let q = (LUMA_QUANT[u * BLOCK + v] as u32 * quant_scale) as f64;
@@ -118,7 +125,11 @@ pub fn encode(image: &GrayImage, quant_scale: u32) -> CompressedImage {
             }
         }
     }
-    CompressedImage { size: n, coefficients, quant_scale }
+    CompressedImage {
+        size: n,
+        coefficients,
+        quant_scale,
+    }
 }
 
 /// The benchmark kernel: dequantisation + inverse DCT through the
@@ -157,6 +168,9 @@ pub fn decode(compressed: &CompressedImage, ctx: &mut FpCtx) -> GrayImage {
                     tmp[u][x] = acc;
                 }
             }
+            // Column pass: `x`/`y` select the *inner* subscript of
+            // `tmp`/`cos_tab`, so iterator-based indexing does not apply.
+            #[allow(clippy::needless_range_loop)]
             for x in 0..BLOCK {
                 for y in 0..BLOCK {
                     let mut acc = 0.0f32;
@@ -218,8 +232,14 @@ mod tests {
 
     #[test]
     fn coarser_quantisation_lowers_psnr() {
-        let fine = JpegParams { quant_scale: 1, ..JpegParams::default() };
-        let coarse = JpegParams { quant_scale: 6, ..JpegParams::default() };
+        let fine = JpegParams {
+            quant_scale: 1,
+            ..JpegParams::default()
+        };
+        let coarse = JpegParams {
+            quant_scale: 6,
+            ..JpegParams::default()
+        };
         let (df, sf, _) = run_with_config(&fine, IhwConfig::precise());
         let (dc, sc, _) = run_with_config(&coarse, IhwConfig::precise());
         assert!(psnr_8bit(&sf, &df) > psnr_8bit(&sc, &dc));
@@ -231,24 +251,32 @@ mod tests {
         // pipeline. Quality loss vs. the precise decode must be minimal.
         let params = JpegParams::default();
         let (reference, _, _) = run_with_config(&params, IhwConfig::precise());
-        let adder_only =
-            IhwConfig::precise().with_add(AddUnit::Imprecise { th: IhwConfig::DEFAULT_TH });
+        let adder_only = IhwConfig::precise().with_add(AddUnit::Imprecise {
+            th: IhwConfig::DEFAULT_TH,
+        });
         let (imprecise, _, _) = run_with_config(&params, adder_only);
         let p = psnr_8bit(&reference, &imprecise);
-        assert!(p > 30.0, "imprecise-adder decode PSNR {p} dB vs precise decode");
+        assert!(
+            p > 30.0,
+            "imprecise-adder decode PSNR {p} dB vs precise decode"
+        );
     }
 
     #[test]
     fn all_imprecise_degrades_more_but_recognisable() {
         let params = JpegParams::default();
         let (reference, _, _) = run_with_config(&params, IhwConfig::precise());
-        let adder_only =
-            IhwConfig::precise().with_add(AddUnit::Imprecise { th: IhwConfig::DEFAULT_TH });
+        let adder_only = IhwConfig::precise().with_add(AddUnit::Imprecise {
+            th: IhwConfig::DEFAULT_TH,
+        });
         let (add_img, _, _) = run_with_config(&params, adder_only);
         let (all_img, _, _) = run_with_config(&params, IhwConfig::all_imprecise());
         let p_add = psnr_8bit(&reference, &add_img);
         let p_all = psnr_8bit(&reference, &all_img);
-        assert!(p_all < p_add, "more imprecision, lower PSNR: {p_all} vs {p_add}");
+        assert!(
+            p_all < p_add,
+            "more imprecision, lower PSNR: {p_all} vs {p_add}"
+        );
         assert!(p_all > 12.0, "still image-shaped: {p_all} dB");
     }
 

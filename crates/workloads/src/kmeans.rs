@@ -33,14 +33,24 @@ pub struct KmeansParams {
 
 impl Default for KmeansParams {
     fn default() -> Self {
-        KmeansParams { points: 512, clusters: 5, iterations: 8, seed: 0x6b6d }
+        KmeansParams {
+            points: 512,
+            clusters: 5,
+            iterations: 8,
+            seed: 0x6b6d,
+        }
     }
 }
 
 impl KmeansParams {
     /// Repro-scale instance.
     pub fn paper() -> Self {
-        KmeansParams { points: 4096, clusters: 8, iterations: 12, ..Default::default() }
+        KmeansParams {
+            points: 4096,
+            clusters: 8,
+            iterations: 12,
+            ..Default::default()
+        }
     }
 }
 
@@ -135,7 +145,10 @@ pub fn run(params: &KmeansParams, points: &[[f32; DIMS]], ctx: &mut FpCtx) -> Km
 
     KmeansOutput {
         assignments,
-        centroids: centroids.iter().flat_map(|c| c.iter().map(|&v| v as f64)).collect(),
+        centroids: centroids
+            .iter()
+            .flat_map(|c| c.iter().map(|&v| v as f64))
+            .collect(),
     }
 }
 
@@ -221,8 +234,14 @@ mod tests {
 
     #[test]
     fn agreement_metric() {
-        let a = KmeansOutput { assignments: vec![0, 1, 2, 0], centroids: vec![] };
-        let b = KmeansOutput { assignments: vec![0, 1, 1, 0], centroids: vec![] };
+        let a = KmeansOutput {
+            assignments: vec![0, 1, 2, 0],
+            centroids: vec![],
+        };
+        let b = KmeansOutput {
+            assignments: vec![0, 1, 1, 0],
+            centroids: vec![],
+        };
         assert!((b.agreement_with(&a) - 0.75).abs() < 1e-12);
     }
 }

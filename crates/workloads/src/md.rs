@@ -36,14 +36,24 @@ pub struct MdParams {
 
 impl Default for MdParams {
     fn default() -> Self {
-        MdParams { particles: 48, steps: 120, box_len: 6.0, dt: 0.004, seed: 0x6d6f6c }
+        MdParams {
+            particles: 48,
+            steps: 120,
+            box_len: 6.0,
+            dt: 0.004,
+            seed: 0x6d6f6c,
+        }
     }
 }
 
 impl MdParams {
     /// Repro-scale instance.
     pub fn paper() -> Self {
-        MdParams { particles: 108, steps: 600, ..MdParams::default() }
+        MdParams {
+            particles: 108,
+            steps: 600,
+            ..MdParams::default()
+        }
     }
 }
 
@@ -242,7 +252,11 @@ mod tests {
     use ihw_core::config::MulUnit;
 
     fn small() -> MdParams {
-        MdParams { particles: 27, steps: 40, ..MdParams::default() }
+        MdParams {
+            particles: 27,
+            steps: 40,
+            ..MdParams::default()
+        }
     }
 
     #[test]
@@ -255,15 +269,29 @@ mod tests {
     #[test]
     fn observables_physical() {
         let (out, _) = run_with_config(&small(), IhwConfig::precise());
-        assert!(out.avg_temperature > 0.0, "temperature {}", out.avg_temperature);
+        assert!(
+            out.avg_temperature > 0.0,
+            "temperature {}",
+            out.avg_temperature
+        );
         assert!(out.avg_potential.is_finite());
-        assert!(out.avg_potential.abs() < 100.0, "potential {}", out.avg_potential);
+        assert!(
+            out.avg_potential.abs() < 100.0,
+            "potential {}",
+            out.avg_potential
+        );
     }
 
     #[test]
     fn error_pct_definition() {
-        let a = MdOutput { avg_potential: -4.0, avg_temperature: 1.0 };
-        let b = MdOutput { avg_potential: -4.04, avg_temperature: 1.005 };
+        let a = MdOutput {
+            avg_potential: -4.0,
+            avg_temperature: 1.0,
+        };
+        let b = MdOutput {
+            avg_potential: -4.04,
+            avg_temperature: 1.005,
+        };
         assert!((b.error_pct_vs(&a) - 1.0).abs() < 1e-9);
     }
 
@@ -273,8 +301,8 @@ mod tests {
         // within the 1.25% SPEC acceptance band.
         let params = small();
         let (reference, _) = run_with_config(&params, IhwConfig::precise());
-        let cfg = IhwConfig::precise()
-            .with_mul(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, 20)));
+        let cfg =
+            IhwConfig::precise().with_mul(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, 20)));
         let (out, _) = run_with_config(&params, cfg);
         let err = out.error_pct_vs(&reference);
         assert!(err < 20.0, "chaotic, but not absurd: {err}%");
@@ -285,14 +313,22 @@ mod tests {
         let (_, ctx) = run_with_config(&small(), IhwConfig::precise());
         let c = ctx.counts();
         let mul_like = c.get(ihw_core::config::FpOp::Mul) + c.get(ihw_core::config::FpOp::Fma);
-        assert!(mul_like as f64 / c.total() as f64 > 0.4, "Table 6: mul-dominated");
+        assert!(
+            mul_like as f64 / c.total() as f64 > 0.4,
+            "Table 6: mul-dominated"
+        );
         assert!(c.get(ihw_core::config::FpOp::Rcp) > 0);
     }
 
     #[test]
     fn energy_reasonably_conserved_precise() {
         // Velocity Verlet on a short run: total energy drift stays small.
-        let params = MdParams { particles: 27, steps: 10, dt: 0.002, ..MdParams::default() };
+        let params = MdParams {
+            particles: 27,
+            steps: 10,
+            dt: 0.002,
+            ..MdParams::default()
+        };
         let (out, _) = run_with_config(&params, IhwConfig::precise());
         assert!(out.avg_temperature.is_finite() && out.avg_potential.is_finite());
     }

@@ -29,14 +29,20 @@ pub struct RayParams {
 impl Default for RayParams {
     /// Test-scale 32×32 render; the repro harness uses 128×128.
     fn default() -> Self {
-        RayParams { size: 32, max_depth: 3 }
+        RayParams {
+            size: 32,
+            max_depth: 3,
+        }
     }
 }
 
 impl RayParams {
     /// Repro-scale render.
     pub fn paper() -> Self {
-        RayParams { size: 128, max_depth: 4 }
+        RayParams {
+            size: 128,
+            max_depth: 4,
+        }
     }
 }
 
@@ -58,11 +64,36 @@ pub struct Sphere {
 pub fn demo_scene() -> Vec<Sphere> {
     vec![
         // A huge sphere acting as the floor.
-        Sphere { center: [0.0, -100.5, -1.0], radius: 100.0, albedo: 0.6, reflect: 0.25 },
-        Sphere { center: [0.0, 0.0, -1.2], radius: 0.5, albedo: 0.85, reflect: 0.4 },
-        Sphere { center: [-1.05, -0.1, -1.5], radius: 0.4, albedo: 0.5, reflect: 0.6 },
-        Sphere { center: [1.0, -0.15, -0.9], radius: 0.35, albedo: 0.7, reflect: 0.3 },
-        Sphere { center: [0.35, 0.45, -1.9], radius: 0.45, albedo: 0.95, reflect: 0.5 },
+        Sphere {
+            center: [0.0, -100.5, -1.0],
+            radius: 100.0,
+            albedo: 0.6,
+            reflect: 0.25,
+        },
+        Sphere {
+            center: [0.0, 0.0, -1.2],
+            radius: 0.5,
+            albedo: 0.85,
+            reflect: 0.4,
+        },
+        Sphere {
+            center: [-1.05, -0.1, -1.5],
+            radius: 0.4,
+            albedo: 0.5,
+            reflect: 0.6,
+        },
+        Sphere {
+            center: [1.0, -0.15, -0.9],
+            radius: 0.35,
+            albedo: 0.7,
+            reflect: 0.3,
+        },
+        Sphere {
+            center: [0.35, 0.45, -1.9],
+            radius: 0.45,
+            albedo: 0.95,
+            reflect: 0.5,
+        },
     ]
 }
 
@@ -74,7 +105,11 @@ const BACKGROUND: f32 = 0.15;
 const EPS: f32 = 1e-3;
 
 fn sub3(ctx: &mut FpCtx, a: [f32; 3], b: [f32; 3]) -> [f32; 3] {
-    [ctx.sub32(a[0], b[0]), ctx.sub32(a[1], b[1]), ctx.sub32(a[2], b[2])]
+    [
+        ctx.sub32(a[0], b[0]),
+        ctx.sub32(a[1], b[1]),
+        ctx.sub32(a[2], b[2]),
+    ]
 }
 
 fn scale3(ctx: &mut FpCtx, a: [f32; 3], s: f32) -> [f32; 3] {
@@ -82,7 +117,11 @@ fn scale3(ctx: &mut FpCtx, a: [f32; 3], s: f32) -> [f32; 3] {
 }
 
 fn add3(ctx: &mut FpCtx, a: [f32; 3], b: [f32; 3]) -> [f32; 3] {
-    [ctx.add32(a[0], b[0]), ctx.add32(a[1], b[1]), ctx.add32(a[2], b[2])]
+    [
+        ctx.add32(a[0], b[0]),
+        ctx.add32(a[1], b[1]),
+        ctx.add32(a[2], b[2]),
+    ]
 }
 
 /// Normalises a vector with the configured rsqrt unit.
@@ -117,7 +156,7 @@ fn intersect(
         let sq = ctx.sqrt32(disc);
         let neg_b = ctx.sub32(0.0, b);
         let t = ctx.sub32(neg_b, sq); // −b − √disc
-        if t > EPS && best.map_or(true, |(bt, _)| t < bt) {
+        if t > EPS && best.is_none_or(|(bt, _)| t < bt) {
             best = Some((t, i));
         }
     }
@@ -282,8 +321,12 @@ impl MulSite {
     /// Number of sites.
     pub const COUNT: usize = 4;
     /// All sites, index order matching the tuning mask.
-    pub const ALL: [MulSite; 4] =
-        [MulSite::Intersection, MulSite::Normal, MulSite::Shading, MulSite::Reflection];
+    pub const ALL: [MulSite; 4] = [
+        MulSite::Intersection,
+        MulSite::Normal,
+        MulSite::Shading,
+        MulSite::Reflection,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -307,7 +350,11 @@ pub fn render_sited(params: &RayParams, mask: &[bool; MulSite::COUNT]) -> ihw_qu
 
     let unit = DualModeMul::new(AcMulConfig::new(MulPath::Log, 12));
     let mode = |site: MulSite| {
-        if mask[MulSite::ALL.iter().position(|&s| s == site).expect("site listed")] {
+        if mask[MulSite::ALL
+            .iter()
+            .position(|&s| s == site)
+            .expect("site listed")]
+        {
             MulMode::Imprecise
         } else {
             MulMode::Precise
@@ -332,16 +379,20 @@ pub fn render_sited(params: &RayParams, mask: &[bool; MulSite::COUNT]) -> ihw_qu
     let intersect = |origin: [f32; 3], dir: [f32; 3]| -> Option<(f32, usize)> {
         let mut best: Option<(f32, usize)> = None;
         for (i, s) in scene.iter().enumerate() {
-            let oc = [origin[0] - s.center[0], origin[1] - s.center[1], origin[2] - s.center[2]];
+            let oc = [
+                origin[0] - s.center[0],
+                origin[1] - s.center[1],
+                origin[2] - s.center[2],
+            ];
             let b = dot(MulSite::Intersection, oc, dir);
-            let c = dot(MulSite::Intersection, oc, oc)
-                - mul(MulSite::Intersection, s.radius, s.radius);
+            let c =
+                dot(MulSite::Intersection, oc, oc) - mul(MulSite::Intersection, s.radius, s.radius);
             let disc = mul(MulSite::Intersection, b, b) - c;
             if disc <= 0.0 {
                 continue;
             }
             let t = -b - disc.sqrt();
-            if t > EPS && best.map_or(true, |(bt, _)| t < bt) {
+            if t > EPS && best.is_none_or(|(bt, _)| t < bt) {
                 best = Some((t, i));
             }
         }
@@ -379,7 +430,11 @@ pub fn render_sited(params: &RayParams, mask: &[bool; MulSite::COUNT]) -> ihw_qu
                 let l = norm(MulSite::Normal, lv);
                 let ndotl = dot(MulSite::Shading, nrm, l).clamp(0.0, 1.0);
                 let local = AMBIENT
-                    + mul(MulSite::Shading, mul(MulSite::Shading, s.albedo, ndotl), atten);
+                    + mul(
+                        MulSite::Shading,
+                        mul(MulSite::Shading, s.albedo, ndotl),
+                        atten,
+                    );
                 color += weight * local.clamp(0.0, 1.0);
                 if depth == params.max_depth || s.reflect == 0.0 {
                     break;
@@ -430,7 +485,10 @@ mod tests {
         assert!(c.get(FpOp::Sqrt) > 0);
         assert!(c.get(FpOp::Rsqrt) > 0);
         let mul_frac = c.get(FpOp::Mul) as f64 / c.total() as f64;
-        assert!(mul_frac > 0.25, "mul fraction {mul_frac} — Table 6 says ≈36%");
+        assert!(
+            mul_frac > 0.25,
+            "mul fraction {mul_frac} — Table 6 says ≈36%"
+        );
     }
 
     #[test]
@@ -446,8 +504,14 @@ mod tests {
         // Absolute SSIM values are scene dependent (our synthetic scene is
         // harsher than the ISPASS one); the paper's ordering must hold.
         assert!(s_basic > 0.6, "basic config SSIM {s_basic}");
-        assert!(s_rsqrt < s_basic, "rsqrt config must degrade: {s_rsqrt} vs {s_basic}");
-        assert!(s_rsqrt > 0.4, "rsqrt config SSIM {s_rsqrt} not catastrophic");
+        assert!(
+            s_rsqrt < s_basic,
+            "rsqrt config must degrade: {s_rsqrt} vs {s_basic}"
+        );
+        assert!(
+            s_rsqrt > 0.4,
+            "rsqrt config SSIM {s_rsqrt} not catastrophic"
+        );
     }
 
     #[test]
@@ -456,8 +520,7 @@ mod tests {
         // render; the full-path AC multiplier keeps it close.
         let p = RayParams::default();
         let (reference, _) = render_with_config(&p, IhwConfig::precise());
-        let orig =
-            IhwConfig::ray_basic().with_mul(ihw_core::config::MulUnit::Imprecise);
+        let orig = IhwConfig::ray_basic().with_mul(ihw_core::config::MulUnit::Imprecise);
         let (wrecked, _) = render_with_config(&p, orig);
         let (ac, _) = render_with_config(&p, IhwConfig::ray_with_ac_mul(0));
         let s_wrecked = ssim(&reference, &wrecked, 1.0);
@@ -467,12 +530,18 @@ mod tests {
             "AC multiplier must clearly beat the Table 1 unit: {s_ac} vs {s_wrecked}"
         );
         assert!(s_ac > 0.5, "full path keeps structure: {s_ac}");
-        assert!(s_wrecked < 0.4, "Table 1 multiplier wrecks the render: {s_wrecked}");
+        assert!(
+            s_wrecked < 0.4,
+            "Table 1 multiplier wrecks the render: {s_wrecked}"
+        );
     }
 
     #[test]
     fn render_sited_precise_mask_matches_structure() {
-        let params = RayParams { size: 16, max_depth: 2 };
+        let params = RayParams {
+            size: 16,
+            max_depth: 2,
+        };
         let all_precise = render_sited(&params, &[false; MulSite::COUNT]);
         let all_imprecise = render_sited(&params, &[true; MulSite::COUNT]);
         // Same scene geometry in both; imprecision changes the values.
@@ -484,7 +553,10 @@ mod tests {
     #[test]
     fn render_sited_partial_masks_order_by_quality() {
         use ihw_quality::ssim;
-        let params = RayParams { size: 32, max_depth: 2 };
+        let params = RayParams {
+            size: 32,
+            max_depth: 2,
+        };
         let reference = render_sited(&params, &[false; MulSite::COUNT]);
         let shading_only = {
             let mut m = [false; MulSite::COUNT];
@@ -494,13 +566,22 @@ mod tests {
         let everything = render_sited(&params, &[true; MulSite::COUNT]);
         let s_shading = ssim(&reference, &shading_only, 1.0);
         let s_all = ssim(&reference, &everything, 1.0);
-        assert!(s_shading > s_all, "fewer imprecise sites, better SSIM: {s_shading} vs {s_all}");
-        assert!(s_shading > 0.7, "shading tolerates imprecision: {s_shading}");
+        assert!(
+            s_shading > s_all,
+            "fewer imprecise sites, better SSIM: {s_shading} vs {s_all}"
+        );
+        assert!(
+            s_shading > 0.7,
+            "shading tolerates imprecision: {s_shading}"
+        );
     }
 
     #[test]
     fn measured_divergence_matches_constant() {
-        let eff = measure_warp_efficiency(&RayParams { size: 32, max_depth: 3 });
+        let eff = measure_warp_efficiency(&RayParams {
+            size: 32,
+            max_depth: 3,
+        });
         assert!((0.3..1.0).contains(&eff), "efficiency {eff}");
         assert!(
             (eff - WARP_EFFICIENCY).abs() < 0.25,
@@ -516,8 +597,14 @@ mod tests {
 
     #[test]
     fn deeper_recursion_costs_more_ops() {
-        let shallow = RayParams { size: 16, max_depth: 0 };
-        let deep = RayParams { size: 16, max_depth: 4 };
+        let shallow = RayParams {
+            size: 16,
+            max_depth: 0,
+        };
+        let deep = RayParams {
+            size: 16,
+            max_depth: 4,
+        };
         let (_, c0) = render_with_config(&shallow, IhwConfig::precise());
         let (_, c4) = render_with_config(&deep, IhwConfig::precise());
         assert!(c4.counts().total() > c0.counts().total());

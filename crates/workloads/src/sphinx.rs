@@ -39,14 +39,24 @@ pub struct SphinxParams {
 impl Default for SphinxParams {
     /// Test-scale instance (10 words); the repro harness uses 25.
     fn default() -> Self {
-        SphinxParams { words: 10, frames: 16, noise_milli: 2, seed: 0x5f1bc }
+        SphinxParams {
+            words: 10,
+            frames: 16,
+            noise_milli: 2,
+            seed: 0x5f1bc,
+        }
     }
 }
 
 impl SphinxParams {
     /// The paper's 25-word AN4 subset analogue.
     pub fn paper() -> Self {
-        SphinxParams { words: 25, frames: 20, noise_milli: 2, seed: 0x5f1bc }
+        SphinxParams {
+            words: 25,
+            frames: 20,
+            noise_milli: 2,
+            seed: 0x5f1bc,
+        }
     }
 }
 
@@ -122,8 +132,9 @@ pub fn synth_utterances(params: &SphinxParams, vocab: &[Features]) -> Vec<Featur
     vocab
         .iter()
         .map(|tpl| {
-            let out_len =
-                (tpl.len() as f64 * rng.gen_range(1.0..1.0001)).round().max(4.0) as usize;
+            let out_len = (tpl.len() as f64 * rng.gen_range(1.0..1.0001))
+                .round()
+                .max(4.0) as usize;
             (0..out_len)
                 .map(|f| {
                     // Sinusoidal time warp.
@@ -134,9 +145,7 @@ pub fn synth_utterances(params: &SphinxParams, vocab: &[Features]) -> Vec<Featur
                     let i = (warped.floor() as usize).min(tpl.len() - 2);
                     let t = warped - i as f64;
                     std::array::from_fn(|d| {
-                        tpl[i][d] * (1.0 - t)
-                            + tpl[i + 1][d] * t
-                            + rng.gen_range(-noise..noise)
+                        tpl[i][d] * (1.0 - t) + tpl[i + 1][d] * t + rng.gen_range(-noise..noise)
                     })
                 })
                 .collect()
@@ -203,10 +212,21 @@ pub fn acoustic_score(ctx: &mut FpCtx, utt: &Features, tpl: &Features) -> f64 {
             let best = if i == 0 && j == 0 {
                 0.0
             } else {
-                let up = if i > 0 { cost[(i - 1) * m + j] } else { f64::INFINITY };
-                let left = if j > 0 { cost[i * m + j - 1] } else { f64::INFINITY };
-                let diag =
-                    if i > 0 && j > 0 { cost[(i - 1) * m + j - 1] } else { f64::INFINITY };
+                let up = if i > 0 {
+                    cost[(i - 1) * m + j]
+                } else {
+                    f64::INFINITY
+                };
+                let left = if j > 0 {
+                    cost[i * m + j - 1]
+                } else {
+                    f64::INFINITY
+                };
+                let diag = if i > 0 && j > 0 {
+                    cost[(i - 1) * m + j - 1]
+                } else {
+                    f64::INFINITY
+                };
                 up.min(left).min(diag)
             };
             cost[i * m + j] = ctx.add64(d, best);
@@ -222,9 +242,21 @@ pub fn acoustic_score(ctx: &mut FpCtx, utt: &Features, tpl: &Features) -> f64 {
         if i == 0 && j == 0 {
             break;
         }
-        let up = if i > 0 { cost[(i - 1) * m + j] } else { f64::INFINITY };
-        let left = if j > 0 { cost[i * m + j - 1] } else { f64::INFINITY };
-        let diag = if i > 0 && j > 0 { cost[(i - 1) * m + j - 1] } else { f64::INFINITY };
+        let up = if i > 0 {
+            cost[(i - 1) * m + j]
+        } else {
+            f64::INFINITY
+        };
+        let left = if j > 0 {
+            cost[i * m + j - 1]
+        } else {
+            f64::INFINITY
+        };
+        let diag = if i > 0 && j > 0 {
+            cost[(i - 1) * m + j - 1]
+        } else {
+            f64::INFINITY
+        };
         if diag <= up && diag <= left {
             i -= 1;
             j -= 1;
@@ -256,8 +288,15 @@ pub fn run(
         }
         predictions.push(best.1);
     }
-    let correct = predictions.iter().enumerate().filter(|&(i, &p)| p == i).count();
-    SphinxOutput { predictions, correct }
+    let correct = predictions
+        .iter()
+        .enumerate()
+        .filter(|&(i, &p)| p == i)
+        .count();
+    SphinxOutput {
+        predictions,
+        correct,
+    }
 }
 
 /// Convenience: synthesizes everything, runs, returns output + context.
@@ -294,7 +333,12 @@ mod tests {
     #[test]
     fn precise_recognizes_everything() {
         let (out, _) = run_with_config(&SphinxParams::default(), IhwConfig::precise());
-        assert_eq!(out.correct, SphinxParams::default().words, "{:?}", out.predictions);
+        assert_eq!(
+            out.correct,
+            SphinxParams::default().words,
+            "{:?}",
+            out.predictions
+        );
     }
 
     #[test]
@@ -308,8 +352,8 @@ mod tests {
     fn full_path_stays_accurate_under_heavy_truncation() {
         // Table 7: fp_tr44–48 miss at most one word.
         let params = SphinxParams::default();
-        let cfg = IhwConfig::precise()
-            .with_mul(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, 44)));
+        let cfg =
+            IhwConfig::precise().with_mul(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, 44)));
         let (out, _) = run_with_config(&params, cfg);
         assert!(
             out.correct + 2 >= params.words,
@@ -324,10 +368,9 @@ mod tests {
         // Table 7: the log path "does not perform very well in this
         // application compared to the other two".
         let params = SphinxParams::default();
-        let full = IhwConfig::precise()
-            .with_mul(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, 44)));
-        let log = IhwConfig::precise()
-            .with_mul(MulUnit::AcMul(AcMulConfig::new(MulPath::Log, 44)));
+        let full =
+            IhwConfig::precise().with_mul(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, 44)));
+        let log = IhwConfig::precise().with_mul(MulUnit::AcMul(AcMulConfig::new(MulPath::Log, 44)));
         let (f_out, _) = run_with_config(&params, full);
         let (l_out, _) = run_with_config(&params, log);
         assert!(
@@ -342,10 +385,14 @@ mod tests {
     fn moderate_bit_truncation_accurate() {
         // Table 7: bt_44–48 recognize 24–25 of 25.
         let params = SphinxParams::default();
-        let cfg =
-            IhwConfig::precise().with_mul(MulUnit::Truncated(TruncatedMul::new(44)));
+        let cfg = IhwConfig::precise().with_mul(MulUnit::Truncated(TruncatedMul::new(44)));
         let (out, _) = run_with_config(&params, cfg);
-        assert!(out.correct + 1 >= params.words, "bt_44: {}/{}", out.correct, params.words);
+        assert!(
+            out.correct + 1 >= params.words,
+            "bt_44: {}/{}",
+            out.correct,
+            params.words
+        );
     }
 
     #[test]

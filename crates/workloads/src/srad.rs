@@ -39,14 +39,26 @@ pub struct SradParams {
 impl Default for SradParams {
     /// Test-scale instance (48×48); the repro harness uses 128×128.
     fn default() -> Self {
-        SradParams { size: 48, iterations: 24, lambda: 0.5, speckle: 0.25, seed: 0x5eed }
+        SradParams {
+            size: 48,
+            iterations: 24,
+            lambda: 0.5,
+            speckle: 0.25,
+            seed: 0x5eed,
+        }
     }
 }
 
 impl SradParams {
     /// Repro-scale instance.
     pub fn paper() -> Self {
-        SradParams { size: 128, iterations: 50, lambda: 0.5, speckle: 0.25, seed: 0x5eed }
+        SradParams {
+            size: 128,
+            iterations: 50,
+            lambda: 0.5,
+            speckle: 0.25,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -115,7 +127,11 @@ pub fn synth_scene(params: &SradParams) -> SradScene {
         let u: f64 = rng.gen_range(-1.0..1.0);
         (clean.get(x, y) * (1.0 + params.speckle as f64 * u)).clamp(0.0, 1.0)
     });
-    SradScene { noisy, clean, ideal_edges }
+    SradScene {
+        noisy,
+        clean,
+        ideal_edges,
+    }
 }
 
 /// Runs the SRAD kernel on the scene's noisy image under the arithmetic
@@ -123,7 +139,12 @@ pub fn synth_scene(params: &SradParams) -> SradScene {
 pub fn run(params: &SradParams, scene: &SradScene, ctx: &mut FpCtx) -> SradOutput {
     let n = params.size;
     let lambda = params.lambda;
-    let mut j: Vec<f32> = scene.noisy.as_slice().iter().map(|&v| v as f32 + 0.02).collect();
+    let mut j: Vec<f32> = scene
+        .noisy
+        .as_slice()
+        .iter()
+        .map(|&v| v as f32 + 0.02)
+        .collect();
     let mut c = vec![0.0f32; n * n];
     let mut dn = vec![0.0f32; n * n];
     let mut ds = vec![0.0f32; n * n];
@@ -270,7 +291,11 @@ mod tests {
     use ihw_core::config::FpOp;
 
     fn small() -> SradParams {
-        SradParams { size: 32, iterations: 10, ..SradParams::default() }
+        SradParams {
+            size: 32,
+            iterations: 10,
+            ..SradParams::default()
+        }
     }
 
     #[test]

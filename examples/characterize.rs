@@ -22,10 +22,11 @@ fn main() {
     }
 
     println!("convergence of the ifpmul maximum-error estimate:");
-    for (n, max_pct, rate) in
-        convergence(CharTarget::IfpMul, &[1_000, 10_000, samples])
-    {
-        println!("  {n:>8} samples: max {max_pct:.3}%  error rate {:.2}%", rate * 100.0);
+    for (n, max_pct, rate) in convergence(CharTarget::IfpMul, &[1_000, 10_000, samples]) {
+        println!(
+            "  {n:>8} samples: max {max_pct:.3}%  error rate {:.2}%",
+            rate * 100.0
+        );
     }
 
     println!("\nCSV for the multiplier PMF (pipe to a file to plot):\n");

@@ -11,18 +11,34 @@ use imprecise_gpgpu::power::SynthesisLibrary;
 use imprecise_gpgpu::workloads::jpeg::{psnr_8bit, run_with_config, JpegParams};
 
 fn main() {
-    let params = JpegParams { size: 96, quant_scale: 2, seed: 0x1dc7 };
+    let params = JpegParams {
+        size: 96,
+        quant_scale: 2,
+        seed: 0x1dc7,
+    };
     let (reference, scene, _) = run_with_config(&params, IhwConfig::precise());
-    println!("codec roundtrip (precise decode): {:.1} dB vs original scene", psnr_8bit(&scene, &reference));
+    println!(
+        "codec roundtrip (precise decode): {:.1} dB vs original scene",
+        psnr_8bit(&scene, &reference)
+    );
 
     let lib = SynthesisLibrary::cmos45();
     let add = lib.normalized(FpOp::Add);
     let configs: Vec<(&str, IhwConfig)> = vec![
-        ("imprecise adder TH=8", IhwConfig::precise().with_add(AddUnit::Imprecise { th: 8 })),
-        ("imprecise adder TH=4", IhwConfig::precise().with_add(AddUnit::Imprecise { th: 4 })),
+        (
+            "imprecise adder TH=8",
+            IhwConfig::precise().with_add(AddUnit::Imprecise { th: 8 }),
+        ),
+        (
+            "imprecise adder TH=4",
+            IhwConfig::precise().with_add(AddUnit::Imprecise { th: 4 }),
+        ),
         ("all IHW units", IhwConfig::all_imprecise()),
     ];
-    println!("\n{:<24} {:>26} {:>20}", "configuration", "PSNR vs precise decode", "PSNR vs scene");
+    println!(
+        "\n{:<24} {:>26} {:>20}",
+        "configuration", "PSNR vs precise decode", "PSNR vs scene"
+    );
     for (name, cfg) in configs {
         let (img, _, _) = run_with_config(&params, cfg);
         println!(

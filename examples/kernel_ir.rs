@@ -25,7 +25,11 @@ const KERNEL: &str = "
 
 fn main() {
     let prog = assemble("potential", KERNEL).expect("kernel assembles");
-    println!("assembled '{}' with {} instructions", prog.name(), prog.instrs().len());
+    println!(
+        "assembled '{}' with {} instructions",
+        prog.name(),
+        prog.instrs().len()
+    );
 
     let n = 1024u32;
     let x: Vec<f32> = (0..n).map(|i| 0.5 + i as f32 * 0.01).collect();
@@ -33,11 +37,15 @@ fn main() {
 
     let mut precise_bufs = vec![x.clone(), y.clone(), vec![0.0f32; n as usize]];
     let mut precise = WarpInterpreter::new(IhwConfig::precise());
-    precise.launch(&prog, n, &mut precise_bufs).expect("precise run");
+    precise
+        .launch(&prog, n, &mut precise_bufs)
+        .expect("precise run");
 
     let mut imprecise_bufs = vec![x, y, vec![0.0f32; n as usize]];
     let mut imprecise = WarpInterpreter::new(IhwConfig::all_imprecise());
-    imprecise.launch(&prog, n, &mut imprecise_bufs).expect("imprecise run");
+    imprecise
+        .launch(&prog, n, &mut imprecise_bufs)
+        .expect("imprecise run");
 
     let mae = imprecise_bufs[2]
         .iter()

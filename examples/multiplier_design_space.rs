@@ -24,7 +24,10 @@ fn max_error_pct(mul: impl Fn(f32, f32) -> f32) -> f64 {
 
 fn main() {
     println!("32-bit multiplier design space (DWIP baseline: 36.63 mW)\n");
-    println!("{:<22} {:>12} {:>12} {:>14}", "configuration", "max err %", "power mW", "reduction");
+    println!(
+        "{:<22} {:>12} {:>12} {:>14}",
+        "configuration", "max err %", "power mW", "reduction"
+    );
     for tr in [0u32, 8, 15, 19, 23] {
         for path in [MulPath::Log, MulPath::Full] {
             let cfg = AcMulConfig::new(path, tr);
@@ -49,7 +52,10 @@ fn main() {
     }
     println!(
         "\nThe headline config (log path, 19 bits truncated) reaches {:.0}x at ~18% max error;",
-        power_reduction(&MulUnit::AcMul(AcMulConfig::headline_single()), Precision::Single)
+        power_reduction(
+            &MulUnit::AcMul(AcMulConfig::headline_single()),
+            Precision::Single
+        )
     );
     println!("intuitive truncation saturates below 4x — the paper's Figure 14 conclusion.");
 }

@@ -13,19 +13,39 @@ use imprecise_gpgpu::workloads::hotspot;
 fn main() {
     // 1. Individual imprecise units operate on raw IEEE-754 bit patterns.
     println!("== imprecise units ==");
-    println!("iadd32(1024, 1, TH=8)      = {}  (the small operand vanishes)", iadd32(1024.0, 1.0, 8));
-    println!("imul32(1.5, 1.5)           = {}  (true 2.25, Table 1 multiplier)", imul32(1.5, 1.5));
+    println!(
+        "iadd32(1024, 1, TH=8)      = {}  (the small operand vanishes)",
+        iadd32(1024.0, 1.0, 8)
+    );
+    println!(
+        "imul32(1.5, 1.5)           = {}  (true 2.25, Table 1 multiplier)",
+        imul32(1.5, 1.5)
+    );
     let ac = AcMulConfig::new(MulPath::Full, 0);
-    println!("full-path AC mul(1.5, 1.5) = {}  (max error 2.04%)", ac.mul32(1.5, 1.5));
-    println!("ircp32(3.0)                = {}  (true 0.3333…)", ircp32(3.0));
-    println!("isqrt32(2.0)               = {}  (true 1.4142…)", isqrt32(2.0));
+    println!(
+        "full-path AC mul(1.5, 1.5) = {}  (max error 2.04%)",
+        ac.mul32(1.5, 1.5)
+    );
+    println!(
+        "ircp32(3.0)                = {}  (true 0.3333…)",
+        ircp32(3.0)
+    );
+    println!(
+        "isqrt32(2.0)               = {}  (true 1.4142…)",
+        isqrt32(2.0)
+    );
 
     // 2. A whole datapath configuration — the simulator knob of §5.1.
     let precise = IhwConfig::precise();
     let imprecise = IhwConfig::all_imprecise();
 
     // 3. Run a real workload under both and compare quality.
-    let params = hotspot::HotspotParams { rows: 48, cols: 48, steps: 16, seed: 42 };
+    let params = hotspot::HotspotParams {
+        rows: 48,
+        cols: 48,
+        steps: 16,
+        seed: 42,
+    };
     let (ref_out, ctx) = hotspot::run_with_config(&params, precise);
     let (ihw_out, _) = hotspot::run_with_config(&params, imprecise);
     let err = mae(&ref_out.temps, &ihw_out.temps);
@@ -39,7 +59,16 @@ fn main() {
         PowerShares::new(0.19, 0.16), // HotSpot's FPU/SFU shares (Figure 2)
     );
     println!("\n== system power estimate ==");
-    println!("FPU power improvement:  {:.1}%", est.fpu_improvement * 100.0);
-    println!("SFU power improvement:  {:.1}%", est.sfu_improvement * 100.0);
-    println!("GPU system-level saving: {:.1}%", est.system_savings * 100.0);
+    println!(
+        "FPU power improvement:  {:.1}%",
+        est.fpu_improvement * 100.0
+    );
+    println!(
+        "SFU power improvement:  {:.1}%",
+        est.sfu_improvement * 100.0
+    );
+    println!(
+        "GPU system-level saving: {:.1}%",
+        est.system_savings * 100.0
+    );
 }

@@ -13,13 +13,19 @@ use imprecise_gpgpu::sim::tuner::{tune, QualityConstraint};
 use imprecise_gpgpu::workloads::raytrace::{render_with_config, RayParams};
 
 fn main() {
-    let params = RayParams { size: 48, max_depth: 3 };
+    let params = RayParams {
+        size: 48,
+        max_depth: 3,
+    };
     let (reference, _) = render_with_config(&params, IhwConfig::precise());
 
     // Candidates ordered from lowest power (most aggressive) to highest.
     let candidates: Vec<(&str, IhwConfig)> = vec![
         ("all IHW units", IhwConfig::all_imprecise()),
-        ("basic + Table-1 multiplier", IhwConfig::ray_basic().with_mul(MulUnit::Imprecise)),
+        (
+            "basic + Table-1 multiplier",
+            IhwConfig::ray_basic().with_mul(MulUnit::Imprecise),
+        ),
         ("basic + AC multiplier tr15", IhwConfig::ray_with_ac_mul(15)),
         ("basic + AC multiplier tr0", IhwConfig::ray_with_ac_mul(0)),
         ("basic + imprecise rsqrt", IhwConfig::ray_with_rsqrt()),

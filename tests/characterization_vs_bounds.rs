@@ -31,9 +31,21 @@ fn every_figure8_unit_within_its_bound() {
 
 #[test]
 fn ac_paths_within_analytic_bounds() {
-    let full = characterize(CharTarget::AcMul { path: MulPath::Full, truncation: 0 }, N);
+    let full = characterize(
+        CharTarget::AcMul {
+            path: MulPath::Full,
+            truncation: 0,
+        },
+        N,
+    );
     assert!(full.max_error_pct() <= bounds::AC_FULL_PATH_MAX_ERROR * 100.0 + 1e-6);
-    let log = characterize(CharTarget::AcMul { path: MulPath::Log, truncation: 0 }, N);
+    let log = characterize(
+        CharTarget::AcMul {
+            path: MulPath::Log,
+            truncation: 0,
+        },
+        N,
+    );
     assert!(log.max_error_pct() <= bounds::AC_LOG_PATH_MAX_ERROR * 100.0 + 1e-6);
 }
 
@@ -42,7 +54,10 @@ fn pmf_probabilities_sum_to_error_rate() {
     let pmf = characterize(CharTarget::IfpMul, N);
     let sum: f64 = pmf.iter().map(|(_, p)| p).sum();
     assert!((sum - pmf.error_rate()).abs() < 1e-9);
-    assert!(pmf.error_rate() > 0.9, "Table 1 multiplier errs almost always");
+    assert!(
+        pmf.error_rate() > 0.9,
+        "Table 1 multiplier errs almost always"
+    );
 }
 
 #[test]

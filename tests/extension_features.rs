@@ -31,7 +31,13 @@ fn dual_mode_and_site_tuning_compose() {
         3,
         |mask| {
             let x = 1.37f32;
-            let mode = |on: bool| if on { MulMode::Imprecise } else { MulMode::Precise };
+            let mode = |on: bool| {
+                if on {
+                    MulMode::Imprecise
+                } else {
+                    MulMode::Precise
+                }
+            };
             let y0 = unit.mul32(x, x, mode(mask[0]));
             let critical_err = ((y0 - x * x).abs() / (x * x)) as f64;
             1.0 - critical_err * 50.0 - mask[1..].iter().filter(|&&m| m).count() as f64 * 0.01
@@ -39,7 +45,10 @@ fn dual_mode_and_site_tuning_compose() {
         QualityConstraint::AtLeast(0.9),
     );
     assert!(!outcome.enabled[0], "critical site stays precise");
-    assert!(outcome.enabled[1] && outcome.enabled[2], "tolerant sites go imprecise");
+    assert!(
+        outcome.enabled[1] && outcome.enabled[2],
+        "tolerant sites go imprecise"
+    );
 }
 
 #[test]
@@ -81,7 +90,11 @@ fn assembler_to_power_pipeline() {
     )
     .expect("assembles");
     let n = 256u32;
-    let mut bufs = vec![vec![3.0f32; n as usize], vec![4.0f32; n as usize], vec![0.0f32; n as usize]];
+    let mut bufs = vec![
+        vec![3.0f32; n as usize],
+        vec![4.0f32; n as usize],
+        vec![0.0f32; n as usize],
+    ];
     let mut interp = WarpInterpreter::new(IhwConfig::all_imprecise());
     interp.launch(&prog, n, &mut bufs).expect("runs");
     // 3-4-5 triangle under imprecise mul+sqrt stays in the unit bounds.
@@ -106,12 +119,19 @@ fn new_workloads_run_under_both_datapaths() {
     let (ji, _, _) = jpeg::run_with_config(&params, IhwConfig::all_imprecise());
     assert!(jpeg::psnr_8bit(&jp, &ji) > 15.0);
 
-    let bp = backprop::BackpropParams { epochs: 20, ..Default::default() };
+    let bp = backprop::BackpropParams {
+        epochs: 20,
+        ..Default::default()
+    };
     let (b, ctx) = backprop::run_with_config(&bp, IhwConfig::precise());
     assert!(b.accuracy > 0.6);
     assert!(ctx.counts().get(imprecise_gpgpu::core::config::FpOp::Exp2) > 0);
 
-    let cf = cfd::CfdParams { size: 12, steps: 20, ..cfd::CfdParams::default() };
+    let cf = cfd::CfdParams {
+        size: 12,
+        steps: 20,
+        ..cfd::CfdParams::default()
+    };
     let (c, _) = cfd::run_with_config(&cf, IhwConfig::precise());
     assert!(c.speed().iter().all(|s| s.is_finite()));
 }
@@ -120,8 +140,9 @@ fn new_workloads_run_under_both_datapaths() {
 fn exp2_unit_reaches_the_whole_stack() {
     // iexp2 participates in the estimator like any other SFU op.
     use imprecise_gpgpu::power::{OpCounts, PowerShares, SystemPowerModel};
-    let counts: OpCounts =
-        [(imprecise_gpgpu::core::config::FpOp::Exp2, 500_000u64)].into_iter().collect();
+    let counts: OpCounts = [(imprecise_gpgpu::core::config::FpOp::Exp2, 500_000u64)]
+        .into_iter()
+        .collect();
     let est = SystemPowerModel::new().estimate(
         &counts,
         &IhwConfig::all_imprecise(),

@@ -17,7 +17,12 @@ fn figure19_ac_mul_dominates_truncation_on_hotspot() {
     // dominates intuitive truncation — comparable (or better) MAE at many
     // times the power reduction.
     use imprecise_gpgpu::power::{power_reduction, Precision};
-    let params = hotspot::HotspotParams { rows: 32, cols: 32, steps: 10, seed: 11 };
+    let params = hotspot::HotspotParams {
+        rows: 32,
+        cols: 32,
+        steps: 10,
+        seed: 11,
+    };
     let (reference, _) = hotspot::run_with_config(&params, IhwConfig::precise());
     let lp19 = MulUnit::AcMul(AcMulConfig::new(MulPath::Log, 19));
     let bt22 = MulUnit::Truncated(TruncatedMul::new(22));
@@ -39,7 +44,11 @@ fn figure19_ac_mul_dominates_truncation_on_hotspot() {
 
 #[test]
 fn figure20_full_path_tracks_precise_on_cp() {
-    let params = cp::CpParams { size: 16, atoms: 48, seed: 2 };
+    let params = cp::CpParams {
+        size: 16,
+        atoms: 48,
+        seed: 2,
+    };
     let (reference, _) = cp::run_with_config(&params, IhwConfig::precise());
     let (fp0, _) = cp::run_with_config(
         &params,
@@ -51,7 +60,10 @@ fn figure20_full_path_tracks_precise_on_cp() {
     );
     let mae_fp = mae(&reference.potential, &fp0.potential);
     let mae_lp = mae(&reference.potential, &lp0.potential);
-    assert!(mae_fp <= mae_lp, "full path (2.04%) ≤ log path (11.11%): {mae_fp} vs {mae_lp}");
+    assert!(
+        mae_fp <= mae_lp,
+        "full path (2.04%) ≤ log path (11.11%): {mae_fp} vs {mae_lp}"
+    );
 }
 
 #[test]
@@ -66,13 +78,22 @@ fn figure21_vigilance_monotone_in_truncation() {
     let fp0 = run(mul_cfg(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, 0))));
     let fp48 = run(mul_cfg(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, 48))));
     assert!(precise > 0.8);
-    assert!((precise - fp0).abs() < 0.1, "full path tr0 barely moves vigilance");
-    assert!(fp48 <= fp0 + 0.05, "heavy truncation cannot improve confidence");
+    assert!(
+        (precise - fp0).abs() < 0.1,
+        "full path tr0 barely moves vigilance"
+    );
+    assert!(
+        fp48 <= fp0 + 0.05,
+        "heavy truncation cannot improve confidence"
+    );
 }
 
 #[test]
 fn raytracing_ssim_ordering_full_stack() {
-    let params = raytrace::RayParams { size: 32, max_depth: 3 };
+    let params = raytrace::RayParams {
+        size: 32,
+        max_depth: 3,
+    };
     let (reference, _) = raytrace::render_with_config(&params, IhwConfig::precise());
     let s = |cfg: IhwConfig| {
         let (img, _) = raytrace::render_with_config(&params, cfg);
@@ -82,17 +103,30 @@ fn raytracing_ssim_ordering_full_stack() {
     let ac_full = s(IhwConfig::ray_with_ac_mul(0));
     let table1_mul = s(IhwConfig::ray_basic().with_mul(MulUnit::Imprecise));
     // Figure 18's central claim.
-    assert!(basic > ac_full, "adding any imprecise multiplier costs quality");
-    assert!(ac_full > table1_mul, "AC multiplier rescues the Table 1 unit's damage");
+    assert!(
+        basic > ac_full,
+        "adding any imprecise multiplier costs quality"
+    );
+    assert!(
+        ac_full > table1_mul,
+        "AC multiplier rescues the Table 1 unit's damage"
+    );
 }
 
 #[test]
 fn sphinx_recognition_ordering() {
-    let params = sphinx::SphinxParams { words: 8, frames: 14, ..sphinx::SphinxParams::default() };
+    let params = sphinx::SphinxParams {
+        words: 8,
+        frames: 14,
+        ..sphinx::SphinxParams::default()
+    };
     let run = |cfg: IhwConfig| sphinx::run_with_config(&params, cfg).0.correct;
     let precise = run(IhwConfig::precise());
     let fp44 = run(mul_cfg(MulUnit::AcMul(AcMulConfig::new(MulPath::Full, 44))));
     let lp44 = run(mul_cfg(MulUnit::AcMul(AcMulConfig::new(MulPath::Log, 44))));
     assert_eq!(precise, params.words);
-    assert!(fp44 >= lp44, "Table 7: full path ≥ log path ({fp44} vs {lp44})");
+    assert!(
+        fp44 >= lp44,
+        "Table 7: full path ≥ log path ({fp44} vs {lp44})"
+    );
 }

@@ -19,7 +19,11 @@ fn arb_mix() -> impl Strategy<Value = InstrMix> {
             fp.record(FpOp::Add, adds);
             fp.record(FpOp::Mul, muls);
             fp.record(FpOp::Rsqrt, sfu);
-            InstrMix { fp, int_ops: ints, mem_ops: mems }
+            InstrMix {
+                fp,
+                int_ops: ints,
+                mem_ops: mems,
+            }
         })
 }
 
