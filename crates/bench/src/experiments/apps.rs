@@ -1,7 +1,10 @@
 //! Application-level studies of the accuracy-configurable multiplier
 //! (§5.3.2): Table 6, Figures 19–21 and Table 7.
 
-use crate::experiments::system::ascii_heatmap;
+use crate::experiments::system::{
+    art_cached, ascii_heatmap, cp_cached, hotspot_cached, md_cached, ray_cached, sphinx_cached,
+};
+use crate::runner;
 use crate::table::Table;
 use crate::Scale;
 use gpu_sim::dispatch::FpCtx;
@@ -71,56 +74,54 @@ pub fn table6(scale: Scale) -> Table {
         Scale::Quick => hotspot::HotspotParams::default(),
         Scale::Paper => hotspot::HotspotParams::paper(),
     };
-    let (_, ctx) = hotspot::run_with_config(&hp, IhwConfig::precise());
+    let run = hotspot_cached(&hp, IhwConfig::precise());
     t.row([
         "Hotspot".to_string(),
-        format!("{}", mul_count(&ctx)),
+        format!("{}", mul_count(&run.1)),
         "0".into(),
         "MAE, WED".into(),
         "Physics simulation".into(),
     ]);
-    let (_, ctx) = cp::run_with_config(&cp::CpParams::default(), IhwConfig::precise());
-    let precise_pct =
-        ctx.precise_mul_ops() as f64 / ctx.counts().get(FpOp::Mul) as f64 * 100.0;
+    let run = cp_cached(&cp::CpParams::default(), IhwConfig::precise());
+    let precise_pct = run.1.precise_mul_ops() as f64 / run.1.counts().get(FpOp::Mul) as f64 * 100.0;
     t.row([
         "CP".to_string(),
-        format!("{} ({:.0}% kept precise)", mul_count(&ctx), precise_pct),
+        format!("{} ({:.0}% kept precise)", mul_count(&run.1), precise_pct),
         "0".into(),
         "MAE, WED".into(),
         "Ion placement".into(),
     ]);
-    let (_, ctx) =
-        raytrace::render_with_config(&raytrace::RayParams::default(), IhwConfig::precise());
-    let mul_frac = mul_count(&ctx) as f64 / ctx.counts().total() as f64 * 100.0;
+    let run = ray_cached(&raytrace::RayParams::default(), IhwConfig::precise());
+    let mul_frac = mul_count(&run.1) as f64 / run.1.counts().total() as f64 * 100.0;
     t.row([
         "RayTracing".to_string(),
-        format!("{} ({:.0}% of ops)", mul_count(&ctx), mul_frac),
+        format!("{} ({:.0}% of ops)", mul_count(&run.1), mul_frac),
         "0".into(),
         "SSIM".into(),
         "3D Graphics".into(),
     ]);
     // CPU benchmarks (double precision).
-    let (_, ctx) = art::run_with_config(&art::ArtParams::default(), IhwConfig::precise());
+    let run = art_cached(&art::ArtParams::default(), IhwConfig::precise());
     t.row([
         "179.art".to_string(),
         "0".into(),
-        format!("{}", mul_count(&ctx)),
+        format!("{}", mul_count(&run.1)),
         "Vigilance".into(),
         "Neural Network".into(),
     ]);
-    let (_, ctx) = md::run_with_config(&md::MdParams::default(), IhwConfig::precise());
+    let run = md_cached(&md::MdParams::default(), IhwConfig::precise());
     t.row([
         "435.gromacs".to_string(),
         "0".into(),
-        format!("{}", mul_count(&ctx)),
+        format!("{}", mul_count(&run.1)),
         "Err%".into(),
         "Molecular Dynamics".into(),
     ]);
-    let (_, ctx) = sphinx::run_with_config(&sphinx::SphinxParams::default(), IhwConfig::precise());
+    let run = sphinx_cached(&sphinx::SphinxParams::default(), IhwConfig::precise());
     t.row([
         "482.sphinx".to_string(),
         "0".into(),
-        format!("{}", mul_count(&ctx)),
+        format!("{}", mul_count(&run.1)),
         "Accuracy".into(),
         "Voice Recognition".into(),
     ]);
@@ -138,7 +139,7 @@ pub fn fig19(scale: Scale) -> (Table, String) {
         Scale::Quick => hotspot::HotspotParams::default(),
         Scale::Paper => hotspot::HotspotParams::paper(),
     };
-    let (reference, _) = hotspot::run_with_config(&params, IhwConfig::precise());
+    let reference = hotspot_cached(&params, IhwConfig::precise());
     let configs = [
         MulConfig::Lp(0),
         MulConfig::Lp(8),
@@ -154,21 +155,29 @@ pub fn fig19(scale: Scale) -> (Table, String) {
     ];
     let mut t = Table::new(["config", "MAE (K)", "WED (K)", "power reduction"]);
     let mut worst_map = String::new();
-    for c in configs {
-        let (out, _) = hotspot::run_with_config(&params, c.config());
-        let e = mae(&reference.temps, &out.temps);
-        let w = wed(&reference.temps, &out.temps);
-        t.row([
+    let rows = runner::sweep(configs.to_vec(), |c| {
+        let run = hotspot_cached(&params, c.config());
+        let out = &run.0;
+        let e = mae(&reference.0.temps, &out.temps);
+        let w = wed(&reference.0.temps, &out.temps);
+        let cells = [
             c.label(),
             format!("{:.3}", e),
             format!("{:.3}", w),
             format!("{:.1}x", c.power_reduction(Precision::Single)),
-        ]);
-        if c == MulConfig::Lp(19) {
-            worst_map = format!(
+        ];
+        let map = (c == MulConfig::Lp(19)).then(|| {
+            format!(
                 "lp_tr19 (26x) heat map:\n{}",
                 ascii_heatmap(&out.temps, out.cols)
-            );
+            )
+        });
+        (cells, map)
+    });
+    for (cells, map) in rows {
+        t.row(cells);
+        if let Some(map) = map {
+            worst_map = map;
         }
     }
     (t, worst_map)
@@ -180,12 +189,10 @@ pub fn fig20(scale: Scale) -> Table {
         Scale::Quick => cp::CpParams::default(),
         Scale::Paper => cp::CpParams::paper(),
     };
-    let atoms = cp::synth_atoms(&params);
-    let run_cfg = |cfg: IhwConfig| {
-        let mut ctx = FpCtx::new(cfg);
-        cp::run(&params, &atoms, &mut ctx)
-    };
-    let reference = run_cfg(IhwConfig::precise());
+    // `run_with_config` synthesizes the same deterministic atoms each
+    // time, so routing through the cache preserves the serial results
+    // while sharing the precise reference with Table 6.
+    let reference = cp_cached(&params, IhwConfig::precise());
     let configs = [
         MulConfig::Lp(0),
         MulConfig::Lp(12),
@@ -198,13 +205,16 @@ pub fn fig20(scale: Scale) -> Table {
         MulConfig::Bt(21),
     ];
     let mut t = Table::new(["config", "MAE", "power reduction"]);
-    for c in configs {
-        let out = run_cfg(c.config());
-        t.row([
+    let rows = runner::sweep(configs.to_vec(), |c| {
+        let run = cp_cached(&params, c.config());
+        [
             c.label(),
-            format!("{:.5}", mae(&reference.potential, &out.potential)),
+            format!("{:.5}", mae(&reference.0.potential, &run.0.potential)),
             format!("{:.1}x", c.power_reduction(Precision::Single)),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }
@@ -213,14 +223,12 @@ pub fn fig20(scale: Scale) -> Table {
 pub fn fig21_art(scale: Scale) -> Table {
     let params = match scale {
         Scale::Quick => art::ArtParams::default(),
-        Scale::Paper => art::ArtParams { image_size: 64, ..art::ArtParams::default() },
+        Scale::Paper => art::ArtParams {
+            image_size: 64,
+            ..art::ArtParams::default()
+        },
     };
-    let (image, _) = art::synth_image(&params);
-    let run_cfg = |cfg: IhwConfig| {
-        let mut ctx = FpCtx::new(cfg);
-        art::run(&params, &image, &mut ctx)
-    };
-    let reference = run_cfg(IhwConfig::precise());
+    let reference = art_cached(&params, IhwConfig::precise());
     let configs = [
         MulConfig::Fp(0),
         MulConfig::Fp(32),
@@ -232,22 +240,33 @@ pub fn fig21_art(scale: Scale) -> Table {
         MulConfig::Bt(44),
         MulConfig::Bt(48),
     ];
-    let mut t =
-        Table::new(["config", "vigilance", "category ok", "power reduction (64b)"]);
+    let mut t = Table::new([
+        "config",
+        "vigilance",
+        "category ok",
+        "power reduction (64b)",
+    ]);
     t.row([
         "precise".to_string(),
-        format!("{:.4}", reference.vigilance),
+        format!("{:.4}", reference.0.vigilance),
         "yes".into(),
         "1.0x".into(),
     ]);
-    for c in configs {
-        let out = run_cfg(c.config());
-        t.row([
+    let rows = runner::sweep(configs.to_vec(), |c| {
+        let run = art_cached(&params, c.config());
+        [
             c.label(),
-            format!("{:.4}", out.vigilance),
-            if out.category == reference.category { "yes".into() } else { "NO".to_string() },
+            format!("{:.4}", run.0.vigilance),
+            if run.0.category == reference.0.category {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
             format!("{:.1}x", c.power_reduction(Precision::Double)),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }
@@ -259,7 +278,7 @@ pub fn fig21_gromacs(scale: Scale) -> Table {
         Scale::Quick => md::MdParams::default(),
         Scale::Paper => md::MdParams::paper(),
     };
-    let (reference, _) = md::run_with_config(&params, IhwConfig::precise());
+    let reference = md_cached(&params, IhwConfig::precise());
     let configs = [
         MulConfig::Fp(0),
         MulConfig::Fp(32),
@@ -271,15 +290,22 @@ pub fn fig21_gromacs(scale: Scale) -> Table {
         MulConfig::Bt(48),
     ];
     let mut t = Table::new(["config", "err %", "within 1.25%", "power reduction (64b)"]);
-    for c in configs {
-        let (out, _) = md::run_with_config(&params, c.config());
-        let e = out.error_pct_vs(&reference);
-        t.row([
+    let rows = runner::sweep(configs.to_vec(), |c| {
+        let run = md_cached(&params, c.config());
+        let e = run.0.error_pct_vs(&reference.0);
+        [
             c.label(),
             format!("{:.3}", e),
-            if e <= md::SPEC_TOLERANCE_PCT { "yes".into() } else { "no".to_string() },
+            if e <= md::SPEC_TOLERANCE_PCT {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
             format!("{:.1}x", c.power_reduction(Precision::Double)),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }
@@ -290,26 +316,29 @@ pub fn table7(scale: Scale) -> Table {
         Scale::Quick => sphinx::SphinxParams::default(),
         Scale::Paper => sphinx::SphinxParams::paper(),
     };
-    let vocab = sphinx::synth_vocabulary(&params);
-    let utts = sphinx::synth_utterances(&params, &vocab);
-    let run_cfg = |cfg: IhwConfig| {
-        let mut ctx = FpCtx::new(cfg);
-        sphinx::run(&params, &vocab, &utts, &mut ctx).correct
-    };
+    // The deterministic vocabulary/utterances are re-synthesized inside
+    // `run_with_config`; each of the 18 configurations is one cached
+    // sweep point.
+    let run_cfg = |cfg: IhwConfig| sphinx_cached(&params, cfg).0.correct;
     let total = params.words;
-    let mut t = Table::new(["config", "accuracy", "config", "accuracy", "config", "accuracy"]);
-    for tr in [44u32, 45, 46, 47, 48, 49] {
+    let mut t = Table::new([
+        "config", "accuracy", "config", "accuracy", "config", "accuracy",
+    ]);
+    let rows = runner::sweep(vec![44u32, 45, 46, 47, 48, 49], |tr| {
         let bt = run_cfg(MulConfig::Bt(tr).config());
         let fp = run_cfg(MulConfig::Fp(tr).config());
         let lp = run_cfg(MulConfig::Lp(tr).config());
-        t.row([
+        [
             format!("bt_{tr}"),
             format!("{bt}/{total}"),
             format!("fp_tr{tr}"),
             format!("{fp}/{total}"),
             format!("lp_tr{tr}"),
             format!("{lp}/{total}"),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }

@@ -3,6 +3,8 @@
 //! motivating example rebuilt end-to-end, IHW + DVFS composition, the
 //! segmented Mitchell design-space sweep, and dual-mode per-site tuning.
 
+use crate::experiments::system::jpeg_cached;
+use crate::runner;
 use crate::table::Table;
 use gpu_sim::dvfs::{combined_power_factor, DvfsPoint};
 use gpu_sim::tuner::{tune_sites, QualityConstraint};
@@ -15,7 +17,8 @@ use ihw_workloads::jpeg::{self, JpegParams};
 /// quality loss and adder energy savings.
 pub fn fig5() -> Table {
     let params = JpegParams::default();
-    let (reference, scene, _) = jpeg::run_with_config(&params, IhwConfig::precise());
+    let reference_run = jpeg_cached(&params, IhwConfig::precise());
+    let (reference, scene) = (&reference_run.0, &reference_run.1);
     let configs: [(&str, IhwConfig); 3] = [
         ("precise", IhwConfig::precise()),
         (
@@ -26,20 +29,28 @@ pub fn fig5() -> Table {
     ];
     let lib = ihw_power::library::SynthesisLibrary::cmos45();
     let adder_edp_saving = 1.0 - lib.normalized(ihw_core::config::FpOp::Add).edp;
-    let mut t = Table::new(["configuration", "PSNR vs precise decode (dB)", "PSNR vs scene (dB)", "adder EDP saving"]);
-    for (name, cfg) in configs {
-        let (img, _, _) = jpeg::run_with_config(&params, cfg);
+    let mut t = Table::new([
+        "configuration",
+        "PSNR vs precise decode (dB)",
+        "PSNR vs scene (dB)",
+        "adder EDP saving",
+    ]);
+    let rows = runner::sweep(configs.to_vec(), |(name, cfg)| {
+        let run = jpeg_cached(&params, cfg);
         let edp = if cfg.is_op_imprecise(ihw_core::config::FpOp::Add) {
             format!("{:.0}%", adder_edp_saving * 100.0)
         } else {
             "-".to_string()
         };
-        t.row([
+        [
             name.to_string(),
-            format!("{:.1}", jpeg::psnr_8bit(&reference, &img)),
-            format!("{:.1}", jpeg::psnr_8bit(&scene, &img)),
+            format!("{:.1}", jpeg::psnr_8bit(reference, &run.0)),
+            format!("{:.1}", jpeg::psnr_8bit(scene, &run.0)),
             edp,
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }
@@ -79,14 +90,21 @@ pub fn dvfs_composition() -> Table {
 
 /// Segmented-Mitchell design-space sweep: max error vs segment count.
 pub fn segmented_sweep() -> Table {
-    let mut t = Table::new(["segments", "measured max error %", "vs plain Mitchell (11.11%)"]);
-    for segments in [1u32, 2, 4, 8, 16, 32] {
+    let mut t = Table::new([
+        "segments",
+        "measured max error %",
+        "vs plain Mitchell (11.11%)",
+    ]);
+    let rows = runner::sweep(vec![1u32, 2, 4, 8, 16, 32], |segments| {
         let e = SegmentedMitchell::new(segments).measured_max_error();
-        t.row([
+        [
             segments.to_string(),
             format!("{:.2}", e * 100.0),
             format!("{:.1}x tighter", 1.0 / 9.0 / e),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }
@@ -96,9 +114,16 @@ pub fn segmented_sweep() -> Table {
 /// the blended multiplier power that falls out.
 pub fn dual_mode_ray() -> Table {
     use ihw_quality::ssim;
-    use ihw_workloads::raytrace::{render_sited, RayParams, MulSite};
+    use ihw_workloads::raytrace::{render_sited, MulSite, RayParams};
 
-    let params = RayParams { size: 32, max_depth: 3 };
+    // Greedy per-site tuning is inherently sequential (each step depends
+    // on the previous accept/reject decision), so this experiment stays
+    // serial internally; the runner parallelizes it against the *other*
+    // experiments at the `repro` level.
+    let params = RayParams {
+        size: 32,
+        max_depth: 3,
+    };
     let reference = render_sited(&params, &[false; MulSite::COUNT]);
     let outcome = tune_sites(
         MulSite::COUNT,
@@ -112,7 +137,10 @@ pub fn dual_mode_ray() -> Table {
     );
     let mut t = Table::new(["site", "imprecise?"]);
     for (site, &on) in MulSite::ALL.iter().zip(&outcome.enabled) {
-        t.row([site.name().to_string(), if on { "yes".into() } else { "no".to_string() }]);
+        t.row([
+            site.name().to_string(),
+            if on { "yes".into() } else { "no".to_string() },
+        ]);
     }
     let imprecise_rel = 0.040; // Table 2 multiplier ratio
     let blended = outcome.imprecise_fraction() * (imprecise_rel + DUAL_MODE_OVERHEAD)
@@ -135,20 +163,27 @@ pub fn sensitivity() -> Table {
     use ihw_power::library::SynthesisLibrary;
     use ihw_power::system::SystemPowerModel;
 
+    // The breakdown and the imprecise kernel both come from the run
+    // cache — shared with `table5`, `fig2` and `fig15`.
     let breakdown = power_breakdown(GpuBenchmark::Hotspot, Scale::Quick);
     let shares = breakdown.shares();
     let kernel = GpuBenchmark::Hotspot.run(Scale::Quick, IhwConfig::all_imprecise());
     let mut t = Table::new(["scaled unit", "x0.5", "x1.0", "x2.0"]);
-    for op in [FpOp::Add, FpOp::Rcp, FpOp::Mul] {
+    let rows = runner::sweep(vec![FpOp::Add, FpOp::Rcp, FpOp::Mul], |op| {
         let mut cells = vec![format!("{op} DWIP power")];
         for factor in [0.5, 1.0, 2.0] {
             let lib = SynthesisLibrary::cmos45().with_unit_power_scaled(op, factor);
-            let est = SystemPowerModel::new()
-                .with_library(lib)
-                .estimate(&kernel.mix.fp, &IhwConfig::all_imprecise(), shares);
+            let est = SystemPowerModel::new().with_library(lib).estimate(
+                &kernel.mix.fp,
+                &IhwConfig::all_imprecise(),
+                shares,
+            );
             cells.push(format!("{:.1}%", est.system_savings * 100.0));
         }
-        t.row(cells);
+        cells
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }
@@ -162,35 +197,42 @@ pub fn seeds() -> Table {
     use ihw_quality::Summary;
     use ihw_workloads::{cp, hotspot, kmeans};
 
+    use crate::experiments::system::{cp_cached, hotspot_cached, kmeans_cached};
+
     let seeds: [u64; 5] = [11, 23, 47, 91, 137];
 
-    let hotspot_maes: Vec<f64> = seeds
-        .iter()
-        .map(|&seed| {
-            let params = hotspot::HotspotParams { rows: 32, cols: 32, steps: 10, seed };
-            let (p, _) = hotspot::run_with_config(&params, IhwConfig::precise());
-            let (i, _) = hotspot::run_with_config(&params, IhwConfig::all_imprecise());
-            mae(&p.temps, &i.temps)
-        })
-        .collect();
-    let cp_maes: Vec<f64> = seeds
-        .iter()
-        .map(|&seed| {
-            let params = cp::CpParams { size: 16, atoms: 48, seed };
-            let (p, _) = cp::run_with_config(&params, IhwConfig::precise());
-            let (i, _) = cp::run_with_config(&params, IhwConfig::all_imprecise());
-            mae(&p.potential, &i.potential)
-        })
-        .collect();
-    let kmeans_agreements: Vec<f64> = seeds
-        .iter()
-        .map(|&seed| {
-            let params = kmeans::KmeansParams { seed, ..kmeans::KmeansParams::default() };
-            let (p, _) = kmeans::run_with_config(&params, IhwConfig::precise());
-            let (i, _) = kmeans::run_with_config(&params, IhwConfig::all_imprecise());
-            i.agreement_with(&p)
-        })
-        .collect();
+    // Every (benchmark, seed) pair is an independent sweep point; the
+    // precise and imprecise runs inside each point go through the cache.
+    let hotspot_maes = runner::sweep(seeds.to_vec(), |seed| {
+        let params = hotspot::HotspotParams {
+            rows: 32,
+            cols: 32,
+            steps: 10,
+            seed,
+        };
+        let p = hotspot_cached(&params, IhwConfig::precise());
+        let i = hotspot_cached(&params, IhwConfig::all_imprecise());
+        mae(&p.0.temps, &i.0.temps)
+    });
+    let cp_maes = runner::sweep(seeds.to_vec(), |seed| {
+        let params = cp::CpParams {
+            size: 16,
+            atoms: 48,
+            seed,
+        };
+        let p = cp_cached(&params, IhwConfig::precise());
+        let i = cp_cached(&params, IhwConfig::all_imprecise());
+        mae(&p.0.potential, &i.0.potential)
+    });
+    let kmeans_agreements = runner::sweep(seeds.to_vec(), |seed| {
+        let params = kmeans::KmeansParams {
+            seed,
+            ..kmeans::KmeansParams::default()
+        };
+        let p = kmeans_cached(&params, IhwConfig::precise());
+        let i = kmeans_cached(&params, IhwConfig::all_imprecise());
+        i.0.agreement_with(&p.0)
+    });
 
     let mut t = Table::new(["benchmark", "metric", "mean ± 95% CI", "min", "max"]);
     for (name, metric, samples) in [
@@ -215,93 +257,152 @@ pub fn seeds() -> Table {
 /// quality degradation under the all-IHW datapath, and the resulting
 /// tolerance class.
 pub fn tolerance() -> Table {
+    use crate::experiments::system::{
+        art_cached, backprop_cached, cfd_cached, cp_cached, hotspot_cached, jpeg_cached,
+        kmeans_cached, md_cached, ray_cached, sphinx_cached, srad_cached,
+    };
     use ihw_quality::metrics::mae;
     use ihw_quality::ssim;
-    use ihw_workloads::{backprop, cfd, cp, hotspot, jpeg, kmeans, raytrace, srad};
+    use ihw_workloads::{
+        art, backprop, cfd, cp, hotspot, jpeg, kmeans, md, raytrace, sphinx, srad,
+    };
 
-    // Each entry: (name, metric label, normalized degradation in [0, ∞)
-    // where ≲0.05 is negligible and ≳1 is failure).
-    let mut rows: Vec<(&str, &str, f64)> = Vec::new();
-
-    {
-        let p = hotspot::HotspotParams { rows: 32, cols: 32, steps: 10, seed: 3 };
-        let (a, _) = hotspot::run_with_config(&p, IhwConfig::precise());
-        let (b, _) = hotspot::run_with_config(&p, IhwConfig::all_imprecise());
-        let mean = a.temps.iter().sum::<f64>() / a.temps.len() as f64;
-        rows.push(("HotSpot", "MAE / mean temp", mae(&a.temps, &b.temps) / mean * 30.0));
-    }
-    {
-        let p = srad::SradParams { size: 32, iterations: 10, ..srad::SradParams::default() };
-        let scene = srad::synth_scene(&p);
-        let mut c1 = gpu_sim::dispatch::FpCtx::new(IhwConfig::precise());
-        let o1 = srad::run(&p, &scene, &mut c1);
-        let mut c2 = gpu_sim::dispatch::FpCtx::new(IhwConfig::all_imprecise());
-        let o2 = srad::run(&p, &scene, &mut c2);
-        let f1 = srad::evaluate_fom(&o1, &scene);
-        let f2 = srad::evaluate_fom(&o2, &scene);
-        rows.push(("SRAD", "ΔPratt FOM", (f1 - f2).abs() / f1.max(1e-9)));
-    }
-    {
-        let p = raytrace::RayParams { size: 32, max_depth: 3 };
-        let (a, _) = raytrace::render_with_config(&p, IhwConfig::precise());
-        let (b, _) = raytrace::render_with_config(&p, IhwConfig::all_imprecise());
-        rows.push(("RayTracing", "1 − SSIM", 1.0 - ssim(&a, &b, 1.0)));
-    }
-    {
-        let p = cp::CpParams::default();
-        let (a, _) = cp::run_with_config(&p, IhwConfig::precise());
-        let (b, _) = cp::run_with_config(&p, IhwConfig::all_imprecise());
-        let scale =
-            a.potential.iter().map(|v| v.abs()).fold(0.0, f64::max).max(1e-9);
-        rows.push(("CP", "MAE / peak |V|", mae(&a.potential, &b.potential) / scale));
-    }
-    {
-        let p = kmeans::KmeansParams::default();
-        let (a, _) = kmeans::run_with_config(&p, IhwConfig::precise());
-        let (b, _) = kmeans::run_with_config(&p, IhwConfig::all_imprecise());
-        rows.push(("KMeans", "1 − agreement", 1.0 - b.agreement_with(&a)));
-    }
-    {
-        let p = jpeg::JpegParams::default();
-        let (a, _, _) = jpeg::run_with_config(&p, IhwConfig::precise());
-        let (b, _, _) = jpeg::run_with_config(&p, IhwConfig::all_imprecise());
-        // 30 dB ≈ acceptable: normalize so 30 dB → ~0.5.
-        let psnr = jpeg::psnr_8bit(&a, &b);
-        rows.push(("JPEG", "PSNR shortfall", ((45.0 - psnr) / 30.0).max(0.0)));
-    }
-    {
-        let p = backprop::BackpropParams { epochs: 20, ..Default::default() };
-        let (a, _) = backprop::run_with_config(&p, IhwConfig::precise());
-        let (b, _) = backprop::run_with_config(&p, IhwConfig::all_imprecise());
-        rows.push(("Backprop", "Δaccuracy", (a.accuracy - b.accuracy).max(0.0)));
-    }
-    {
-        let p = cfd::CfdParams { size: 16, steps: 30, ..cfd::CfdParams::default() };
-        let (a, _) = cfd::run_with_config(&p, IhwConfig::precise());
-        let (b, _) = cfd::run_with_config(&p, IhwConfig::all_imprecise());
-        let peak = a.speed().iter().cloned().fold(0.0, f64::max).max(1e-9);
-        rows.push(("CFD", "MAE / peak speed", mae(&a.speed(), &b.speed()) / peak));
-    }
-    {
-        use ihw_workloads::{art, md, sphinx};
-        let p = art::ArtParams::default();
-        let (a, _) = art::run_with_config(&p, IhwConfig::precise());
-        let (b, _) = art::run_with_config(&p, IhwConfig::all_imprecise());
-        rows.push(("179.art", "Δvigilance", (a.vigilance - b.vigilance).abs()));
-
-        let p = md::MdParams { particles: 27, steps: 40, ..md::MdParams::default() };
-        let (a, _) = md::run_with_config(&p, IhwConfig::precise());
-        let (b, _) = md::run_with_config(&p, IhwConfig::all_imprecise());
-        // Normalize against SPEC's 1.25% acceptance band.
-        rows.push(("435.gromacs", "err% / 1.25%", b.error_pct_vs(&a) / md::SPEC_TOLERANCE_PCT));
-
-        let p = sphinx::SphinxParams::default();
-        let (a, _) = sphinx::run_with_config(&p, IhwConfig::precise());
-        let (b, _) = sphinx::run_with_config(&p, IhwConfig::all_imprecise());
-        let miss =
-            (a.correct as f64 - b.correct as f64).max(0.0) / p.words as f64;
-        rows.push(("482.sphinx3", "missed words", miss));
-    }
+    // Each job: (name, metric label, normalized degradation in [0, ∞)
+    // where ≲0.05 is negligible and ≳1 is failure). The eleven workloads
+    // are independent sweep points; precise references that other
+    // experiments also use (CP, JPEG, KMeans, the CPU suite) come out of
+    // the run cache.
+    type Row = (&'static str, &'static str, f64);
+    let points: Vec<Box<dyn FnOnce() -> Row + Send>> = vec![
+        Box::new(|| {
+            let p = hotspot::HotspotParams {
+                rows: 32,
+                cols: 32,
+                steps: 10,
+                seed: 3,
+            };
+            let a = hotspot_cached(&p, IhwConfig::precise());
+            let b = hotspot_cached(&p, IhwConfig::all_imprecise());
+            let mean = a.0.temps.iter().sum::<f64>() / a.0.temps.len() as f64;
+            (
+                "HotSpot",
+                "MAE / mean temp",
+                mae(&a.0.temps, &b.0.temps) / mean * 30.0,
+            )
+        }),
+        Box::new(|| {
+            let p = srad::SradParams {
+                size: 32,
+                iterations: 10,
+                ..srad::SradParams::default()
+            };
+            let a = srad_cached(&p, IhwConfig::precise());
+            let b = srad_cached(&p, IhwConfig::all_imprecise());
+            let f1 = srad::evaluate_fom(&a.0, &a.1);
+            let f2 = srad::evaluate_fom(&b.0, &b.1);
+            ("SRAD", "ΔPratt FOM", (f1 - f2).abs() / f1.max(1e-9))
+        }),
+        Box::new(|| {
+            let p = raytrace::RayParams {
+                size: 32,
+                max_depth: 3,
+            };
+            let a = ray_cached(&p, IhwConfig::precise());
+            let b = ray_cached(&p, IhwConfig::all_imprecise());
+            ("RayTracing", "1 − SSIM", 1.0 - ssim(&a.0, &b.0, 1.0))
+        }),
+        Box::new(|| {
+            let p = cp::CpParams::default();
+            let a = cp_cached(&p, IhwConfig::precise());
+            let b = cp_cached(&p, IhwConfig::all_imprecise());
+            let scale =
+                a.0.potential
+                    .iter()
+                    .map(|v| v.abs())
+                    .fold(0.0, f64::max)
+                    .max(1e-9);
+            (
+                "CP",
+                "MAE / peak |V|",
+                mae(&a.0.potential, &b.0.potential) / scale,
+            )
+        }),
+        Box::new(|| {
+            let p = kmeans::KmeansParams::default();
+            let a = kmeans_cached(&p, IhwConfig::precise());
+            let b = kmeans_cached(&p, IhwConfig::all_imprecise());
+            ("KMeans", "1 − agreement", 1.0 - b.0.agreement_with(&a.0))
+        }),
+        Box::new(|| {
+            let p = jpeg::JpegParams::default();
+            let a = jpeg_cached(&p, IhwConfig::precise());
+            let b = jpeg_cached(&p, IhwConfig::all_imprecise());
+            // 30 dB ≈ acceptable: normalize so 30 dB → ~0.5.
+            let psnr = jpeg::psnr_8bit(&a.0, &b.0);
+            ("JPEG", "PSNR shortfall", ((45.0 - psnr) / 30.0).max(0.0))
+        }),
+        Box::new(|| {
+            let p = backprop::BackpropParams {
+                epochs: 20,
+                ..Default::default()
+            };
+            let a = backprop_cached(&p, IhwConfig::precise());
+            let b = backprop_cached(&p, IhwConfig::all_imprecise());
+            (
+                "Backprop",
+                "Δaccuracy",
+                (a.0.accuracy - b.0.accuracy).max(0.0),
+            )
+        }),
+        Box::new(|| {
+            let p = cfd::CfdParams {
+                size: 16,
+                steps: 30,
+                ..cfd::CfdParams::default()
+            };
+            let a = cfd_cached(&p, IhwConfig::precise());
+            let b = cfd_cached(&p, IhwConfig::all_imprecise());
+            let peak = a.0.speed().iter().cloned().fold(0.0, f64::max).max(1e-9);
+            (
+                "CFD",
+                "MAE / peak speed",
+                mae(&a.0.speed(), &b.0.speed()) / peak,
+            )
+        }),
+        Box::new(|| {
+            let p = art::ArtParams::default();
+            let a = art_cached(&p, IhwConfig::precise());
+            let b = art_cached(&p, IhwConfig::all_imprecise());
+            (
+                "179.art",
+                "Δvigilance",
+                (a.0.vigilance - b.0.vigilance).abs(),
+            )
+        }),
+        Box::new(|| {
+            let p = md::MdParams {
+                particles: 27,
+                steps: 40,
+                ..md::MdParams::default()
+            };
+            let a = md_cached(&p, IhwConfig::precise());
+            let b = md_cached(&p, IhwConfig::all_imprecise());
+            // Normalize against SPEC's 1.25% acceptance band.
+            (
+                "435.gromacs",
+                "err% / 1.25%",
+                b.0.error_pct_vs(&a.0) / md::SPEC_TOLERANCE_PCT,
+            )
+        }),
+        Box::new(|| {
+            let p = sphinx::SphinxParams::default();
+            let a = sphinx_cached(&p, IhwConfig::precise());
+            let b = sphinx_cached(&p, IhwConfig::all_imprecise());
+            let miss = (a.0.correct as f64 - b.0.correct as f64).max(0.0) / p.words as f64;
+            ("482.sphinx3", "missed words", miss)
+        }),
+    ];
+    let rows = runner::sweep(points, |point| point());
 
     let mut t = Table::new(["benchmark", "metric", "degradation", "tolerance class"]);
     for (name, metric, d) in rows {
@@ -312,7 +413,12 @@ pub fn tolerance() -> Table {
         } else {
             "not tolerant (needs precise/dual-mode units)"
         };
-        t.row([name.to_string(), metric.into(), format!("{d:.3}"), class.into()]);
+        t.row([
+            name.to_string(),
+            metric.into(),
+            format!("{d:.3}"),
+            class.into(),
+        ]);
     }
     t
 }
@@ -323,7 +429,7 @@ pub fn tolerance() -> Table {
 pub fn ac_adder_space() -> Table {
     use ihw_core::ac_adder::AcAdder;
     let mut t = Table::new(["TH", "trunc", "max add error %", "relative power"]);
-    for &(th, tr) in &[
+    let grid = vec![
         (27u32, 0u32),
         (8, 0),
         (8, 15),
@@ -332,7 +438,8 @@ pub fn ac_adder_space() -> Table {
         (4, 12),
         (2, 0),
         (1, 18),
-    ] {
+    ];
+    let rows = runner::sweep(grid, |(th, tr)| {
         let adder = AcAdder::new(th, tr).expect("valid configuration");
         let mut worst = 0.0f64;
         for p in ihw_qmc::Halton::<2>::new().take(30_000) {
@@ -341,12 +448,15 @@ pub fn ac_adder_space() -> Table {
             let exact = a as f64 + b as f64;
             worst = worst.max(((adder.add32(a, b) as f64 - exact) / exact).abs());
         }
-        t.row([
+        [
             th.to_string(),
             tr.to_string(),
             format!("{:.3}", worst * 100.0),
             format!("{:.3}", adder.relative_power(23)),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }

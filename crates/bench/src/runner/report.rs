@@ -1,0 +1,179 @@
+//! Timing report for `repro --timings` / `--json <file>`.
+//!
+//! The report is plain data assembled by the `repro` binary after a run:
+//! per-experiment wall-clock seconds (measured inside each job, so they
+//! are meaningful under any `--jobs` level), the end-to-end wall-clock,
+//! and the run-cache counters. It renders as a human table or as a
+//! stable machine-readable JSON document
+//! (`"schema": "ihw-bench-timings/1"`) so perf trajectories can be
+//! tracked across commits without screen-scraping.
+
+/// Wall-clock for one experiment job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentTiming {
+    /// Experiment name as listed by `repro list`.
+    pub name: String,
+    /// Wall-clock seconds spent inside the job.
+    pub seconds: f64,
+}
+
+/// Full timing report for one `repro` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Worker-thread budget the run used.
+    pub jobs: usize,
+    /// End-to-end wall-clock seconds for the experiment phase.
+    pub total_seconds: f64,
+    /// Per-experiment timings, in the order the experiments were requested.
+    pub experiments: Vec<ExperimentTiming>,
+    /// Run-cache requests served without recomputation.
+    pub cache_hits: u64,
+    /// Run-cache requests that computed a new entry.
+    pub cache_misses: u64,
+    /// Distinct workload executions held by the cache at the end of the run.
+    pub cache_entries: usize,
+}
+
+impl TimingReport {
+    /// Renders the report as an aligned human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== timings ==\n");
+        let name_w = self
+            .experiments
+            .iter()
+            .map(|e| e.name.len())
+            .chain(std::iter::once("experiment".len()))
+            .max()
+            .unwrap_or(10);
+        out.push_str(&format!("{:<name_w$}  {:>9}\n", "experiment", "seconds"));
+        for e in &self.experiments {
+            out.push_str(&format!("{:<name_w$}  {:>9.3}\n", e.name, e.seconds));
+        }
+        let sum: f64 = self.experiments.iter().map(|e| e.seconds).sum();
+        out.push_str(&format!("{:<name_w$}  {:>9.3}\n", "(job total)", sum));
+        out.push_str(&format!(
+            "{:<name_w$}  {:>9.3}\n",
+            "(wall clock)", self.total_seconds
+        ));
+        out.push_str(&format!(
+            "jobs: {}   run cache: {} hits / {} misses ({} distinct runs)\n",
+            self.jobs, self.cache_hits, self.cache_misses, self.cache_entries
+        ));
+        out
+    }
+
+    /// Serializes the report as a stable JSON document.
+    ///
+    /// Hand-rolled because the workspace's offline `serde` shim is
+    /// marker-only; the format is pinned by `schema`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"ihw-bench-timings/1\",\n");
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!(
+            "  \"total_seconds\": {},\n",
+            json_f64(self.total_seconds)
+        ));
+        out.push_str(&format!(
+            "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {} }},\n",
+            self.cache_hits, self.cache_misses, self.cache_entries
+        ));
+        out.push_str("  \"experiments\": [\n");
+        for (i, e) in self.experiments.iter().enumerate() {
+            let comma = if i + 1 < self.experiments.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"seconds\": {} }}{comma}\n",
+                json_escape(&e.name),
+                json_f64(e.seconds)
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Formats a float as a JSON number (JSON has no NaN/inf — clamp to 0).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0.0".to_owned()
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimingReport {
+        TimingReport {
+            jobs: 4,
+            total_seconds: 1.25,
+            experiments: vec![
+                ExperimentTiming {
+                    name: "table5".into(),
+                    seconds: 0.5,
+                },
+                ExperimentTiming {
+                    name: "fig14".into(),
+                    seconds: 0.75,
+                },
+            ],
+            cache_hits: 3,
+            cache_misses: 9,
+            cache_entries: 9,
+        }
+    }
+
+    #[test]
+    fn render_lists_every_experiment() {
+        let text = sample().render();
+        assert!(text.contains("table5"));
+        assert!(text.contains("fig14"));
+        assert!(text.contains("3 hits / 9 misses"));
+        assert!(text.contains("jobs: 4"));
+    }
+
+    #[test]
+    fn json_is_stable_and_parsable_shape() {
+        let json = sample().to_json();
+        assert!(json.contains("\"schema\": \"ihw-bench-timings/1\""));
+        assert!(json.contains("\"jobs\": 4"));
+        assert!(json.contains("\"hits\": 3"));
+        assert!(json.contains("\"name\": \"table5\", \"seconds\": 0.500000"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escaping_and_nonfinite_handled() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "0.0");
+        assert_eq!(json_f64(f64::INFINITY), "0.0");
+    }
+}

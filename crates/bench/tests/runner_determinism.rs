@@ -1,0 +1,52 @@
+//! Locks in the sweep runner's determinism guarantee: the rendered
+//! experiment artefacts must be byte-identical at every `--jobs` level,
+//! with a cold or warm run cache.
+//!
+//! Kept as a single `#[test]` because the jobs budget and the run cache
+//! are process-global — one test owns them for its whole duration.
+
+use ihw_bench::experiments::{ext, system};
+use ihw_bench::runner::{self, cache};
+use ihw_bench::Scale;
+
+#[test]
+fn jobs_level_does_not_change_results() {
+    // Serial reference pass on a cold cache.
+    runner::set_jobs(1);
+    cache::global().clear();
+    let table5_serial = system::table5_table(&system::table5(Scale::Quick)).render();
+    let acadder_serial = ext::ac_adder_space().render();
+    let misses_serial = cache::global().misses();
+
+    // Parallel pass, cache cleared so every run recomputes.
+    cache::global().clear();
+    runner::set_jobs(8);
+    let table5_parallel = system::table5_table(&system::table5(Scale::Quick)).render();
+    let acadder_parallel = ext::ac_adder_space().render();
+    let misses_parallel = cache::global().misses();
+    runner::set_jobs(1);
+
+    assert_eq!(
+        table5_serial, table5_parallel,
+        "table5 must not depend on the jobs level"
+    );
+    assert_eq!(
+        acadder_serial, acadder_parallel,
+        "acadder must not depend on the jobs level"
+    );
+    // Same work graph → same number of distinct executions, even with
+    // workers racing for the shared baselines.
+    assert_eq!(
+        misses_serial, misses_parallel,
+        "cache must dedup identically at any jobs level"
+    );
+
+    // A warm-cache re-render is also identical (results come from the
+    // cache, formatting from the table layer).
+    let table5_warm = system::table5_table(&system::table5(Scale::Quick)).render();
+    assert_eq!(table5_serial, table5_warm);
+    assert!(
+        cache::global().hits() > 0,
+        "warm re-render must hit the cache"
+    );
+}

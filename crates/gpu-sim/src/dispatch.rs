@@ -116,10 +116,9 @@ impl FpCtx {
     #[inline]
     pub fn int_op(&mut self, n: u64) {
         self.int_ops += n;
-        if self.trace.is_some() {
-            for _ in 0..n {
-                self.trace_push(UnitClass::Alu);
-            }
+        if let Some(trace) = &mut self.trace {
+            trace.reserve(n as usize);
+            trace.extend(std::iter::repeat_n(UnitClass::Alu, n as usize));
         }
     }
 
@@ -127,10 +126,9 @@ impl FpCtx {
     #[inline]
     pub fn mem_op(&mut self, n: u64) {
         self.mem_ops += n;
-        if self.trace.is_some() {
-            for _ in 0..n {
-                self.trace_push(UnitClass::Lsu);
-            }
+        if let Some(trace) = &mut self.trace {
+            trace.reserve(n as usize);
+            trace.extend(std::iter::repeat_n(UnitClass::Lsu, n as usize));
         }
     }
 

@@ -1,0 +1,25 @@
+# Developer entry points. `just` is optional — every recipe is a thin
+# wrapper over scripts/ or cargo, so the commands also work directly.
+
+# Format check, clippy -D warnings, tier-1 build+tests, repro smoke run.
+ci:
+    bash scripts/ci.sh
+
+# Tier-1 gate only (what the roadmap requires to stay green).
+test:
+    cargo build --release
+    cargo test -q
+
+# Full workspace test suite.
+test-all:
+    cargo test --workspace -q
+
+# Regenerate every table/figure with timings and cache statistics.
+repro *ARGS:
+    cargo run --release -p ihw-bench --bin repro -- --timings {{ARGS}} all
+
+fmt:
+    cargo fmt --all
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings

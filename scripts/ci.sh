@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, tier-1 tests, and a smoke run of the
+# repro harness with timings (exercises the parallel runner + run cache).
+# Run from anywhere; `just ci` delegates here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: build + tests =="
+cargo build --release
+cargo test -q
+
+echo "== smoke: repro --timings table5 fig14 =="
+cargo run --release -p ihw-bench --bin repro -- --timings table5 fig14
+
+echo "CI OK"
