@@ -21,14 +21,15 @@
 //! every jobs level. `--timings` appends a wall-clock + run-cache
 //! report; `--json <file>` writes the same report as JSON.
 
+#![forbid(unsafe_code)]
+
 use ihw_bench::experiments::{apps, ext, system, units};
-use ihw_bench::runner::report::{ExperimentTiming, TimingReport};
+use ihw_bench::runner::report::{ExperimentTiming, Stopwatch, TimingReport};
 use ihw_bench::runner::{self, cache};
 use ihw_bench::table::Table;
 use ihw_bench::Scale;
 use ihw_power::library::Precision;
 use std::path::PathBuf;
-use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
     "table1",
@@ -357,13 +358,13 @@ fn main() {
 
     // Every experiment is one sweep job; results come back in request
     // order, so printing below is deterministic at any jobs level.
-    let wall = Instant::now();
+    let wall = Stopwatch::start();
     let results = runner::sweep(selected.clone(), |name| {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let buf = run_experiment(name, scale, &csv_dir);
-        (buf, start.elapsed().as_secs_f64())
+        (buf, start.elapsed_seconds())
     });
-    let total_seconds = wall.elapsed().as_secs_f64();
+    let total_seconds = wall.elapsed_seconds();
     for (buf, _) in &results {
         print!("{buf}");
     }

@@ -14,7 +14,7 @@
 //! criterion "shared baselines compute exactly once" is observable.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -25,7 +25,9 @@ type CacheCell = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
 /// A memoizing map from run key to type-erased result.
 #[derive(Default)]
 pub struct RunCache {
-    map: Mutex<HashMap<String, CacheCell>>,
+    // BTreeMap: keyed access only, and the ordered map keeps any future
+    // iteration (e.g. the `--timings` entry count) deterministic by key.
+    map: Mutex<BTreeMap<String, CacheCell>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }

@@ -34,6 +34,31 @@ pub struct TimingReport {
     pub cache_entries: usize,
 }
 
+/// Wall-clock stopwatch for the timing report.
+///
+/// This module is the single place in the workspace allowed to read the
+/// wall clock (`ihw-lint` rule L003): experiment *results* must be
+/// bit-deterministic, and funnelling every timing read through here keeps
+/// `std::time::Instant` out of code that feeds output.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch at the current instant.
+    pub fn start() -> Self {
+        #[allow(clippy::disallowed_methods)] // the sanctioned wall-clock read
+        let started = std::time::Instant::now();
+        Stopwatch { started }
+    }
+
+    /// Seconds elapsed since `start()`.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
 impl TimingReport {
     /// Renders the report as an aligned human-readable table.
     pub fn render(&self) -> String {

@@ -75,6 +75,7 @@ impl DualModeMul {
     /// # Panics
     ///
     /// Panics unless `imprecise_fraction` is within `[0, 1]`.
+    // ihw-lint: allow(float-arith) reason=power-model blend of precise and imprecise op energies, reporting only
     pub fn relative_power(&self, imprecise_fraction: f64, imprecise_relative: f64) -> f64 {
         assert!(
             (0.0..=1.0).contains(&imprecise_fraction),

@@ -236,6 +236,7 @@ impl Format {
     /// Reconstructs the real value `(1 + frac/2^F) * 2^exp * (-1)^sign` as an
     /// `f64` (exact for both supported formats; used only for reference
     /// computations and diagnostics, never on the imprecise datapath).
+    // ihw-lint: allow(float-arith, lossy-cast) reason=exact decode of a stored value into f64; every field fits the f64 significand
     pub fn to_f64(&self, bits: u64) -> f64 {
         let parts = self.decompose(bits);
         match self.classify(&parts) {

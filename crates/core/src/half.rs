@@ -82,6 +82,7 @@ impl F16 {
     }
 
     /// Converts to `f32` (exact).
+    // ihw-lint: allow(float-arith, lossy-cast) reason=subnormal reconstruction: frac is a 10-bit integer, exact in f32, scaled by the constant 2^-24
     pub fn to_f32(self) -> f32 {
         let sign = ((self.0 as u32) & 0x8000) << 16;
         let exp = (self.0 >> 10) & 0x1f;

@@ -121,6 +121,7 @@ pub fn mitchell_div(a: u64, b: u64) -> Option<u64> {
 }
 
 /// Maximum relative error magnitude of Mitchell multiplication (1/9).
+// ihw-lint: allow(float-arith) reason=compile-time closed form for the Mitchell worst-case error bound (Section 4 analysis), not a datapath
 pub const MITCHELL_MAX_ERROR: f64 = 1.0 / 9.0;
 
 #[cfg(test)]

@@ -63,6 +63,7 @@ fn encode_scaled(fmt: Format, sign: u64, value: f64, extra_exp: i64) -> u64 {
 }
 
 /// Imprecise reciprocal on raw bit patterns.
+// ihw-lint: allow(float-arith) reason=Table 1 linear approximation C0 - C1*r evaluated on the reduced-range significand; coefficients are paper constants and the result is truncated into the target format
 pub fn imprecise_rcp_bits(fmt: Format, x: u64) -> u64 {
     let x = flush_subnormal(fmt, x);
     let p = fmt.decompose(x);
@@ -82,6 +83,7 @@ pub fn imprecise_rcp_bits(fmt: Format, x: u64) -> u64 {
 }
 
 /// Imprecise inverse square root on raw bit patterns.
+// ihw-lint: allow(float-arith) reason=Table 1 linear approximation for 1/sqrt(x) on the reduced range; odd exponents absorb a 1/sqrt(2) factor before truncating encode
 pub fn imprecise_rsqrt_bits(fmt: Format, x: u64) -> u64 {
     let x = flush_subnormal(fmt, x);
     let p = fmt.decompose(x);
@@ -109,6 +111,7 @@ pub fn imprecise_rsqrt_bits(fmt: Format, x: u64) -> u64 {
 }
 
 /// Imprecise square root on raw bit patterns.
+// ihw-lint: allow(float-arith) reason=Table 1 linear approximation r*(C0 - C1*r) on the even-exponent reduced range, truncated into the target format
 pub fn imprecise_sqrt_bits(fmt: Format, x: u64) -> u64 {
     let x = flush_subnormal(fmt, x);
     let p = fmt.decompose(x);
@@ -137,6 +140,7 @@ pub fn imprecise_sqrt_bits(fmt: Format, x: u64) -> u64 {
 /// integer part `n` (exponent of the result) and fraction `f ∈ [0,1)`,
 /// then approximate `2^f ≈ C0 + f` (range reduction + linear
 /// approximation, the same recipe as the Table 1 units).
+// ihw-lint: allow(float-arith) reason=iexp2 extension unit: integer/fraction split then the linear segment C0 + f; f64 carries the small input value exactly
 pub fn imprecise_exp2_bits(fmt: Format, x: u64) -> u64 {
     let x = flush_subnormal(fmt, x);
     let p = fmt.decompose(x);
@@ -181,6 +185,7 @@ pub fn imprecise_exp2_bits(fmt: Format, x: u64) -> u64 {
 }
 
 /// Imprecise log₂ on raw bit patterns.
+// ihw-lint: allow(float-arith) reason=Table 1 linear approximation E + C0*m - C1; every term is exact in f64 before the truncating encode
 pub fn imprecise_log2_bits(fmt: Format, x: u64) -> u64 {
     let x = flush_subnormal(fmt, x);
     let p = fmt.decompose(x);
@@ -206,6 +211,7 @@ pub fn imprecise_log2_bits(fmt: Format, x: u64) -> u64 {
 
 /// Imprecise division `a / b` on raw bit patterns: the dividend multiplies
 /// the linear reciprocal approximation of the divisor (`a·(C0 − C1·b)`).
+// ihw-lint: allow(float-arith) reason=Table 1 division a*(C0 - C1*b): dividend times the linear reciprocal approximation, truncated into the target format
 pub fn imprecise_div_bits(fmt: Format, a: u64, b: u64) -> u64 {
     let a = flush_subnormal(fmt, a);
     let b = flush_subnormal(fmt, b);

@@ -1,0 +1,221 @@
+//! Findings and their human/JSON renderings.
+//!
+//! The JSON document is schema-pinned (`"schema": "ihw-lint/1"`) and
+//! hand-rolled (the workspace's offline `serde` shim is marker-only), the
+//! same approach as `ihw-bench`'s timing report.
+
+/// The catalog of rules, with stable codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// L001 — native float arithmetic inside `ihw-core` datapath modules.
+    FloatArith,
+    /// L002 — iteration over `HashMap`/`HashSet` (nondeterministic order).
+    HashIter,
+    /// L003 — wall-clock reads (`Instant`/`SystemTime`) outside the
+    /// timing report module.
+    WallClock,
+    /// L004 — mantissa-losing numeric cast in `ihw-core` datapath code.
+    LossyCast,
+    /// L005 — crate root missing `#![forbid(unsafe_code)]`.
+    MissingForbid,
+}
+
+impl Rule {
+    /// Stable diagnostic code (`L001`…`L005`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::FloatArith => "L001",
+            Rule::HashIter => "L002",
+            Rule::WallClock => "L003",
+            Rule::LossyCast => "L004",
+            Rule::MissingForbid => "L005",
+        }
+    }
+
+    /// Marker name accepted by `// ihw-lint: allow(<name>)`.
+    pub fn marker(self) -> &'static str {
+        match self {
+            Rule::FloatArith => "float-arith",
+            Rule::HashIter => "hash-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::LossyCast => "lossy-cast",
+            Rule::MissingForbid => "missing-forbid",
+        }
+    }
+
+    /// Parses a marker name back into the rule.
+    pub fn from_marker(name: &str) -> Option<Rule> {
+        Some(match name {
+            "float-arith" => Rule::FloatArith,
+            "hash-iter" => Rule::HashIter,
+            "wall-clock" => Rule::WallClock,
+            "lossy-cast" => Rule::LossyCast,
+            "missing-forbid" => Rule::MissingForbid,
+            _ => return None,
+        })
+    }
+
+    /// Every rule, in code order.
+    pub const ALL: [Rule; 5] = [
+        Rule::FloatArith,
+        Rule::HashIter,
+        Rule::WallClock,
+        Rule::LossyCast,
+        Rule::MissingForbid,
+    ];
+}
+
+/// One diagnostic produced by the auditor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path (`/`-separated) of the offending file.
+    pub path: String,
+    /// 1-based line of the first offending token.
+    pub line: u32,
+    /// Enclosing function, when the rule is function-granular.
+    pub function: Option<String>,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// True when the finding is not covered by the baseline file.
+    pub new: bool,
+}
+
+impl Finding {
+    /// Stable identity used for baseline matching: rule, path and
+    /// enclosing function (so findings survive line drift). Findings
+    /// outside any function fall back to the line number.
+    pub fn fingerprint(&self) -> String {
+        let ctx = self
+            .function
+            .clone()
+            .unwrap_or_else(|| format!("line-{}", self.line));
+        format!("{}|{}|{}", self.rule.code(), self.path, ctx)
+    }
+
+    /// One-line human rendering (`path:line: CODE [marker] message`).
+    pub fn render(&self) -> String {
+        let f = self
+            .function
+            .as_deref()
+            .map(|f| format!(" (fn {f})"))
+            .unwrap_or_default();
+        format!(
+            "{}:{}: {} [{}] {}{}",
+            self.path,
+            self.line,
+            self.rule.code(),
+            self.rule.marker(),
+            self.message,
+            f
+        )
+    }
+}
+
+/// Renders the full finding set as the `ihw-lint/1` JSON document.
+pub fn to_json(findings: &[Finding]) -> String {
+    let new = findings.iter().filter(|f| f.new).count();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"ihw-lint/1\",\n");
+    out.push_str(&format!("  \"total\": {},\n", findings.len()));
+    out.push_str(&format!("  \"new\": {new},\n"));
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 < findings.len() { "," } else { "" };
+        let function = f
+            .function
+            .as_deref()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .unwrap_or_else(|| "null".to_owned());
+        out.push_str(&format!(
+            "    {{ \"code\": \"{}\", \"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+             \"function\": {}, \"new\": {}, \"message\": \"{}\" }}{comma}\n",
+            f.rule.code(),
+            f.rule.marker(),
+            json_escape(&f.path),
+            f.line,
+            function,
+            f.new,
+            json_escape(&f.message),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            rule: Rule::FloatArith,
+            path: "crates/core/src/sfu.rs".into(),
+            line: 78,
+            function: Some("imprecise_rcp_bits".into()),
+            message: "native float arithmetic".into(),
+            new: true,
+        }
+    }
+
+    #[test]
+    fn codes_and_markers_roundtrip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_marker(rule.marker()), Some(rule));
+        }
+        assert_eq!(Rule::from_marker("unknown"), None);
+        assert_eq!(Rule::FloatArith.code(), "L001");
+        assert_eq!(Rule::MissingForbid.code(), "L005");
+    }
+
+    #[test]
+    fn fingerprint_prefers_function_over_line() {
+        let f = sample();
+        assert_eq!(
+            f.fingerprint(),
+            "L001|crates/core/src/sfu.rs|imprecise_rcp_bits"
+        );
+        let mut g = f.clone();
+        g.function = None;
+        assert_eq!(g.fingerprint(), "L001|crates/core/src/sfu.rs|line-78");
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let json = to_json(&[sample()]);
+        assert!(json.contains("\"schema\": \"ihw-lint/1\""));
+        assert!(json.contains("\"code\": \"L001\""));
+        assert!(json.contains("\"function\": \"imprecise_rcp_bits\""));
+        assert!(json.contains("\"new\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn render_is_grep_friendly() {
+        assert_eq!(
+            sample().render(),
+            "crates/core/src/sfu.rs:78: L001 [float-arith] native float arithmetic \
+             (fn imprecise_rcp_bits)"
+        );
+    }
+}

@@ -1,0 +1,367 @@
+//! A minimal Rust lexer — just enough structure for the lint rules.
+//!
+//! The workspace builds offline, so a full `syn` parse is not available;
+//! instead the rules operate on a token stream that correctly skips
+//! comments, string/char literals, lifetimes and raw strings (the places
+//! where naive text search produces false positives). Line comments are
+//! kept aside because they carry the `ihw-lint:` allow markers and
+//! `treat-as` directives.
+
+/// One lexed token (comments and literals-as-text excluded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal with a fractional part, exponent or `f32`/`f64`
+    /// suffix.
+    FloatLit,
+    /// Any other numeric literal.
+    IntLit,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+/// A token tagged with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A `//` line comment (doc comments included), tagged with its line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text after the leading slashes, trimmed.
+    pub text: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+}
+
+/// Token stream plus the line comments of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `//` comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// The identifier text of token `i`, if it is an identifier.
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        match self.tokens.get(i)?.tok {
+            Tok::Ident(ref s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if token `i` is the punctuation character `c`.
+    pub fn is_punct(&self, i: usize, c: char) -> bool {
+        matches!(self.tokens.get(i), Some(Token { tok: Tok::Punct(p), .. }) if *p == c)
+    }
+}
+
+/// Lexes `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                let text = src[start..j].trim_start_matches(['/', '!']).trim();
+                out.comments.push(Comment {
+                    text: text.to_owned(),
+                    line,
+                });
+                i = j;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, as in Rust.
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => i = skip_string(bytes, i, &mut line),
+            'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
+                i = skip_prefixed_string(bytes, i, &mut line)
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                let next = bytes.get(i + 1).copied().unwrap_or(0) as char;
+                let after = bytes.get(i + 2).copied().unwrap_or(0) as char;
+                if (next.is_alphabetic() || next == '_') && after != '\'' {
+                    i += 2;
+                    while i < bytes.len() && is_ident_continue(bytes[i] as char) {
+                        i += 1;
+                    }
+                } else {
+                    i += 1; // opening quote
+                    if i < bytes.len() && bytes[i] == b'\\' {
+                        i += 2;
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            i += 1; // \u{...} escapes
+                        }
+                    } else {
+                        // Possibly multi-byte UTF-8 char.
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            i += 1;
+                        }
+                    }
+                    i += 1; // closing quote
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (j, is_float) = scan_number(bytes, i);
+                out.tokens.push(Token {
+                    tok: if is_float { Tok::FloatLit } else { Tok::IntLit },
+                    line,
+                });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i] as char) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(src[start..i].to_owned()),
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// True at `r"`, `r#"`, `b"`, `br"`, `b'`-style literal heads.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    j > i && matches!(bytes.get(j), Some(&b'"') | Some(&b'\''))
+}
+
+/// Skips a plain `"…"` string with escapes; returns the index after it.
+fn skip_string(bytes: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skips `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` and `b'…'` literals.
+fn skip_prefixed_string(bytes: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    let raw = bytes.get(j) == Some(&b'r');
+    let mut hashes = 0usize;
+    if raw {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    let quote = bytes[j];
+    j += 1;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            *line += 1;
+            j += 1;
+        } else if !raw && bytes[j] == b'\\' {
+            j += 2;
+        } else if bytes[j] == quote {
+            if raw {
+                let mut k = 0usize;
+                while k < hashes && bytes.get(j + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return j + 1 + hashes;
+                }
+                j += 1;
+            } else {
+                return j + 1;
+            }
+        } else {
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Scans a numeric literal starting at `i`; returns (end index, is_float).
+fn scan_number(bytes: &[u8], i: usize) -> (usize, bool) {
+    let mut j = i;
+    // Radix-prefixed literals are always integral.
+    if bytes[j] == b'0' && matches!(bytes.get(j + 1), Some(&b'x') | Some(&b'o') | Some(&b'b')) {
+        j += 2;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        return (j, false);
+    }
+    let mut is_float = false;
+    while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+        j += 1;
+    }
+    // A fractional part only when the dot is not `..` (range) and not a
+    // method/field access (`1.max(2)`, `x.0`).
+    if bytes.get(j) == Some(&b'.') && bytes.get(j + 1) != Some(&b'.') {
+        let next = bytes.get(j + 1).copied().unwrap_or(0) as char;
+        if next.is_ascii_digit() || !is_ident_start(next) {
+            is_float = true;
+            j += 1;
+            while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if matches!(bytes.get(j), Some(&b'e') | Some(&b'E')) {
+        let mut k = j + 1;
+        if matches!(bytes.get(k), Some(&b'+') | Some(&b'-')) {
+            k += 1;
+        }
+        if bytes.get(k).is_some_and(u8::is_ascii_digit) {
+            is_float = true;
+            j = k;
+            while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (`f32`, `u64`, …).
+    let sstart = j;
+    while j < bytes.len() && is_ident_continue(bytes[j] as char) {
+        j += 1;
+    }
+    let suffix = &bytes[sstart..j];
+    if suffix == b"f32" || suffix == b"f64" {
+        is_float = true;
+    }
+    (j, is_float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_tokenize() {
+        let src = "let x = \"Instant HashMap\"; // Instant in a comment\n/* HashMap */ let y;";
+        assert!(!idents(src).iter().any(|s| s == "Instant" || s == "HashMap"));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("Instant"));
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let toks: Vec<Tok> = lex("1 + 2.5 - 3e4 * 0x1f / 7f64 .. 0..10 x.0 2.0f32.powi(2)")
+            .tokens
+            .into_iter()
+            .map(|t| t.tok)
+            .collect();
+        let floats = toks.iter().filter(|t| **t == Tok::FloatLit).count();
+        assert_eq!(floats, 4, "2.5, 3e4, 7f64, 2.0f32 in {toks:?}");
+        assert!(toks.contains(&Tok::IntLit));
+    }
+
+    #[test]
+    fn lifetimes_and_chars() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'q'; let n = '\\n'; }";
+        let ids = idents(src);
+        assert!(!ids.contains(&"a".to_owned()), "lifetimes are skipped");
+        assert!(!ids.contains(&"q".to_owned()), "char literals are skipped");
+        assert!(ids.contains(&"str".to_owned()));
+        assert!(ids.contains(&"c".to_owned()));
+    }
+
+    #[test]
+    fn raw_strings_skipped() {
+        let src = r##"let s = r#"Instant "quoted" HashMap"#; let t = 1;"##;
+        assert!(!idents(src).iter().any(|s| s == "Instant"));
+        assert!(idents(src).iter().any(|s| s == "t"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

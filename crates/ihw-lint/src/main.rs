@@ -1,0 +1,134 @@
+//! `ihw-lint` — CLI for the workspace bit-exactness & determinism
+//! auditor.
+//!
+//! ```text
+//! cargo run -p ihw-lint                       # audit the workspace
+//! cargo run -p ihw-lint -- --json             # machine-readable (ihw-lint/1)
+//! cargo run -p ihw-lint -- --json-out f.json  # human output + JSON artifact
+//! cargo run -p ihw-lint -- --write-baseline   # grandfather current findings
+//! cargo run -p ihw-lint -- path/to/file.rs    # audit specific files
+//! ```
+//!
+//! Exit status: 0 when no *new* (non-baselined) findings, 1 when new
+//! findings exist, 2 on usage/IO errors.
+
+#![forbid(unsafe_code)]
+
+use ihw_lint::baseline::{Baseline, BASELINE_FILE};
+use ihw_lint::{default_root, diag, lint_file, lint_workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut write_baseline = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--write-baseline" => write_baseline = true,
+            "--json-out" | "--baseline" | "--root" => {
+                let Some(value) = it.next() else {
+                    eprintln!("{arg} expects a value");
+                    return ExitCode::from(2);
+                };
+                match arg.as_str() {
+                    "--json-out" => json_out = Some(PathBuf::from(value)),
+                    "--baseline" => baseline_path = Some(PathBuf::from(value)),
+                    _ => root = Some(PathBuf::from(value)),
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: ihw-lint [--json] [--json-out FILE] [--baseline FILE] \
+                     [--root DIR] [--write-baseline] [FILES...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let result = if paths.is_empty() {
+        lint_workspace(&root)
+    } else {
+        let mut findings = Vec::new();
+        for p in &paths {
+            match lint_file(&root, p) {
+                Ok(f) => findings.extend(f),
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        Ok(findings)
+    };
+    let mut findings = match result {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_file = baseline_path.unwrap_or_else(|| root.join(BASELINE_FILE));
+    if write_baseline {
+        let text = Baseline::render(&findings);
+        if let Err(e) = std::fs::write(&baseline_file, text) {
+            eprintln!("cannot write {}: {e}", baseline_file.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "baseline written: {} finding(s) grandfathered to {}",
+            findings.len(),
+            baseline_file.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = Baseline::load(&baseline_file);
+    let new = baseline.apply(&mut findings);
+
+    if json {
+        print!("{}", diag::to_json(&findings));
+    } else {
+        for f in &findings {
+            let tag = if f.new { "" } else { " (baselined)" };
+            println!("{}{tag}", f.render());
+        }
+        println!(
+            "ihw-lint: {} finding(s), {} new, {} baselined",
+            findings.len(),
+            new,
+            findings.len() - new
+        );
+    }
+    if let Some(path) = &json_out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, diag::to_json(&findings)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !json {
+            println!("JSON diagnostics written to {}", path.display());
+        }
+    }
+    if new > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,15 @@
+// ihw-lint: treat-as=core-datapath
+// The same violations as the seeded fixtures, each carrying a correct
+// allow marker with a reason — the auditor must report nothing.
+
+#![forbid(unsafe_code)]
+
+// ihw-lint: allow(float-arith) reason=Table 1 linear-approximation coefficients
+pub fn linear(x: f64) -> f64 {
+    2.823 - 1.882 * x
+}
+
+// ihw-lint: allow(lossy-cast) reason=source is a 10-bit field, exact in f32
+pub fn narrow(x: u64) -> f32 {
+    (x & 0x3ff) as f32
+}

@@ -1,0 +1,14 @@
+// ihw-lint: treat-as=core-datapath
+// Seeded L001 violation: native float arithmetic in a datapath module.
+
+pub fn linear(x: f64) -> f64 {
+    2.823 - 1.882 * x
+}
+
+pub fn transcendental(x: f64) -> f64 {
+    x.sqrt()
+}
+
+pub fn integer_only(x: u64) -> u64 {
+    (x >> 3) + 1 // no float evidence: must NOT be flagged
+}

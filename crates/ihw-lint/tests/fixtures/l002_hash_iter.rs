@@ -1,0 +1,16 @@
+// ihw-lint: treat-as=output
+// Seeded L002 violation: iterating a hash-ordered collection into output.
+
+use std::collections::HashMap;
+
+pub fn render(rows: HashMap<String, f64>) -> String {
+    let mut out = String::new();
+    for (name, value) in rows.iter() {
+        out.push_str(&format!("{name}: {value}\n"));
+    }
+    out
+}
+
+pub fn lookup_is_fine(rows: &HashMap<String, f64>) -> Option<f64> {
+    rows.get("total").copied() // keyed access: must NOT be flagged
+}

@@ -1,0 +1,14 @@
+// ihw-lint: treat-as=output
+// Seeded L003 violation: wall-clock read outside runner/report.rs.
+
+use std::time::Instant;
+
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+pub fn duration_is_fine() -> std::time::Duration {
+    std::time::Duration::from_millis(5) // must NOT be flagged
+}

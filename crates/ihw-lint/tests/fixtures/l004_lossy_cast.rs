@@ -1,0 +1,10 @@
+// ihw-lint: treat-as=core-datapath
+// Seeded L004 violation: mantissa-losing cast in a datapath module.
+
+pub fn narrow(x: u64) -> f32 {
+    x as f32
+}
+
+pub fn widen_int(x: u32) -> u64 {
+    x as u64 // integer widening: must NOT be flagged
+}

@@ -1,0 +1,6 @@
+// ihw-lint: treat-as=crate-root
+// Seeded L005 violation: a crate root without #![forbid(unsafe_code)].
+
+pub fn entry() -> u32 {
+    7
+}

@@ -23,3 +23,8 @@ fmt:
 
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
+
+# Workspace invariant audit (bit-determinism lint, see DESIGN.md §7).
+# Fails on findings not in lint-baseline.txt.
+lint *ARGS:
+    cargo run --release -p ihw-lint -- {{ARGS}}

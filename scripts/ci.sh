@@ -15,6 +15,11 @@ echo "== tier-1: build + tests =="
 cargo build --release
 cargo test -q
 
+echo "== ihw-lint: workspace invariant audit (deny new findings) =="
+# Exits non-zero on findings not in lint-baseline.txt; the JSON
+# diagnostics (schema ihw-lint/1) are kept as a CI artifact.
+cargo run --release -p ihw-lint -- --json-out target/ihw-lint.json
+
 echo "== smoke: repro --timings table5 fig14 =="
 cargo run --release -p ihw-bench --bin repro -- --timings table5 fig14
 

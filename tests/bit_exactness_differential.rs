@@ -1,0 +1,251 @@
+//! Bit-exactness differential tests (ihw-lint PR companion).
+//!
+//! Two guarantees the lint rules police statically are checked
+//! dynamically here:
+//!
+//! 1. The dual-mode multiplier's *precise* path is the IEEE-754
+//!    datapath, bit for bit — sampled over 100 000 pseudo-random
+//!    operand pairs covering the full `f32` encoding space (NaNs,
+//!    infinities, subnormals included).
+//! 2. The production bit-level threshold adder and `1 + Ma + Mb`
+//!    multiplier match independently written integer-arithmetic
+//!    reference models, swept exhaustively over every binary16 `a`
+//!    operand against a strided `b` set.
+//!
+//! The references below re-derive the §3.1 semantics directly from the
+//! paper spec using explicit binary16 constants — deliberately sharing
+//! no code with `ihw_core::format` — so a regression in either encode
+//! or datapath logic cannot cancel out of the comparison.
+
+use imprecise_gpgpu::core::ac_multiplier::{AcMulConfig, MulPath};
+use imprecise_gpgpu::core::dual_mode::{DualModeMul, MulMode};
+use imprecise_gpgpu::core::half::{iadd16, imul16, F16};
+
+// ---------------------------------------------------------------------
+// binary16 constants, written out independently of `Format::HALF`.
+// ---------------------------------------------------------------------
+
+const EXP_MASK: u16 = 0x7C00; // 5 exponent bits at position 10
+const FRAC_MASK: u16 = 0x03FF; // 10 fraction bits
+const HIDDEN: u32 = 0x0400; // implicit leading one
+const BIAS: i32 = 15;
+const EXP_MAX_RAW: u16 = 31;
+const CANONICAL_NAN: u16 = 0x7E00;
+
+fn split(x: u16) -> (u16, u16, u16) {
+    (x >> 15, (x & EXP_MASK) >> 10, x & FRAC_MASK)
+}
+
+fn is_nan16(e: u16, f: u16) -> bool {
+    e == EXP_MAX_RAW && f != 0
+}
+
+/// Flush-to-zero on input, preserving the sign (all imprecise units do
+/// this before computing).
+fn ref_flush(x: u16) -> u16 {
+    let (s, e, f) = split(x);
+    if e == 0 && f != 0 {
+        s << 15
+    } else {
+        x
+    }
+}
+
+/// Encode an unbiased exponent + 10-bit fraction, saturating to
+/// infinity on overflow and flushing to a signed zero on underflow
+/// (no subnormal outputs, no rounding — §3.1).
+fn ref_encode(sign: u16, exp: i32, frac: u16) -> u16 {
+    if exp > EXP_MAX_RAW as i32 - 1 - BIAS {
+        (sign << 15) | EXP_MASK
+    } else if exp < 1 - BIAS {
+        sign << 15
+    } else {
+        (sign << 15) | (((exp + BIAS) as u16) << 10) | (frac & FRAC_MASK)
+    }
+}
+
+/// Independent reference for the paper's §3.1 threshold adder on
+/// binary16 bit patterns: align, truncate the shifted operand to `th`
+/// fraction bits, drop it entirely at exponent gap ≥ `th`, add or
+/// subtract, renormalise by truncation.
+fn ref_add16(a: u16, b: u16, th: u32) -> u16 {
+    let a = ref_flush(a);
+    let b = ref_flush(b);
+    let (sa, ea, fa) = split(a);
+    let (sb, eb, fb) = split(b);
+    if is_nan16(ea, fa) || is_nan16(eb, fb) {
+        return CANONICAL_NAN;
+    }
+    match (ea == EXP_MAX_RAW, eb == EXP_MAX_RAW) {
+        (true, true) => return if sa == sb { a } else { CANONICAL_NAN },
+        (true, false) => return a,
+        (false, true) => return b,
+        _ => {}
+    }
+    match (ea == 0, eb == 0) {
+        (true, true) => return if sa == sb { a } else { 0 },
+        (true, false) => return b,
+        (false, true) => return a,
+        _ => {}
+    }
+
+    // |big| >= |small|, compared on (exponent, fraction); ties keep `a`.
+    let ((sg, eg, fg), (ss, es, fs)) = if (ea, fa) >= (eb, fb) {
+        ((sa, ea, fa), (sb, eb, fb))
+    } else {
+        ((sb, eb, fb), (sa, ea, fa))
+    };
+    let d = (eg - es) as u32;
+    if d >= th {
+        // The TH-bit shifter zeroes the smaller operand entirely.
+        return (sg << 15) | (eg << 10) | fg;
+    }
+
+    let m_big = HIDDEN | fg as u32;
+    let mut m_small = (HIDDEN | fs as u32) >> d;
+    if th < 10 {
+        let dropped = 10 - th;
+        m_small = (m_small >> dropped) << dropped;
+    }
+    let exp = eg as i32 - BIAS;
+
+    if sg != ss {
+        // Effective subtraction; truncation guarantees m_big >= m_small.
+        let diff = m_big - m_small;
+        if diff == 0 {
+            return 0;
+        }
+        let lead = 31 - diff.leading_zeros() as i32;
+        let shift = 10 - lead;
+        if shift > 0 {
+            ref_encode(sg, exp - shift, ((diff << shift) & FRAC_MASK as u32) as u16)
+        } else {
+            ref_encode(sg, exp, (diff & FRAC_MASK as u32) as u16)
+        }
+    } else {
+        let sum = m_big + m_small;
+        if sum >= HIDDEN << 1 {
+            ref_encode(sg, exp + 1, ((sum >> 1) & FRAC_MASK as u32) as u16)
+        } else {
+            ref_encode(sg, exp, (sum & FRAC_MASK as u32) as u16)
+        }
+    }
+}
+
+/// Independent reference for the paper's `1 + Ma + Mb` multiplier
+/// (eqs. 1–6) on binary16 bit patterns.
+fn ref_mul16(a: u16, b: u16) -> u16 {
+    let a = ref_flush(a);
+    let b = ref_flush(b);
+    let (sa, ea, fa) = split(a);
+    let (sb, eb, fb) = split(b);
+    let sign = sa ^ sb;
+    if is_nan16(ea, fa) || is_nan16(eb, fb) {
+        return CANONICAL_NAN;
+    }
+    let (inf_a, inf_b) = (ea == EXP_MAX_RAW, eb == EXP_MAX_RAW);
+    let (zero_a, zero_b) = (ea == 0, eb == 0);
+    if (inf_a && zero_b) || (zero_a && inf_b) {
+        return CANONICAL_NAN;
+    }
+    if inf_a || inf_b {
+        return (sign << 15) | EXP_MASK;
+    }
+    if zero_a || zero_b {
+        return sign << 15;
+    }
+
+    let mut exp = (ea as i32 - BIAS) + (eb as i32 - BIAS);
+    let sum = fa as u32 + fb as u32; // Ma + Mb in units of 2^-10
+    let frac = if sum >= HIDDEN {
+        // Ma + Mb >= 1: Mz = (1 + Ma + Mb)/2, cin = 1.
+        exp += 1;
+        (HIDDEN + sum) >> 1
+    } else {
+        sum
+    };
+    ref_encode(sign, exp, (frac & FRAC_MASK as u32) as u16)
+}
+
+// ---------------------------------------------------------------------
+// 1. Dual-mode precise path == IEEE-754, bit for bit.
+// ---------------------------------------------------------------------
+
+/// Deterministic xorshift64* stream — no RNG dependency, identical
+/// sequence on every run and host.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+#[test]
+fn dual_mode_precise_path_is_ieee_bit_for_bit() {
+    let m = DualModeMul::new(AcMulConfig::new(MulPath::Log, 4));
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    for i in 0..100_000u32 {
+        let r = xorshift64(&mut state);
+        let a = f32::from_bits((r >> 32) as u32);
+        let b = f32::from_bits(r as u32);
+        let got = m.mul32(a, b, MulMode::Precise).to_bits();
+        let ieee = (a * b).to_bits();
+        assert_eq!(
+            got, ieee,
+            "pair {i}: {a:?} * {b:?} -> {got:#010x} != IEEE {ieee:#010x}"
+        );
+        // The double-precision path carries the same guarantee.
+        let (a64, b64) = (a as f64, b as f64);
+        assert_eq!(
+            m.mul64(a64, b64, MulMode::Precise).to_bits(),
+            (a64 * b64).to_bits(),
+            "pair {i} (f64): {a64:?} * {b64:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Exhaustive binary16 sweeps against the integer references.
+// ---------------------------------------------------------------------
+
+#[test]
+fn f16_adder_bit_exact_vs_integer_reference() {
+    // Every binary16 `a` (all 65 536 encodings: signs, zeros,
+    // subnormals, infinities, NaNs) against a strided `b` set, at the
+    // paper-default TH = 8 and a narrow TH = 3 that exercises the
+    // truncation path harder.
+    for th in [8u32, 3] {
+        let mut checked = 0u64;
+        for a in 0..=u16::MAX {
+            for b in (0..=u16::MAX).step_by(257) {
+                let got = iadd16(F16(a), F16(b), th).0;
+                let expect = ref_add16(a, b, th);
+                assert_eq!(
+                    got, expect,
+                    "th={th}: {a:#06x} + {b:#06x} -> {got:#06x}, reference {expect:#06x}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 16_000_000, "sweep covered {checked} pairs");
+    }
+}
+
+#[test]
+fn f16_multiplier_bit_exact_vs_integer_reference() {
+    let mut checked = 0u64;
+    for a in 0..=u16::MAX {
+        for b in (0..=u16::MAX).step_by(131) {
+            let got = imul16(F16(a), F16(b)).0;
+            let expect = ref_mul16(a, b);
+            assert_eq!(
+                got, expect,
+                "{a:#06x} * {b:#06x} -> {got:#06x}, reference {expect:#06x}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 32_000_000, "sweep covered {checked} pairs");
+}
