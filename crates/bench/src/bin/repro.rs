@@ -8,6 +8,7 @@
 //! cargo run --release -p ihw-bench --bin repro -- --images out/ fig15
 //! cargo run --release -p ihw-bench --bin repro -- --jobs 8 --timings all
 //! cargo run --release -p ihw-bench --bin repro -- --json timings.json all
+//! cargo run --release -p ihw-bench --bin repro -- analyze --json
 //! ```
 //!
 //! Without `--paper`, experiments run at `Scale::Quick` (seconds each);
@@ -277,6 +278,11 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `repro analyze ...` is a self-contained subcommand with its own
+    // flag grammar — hand everything after it to the analyzer CLI.
+    if args.first().map(String::as_str) == Some("analyze") {
+        std::process::exit(ihw_analyze::cli::run(&args[1..]));
+    }
     if let Some(flag) = args.last().filter(|a| VALUE_FLAGS.contains(&a.as_str())) {
         eprintln!("{flag} expects a value");
         std::process::exit(2);

@@ -99,6 +99,180 @@ pub fn ifpmul_error_cdf(e: f64) -> f64 {
 /// absolute magnitude). This constant communicates that fact.
 pub const ADDER_SUB_NEAR_BOUND: f64 = f64::INFINITY;
 
+/// Overall bound for effective subtractions: the max of cases (c) and
+/// (d). Because case (d) — nearly equal operands — has no closed bound,
+/// the overall effective-subtraction bound is unbounded for every `TH`;
+/// a static analysis may only use the finite [`adder_sub_far_bound`]
+/// when it can prove the operand exponents differ by at least `TH`.
+///
+/// ```
+/// use ihw_core::bounds;
+/// assert!(bounds::adder_sub_bound(8).is_infinite());
+/// assert!(bounds::adder_sub_far_bound(8).is_finite());
+/// ```
+pub fn adder_sub_bound(_th: u32) -> f64 {
+    ADDER_SUB_NEAR_BOUND
+}
+
+/// Worst-case relative error of a fused multiply–add composed (as the
+/// paper's datapath composes it, §5.1) from a multiplier with maximum
+/// relative error `mul_err` and an adder with maximum relative error
+/// `add_err`: the two stages compound multiplicatively,
+/// `(1+ε_mul)(1+ε_add) − 1`.
+///
+/// ```
+/// use ihw_core::bounds;
+///
+/// // Table 1 multiplier (25%) into a TH=8 effective addition (§4.1.1):
+/// let e = bounds::fma_bound(bounds::IFPMUL_MAX_ERROR, bounds::adder_add_bound(8));
+/// assert!(e > 0.25 && e < 0.26);
+/// // Any unbounded stage makes the composition unbounded.
+/// assert!(bounds::fma_bound(0.25, f64::INFINITY).is_infinite());
+/// ```
+pub fn fma_bound(mul_err: f64, add_err: f64) -> f64 {
+    compose_rel(mul_err, add_err)
+}
+
+/// Multiplicative composition of two relative-error bounds:
+/// `(1+ε₁)(1+ε₂) − 1`. Both arguments may be infinite (⊤).
+pub fn compose_rel(e1: f64, e2: f64) -> f64 {
+    if e1.is_infinite() || e2.is_infinite() {
+        return f64::INFINITY;
+    }
+    (1.0 + e1) * (1.0 + e2) - 1.0
+}
+
+/// Maximum relative error of the accuracy-configurable multiplier (§3.2)
+/// for a given datapath and operand truncation, in a format with
+/// `frac_bits` fraction bits.
+///
+/// The path bound (§4.1.2: `1/49` full, `1/9` log) applies to the
+/// *truncated* operands; dropping `truncation` low fraction bits
+/// perturbs each operand by at most `2^(t−F)` relative, and re-encoding
+/// the product into the format truncates at most `2^(1−F)` more, so the
+/// stages compound multiplicatively.
+///
+/// ```
+/// use ihw_core::ac_multiplier::MulPath;
+/// use ihw_core::bounds;
+///
+/// // No truncation ⇒ essentially the pure path bounds of §4.1.2.
+/// let full = bounds::ac_mul_bound(MulPath::Full, 0, 23);
+/// assert!(full >= bounds::AC_FULL_PATH_MAX_ERROR && full < 0.0205);
+/// let log = bounds::ac_mul_bound(MulPath::Log, 0, 23);
+/// assert!(log >= bounds::AC_LOG_PATH_MAX_ERROR && log < 0.112);
+/// // Truncation monotonically loosens the bound.
+/// assert!(bounds::ac_mul_bound(MulPath::Full, 19, 23) > full);
+/// ```
+pub fn ac_mul_bound(path: crate::ac_multiplier::MulPath, truncation: u32, frac_bits: u32) -> f64 {
+    let path_bound = match path {
+        crate::ac_multiplier::MulPath::Full => AC_FULL_PATH_MAX_ERROR,
+        crate::ac_multiplier::MulPath::Log => AC_LOG_PATH_MAX_ERROR,
+    };
+    let t = truncation.min(frac_bits);
+    let operand = 2f64.powi(t as i32 - frac_bits as i32);
+    let encode = 2f64.powi(1 - frac_bits as i32);
+    compose_rel(
+        path_bound,
+        compose_rel(operand, compose_rel(operand, encode)),
+    )
+}
+
+/// Maximum relative error of the bit-truncation baseline multiplier
+/// (§3.2.2): each operand mantissa is *rounded* to `F − t` fraction bits
+/// (half-step error `2^(t−F−1)` relative), multiplied exactly, and the
+/// product truncated back into the format (`2^(1−F)` relative).
+///
+/// ```
+/// use ihw_core::bounds;
+///
+/// // t = 21, single precision: ≈ 27% worst case (the measured maximum
+/// // of §3.2.2, ≈21%, sits below this sound bound).
+/// let e = bounds::truncated_mul_bound(21, 23);
+/// assert!(e > 0.21 && e < 0.29);
+/// assert!(bounds::truncated_mul_bound(0, 23) < 1e-6);
+/// ```
+pub fn truncated_mul_bound(truncation: u32, frac_bits: u32) -> f64 {
+    let t = truncation.min(frac_bits);
+    let operand = 2f64.powi(t as i32 - frac_bits as i32 - 1);
+    let encode = 2f64.powi(1 - frac_bits as i32);
+    compose_rel(operand, compose_rel(operand, encode))
+}
+
+/// Maximum *absolute* error of the Table 1 imprecise base-2 logarithm.
+///
+/// The unit computes `exp + C0·m − C1` for the significand `m ∈ [1, 2)`
+/// (`C0 = 0.9846`, `C1 = 0.9196`, [`crate::sfu::LOG2_C0`]); its absolute
+/// error `|C0·m − C1 − log₂ m|` is maximised at an interval endpoint or
+/// at the stationary point `m* = 1/(C0·ln 2)`. Relative error is
+/// unbounded near `x = 1` (where `log₂ x → 0`), which is why Table 1
+/// quotes this unit's error in absolute terms.
+///
+/// ```
+/// use ihw_core::bounds;
+/// let a = bounds::log2_abs_bound();
+/// assert!(a > 0.06 && a < 0.07);
+/// ```
+pub fn log2_abs_bound() -> f64 {
+    let f = |m: f64| (crate::sfu::LOG2_C0 * m - crate::sfu::LOG2_C1 - m.log2()).abs();
+    let stationary = 1.0 / (crate::sfu::LOG2_C0 * std::f64::consts::LN_2);
+    let analytic = f(1.0).max(f(2.0)).max(f(stationary));
+    // Headroom for the format re-encoding truncation of the result.
+    analytic + 1e-3
+}
+
+/// The maximum relative error of the unit serving `op` under `cfg`, for
+/// the single precision (`frac_bits = 23`) datapath — the closed-form
+/// counterpart of one `ihw-error` characterization sweep.
+///
+/// Caveats a static analysis must respect:
+///
+/// * [`FpOp::Add`](crate::config::FpOp::Add) returns the *effective
+///   addition* bound (§4.1.1 cases a–b). Effective subtraction is
+///   unbounded in general ([`adder_sub_bound`]); use
+///   [`adder_sub_far_bound`] only with a proven exponent gap.
+/// * [`FpOp::Log2`](crate::config::FpOp::Log2) has unbounded relative
+///   error ([`log2_abs_bound`] bounds it absolutely).
+///
+/// ```
+/// use ihw_core::bounds;
+/// use ihw_core::config::{FpOp, IhwConfig};
+///
+/// let c = IhwConfig::all_imprecise();
+/// assert_eq!(bounds::unit_bound(&c, FpOp::Mul), bounds::IFPMUL_MAX_ERROR);
+/// assert!(bounds::unit_bound(&c, FpOp::Log2).is_infinite());
+/// assert_eq!(bounds::unit_bound(&IhwConfig::precise(), FpOp::Mul), 0.0);
+/// ```
+pub fn unit_bound(cfg: &crate::config::IhwConfig, op: crate::config::FpOp) -> f64 {
+    use crate::config::{AddUnit, FpOp, MulUnit};
+    let add_bound = match cfg.add {
+        AddUnit::Precise => 0.0,
+        AddUnit::Imprecise { th } => adder_add_bound(th),
+    };
+    let mul_bound = match cfg.mul {
+        MulUnit::Precise => 0.0,
+        MulUnit::Imprecise => IFPMUL_MAX_ERROR,
+        MulUnit::AcMul(ac) => ac_mul_bound(ac.path, ac.truncation, 23),
+        MulUnit::Truncated(tm) => truncated_mul_bound(tm.truncation, 23),
+    };
+    let sfu = |imprecise: bool, bound: f64| if imprecise { bound } else { 0.0 };
+    match op {
+        FpOp::Add => add_bound,
+        FpOp::Mul => mul_bound,
+        FpOp::Div => sfu(cfg.div.is_imprecise(), DIV_MAX_ERROR),
+        FpOp::Rcp => sfu(cfg.rcp.is_imprecise(), RCP_MAX_ERROR),
+        FpOp::Rsqrt => sfu(cfg.rsqrt.is_imprecise(), RSQRT_MAX_ERROR),
+        FpOp::Sqrt => sfu(cfg.sqrt.is_imprecise(), SQRT_MAX_ERROR),
+        FpOp::Log2 => sfu(cfg.log2.is_imprecise(), f64::INFINITY),
+        FpOp::Exp2 => sfu(cfg.exp2.is_imprecise(), EXP2_MAX_ERROR),
+        FpOp::Fma => fma_bound(mul_bound, add_bound),
+    }
+}
+
+/// Maximum relative error of the `iexp2` extension unit (the linear
+/// segment approximation `C0 + f`, characterized at ≈4.5%).
+pub const EXP2_MAX_ERROR: f64 = 0.046;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +307,62 @@ mod tests {
         }
         // The median error sits well below the worst case.
         assert!(ifpmul_error_cdf(0.10) > 0.5, "{}", ifpmul_error_cdf(0.10));
+    }
+
+    #[test]
+    fn sub_bound_is_unbounded_for_every_th() {
+        for th in 1..28 {
+            assert!(adder_sub_bound(th).is_infinite());
+        }
+    }
+
+    #[test]
+    fn fma_bound_compounds_multiplicatively() {
+        let e = fma_bound(IFPMUL_MAX_ERROR, adder_add_bound(8));
+        assert!(e > IFPMUL_MAX_ERROR);
+        assert!(e < IFPMUL_MAX_ERROR + adder_add_bound(8) + 0.01);
+        assert_eq!(fma_bound(0.0, 0.0), 0.0);
+        assert!(compose_rel(f64::INFINITY, 0.1).is_infinite());
+    }
+
+    #[test]
+    fn ac_and_truncated_bounds_monotone_in_truncation() {
+        use crate::ac_multiplier::MulPath;
+        for t in 0..22 {
+            assert!(ac_mul_bound(MulPath::Full, t + 1, 23) > ac_mul_bound(MulPath::Full, t, 23));
+            assert!(truncated_mul_bound(t + 1, 23) > truncated_mul_bound(t, 23));
+        }
+        // Truncation clamps to the fraction width.
+        assert_eq!(
+            ac_mul_bound(MulPath::Log, 23, 23),
+            ac_mul_bound(MulPath::Log, 99, 23)
+        );
+    }
+
+    #[test]
+    fn unit_bound_covers_every_op() {
+        use crate::config::{FpOp, IhwConfig};
+        let c = IhwConfig::all_imprecise();
+        for op in FpOp::ALL {
+            let b = unit_bound(&c, op);
+            assert!(b > 0.0, "{op} bound must be positive when imprecise");
+            assert_eq!(unit_bound(&IhwConfig::precise(), op), 0.0);
+        }
+        assert!(unit_bound(&c, FpOp::Fma) > unit_bound(&c, FpOp::Mul));
+    }
+
+    #[test]
+    fn log2_abs_bound_dominates_measured_unit_error() {
+        // Cross-check the closed form against a sweep of the actual unit.
+        let bound = log2_abs_bound();
+        let mut worst = 0.0f64;
+        for i in 1..2000 {
+            let x = i as f32 * 0.01;
+            let approx = crate::sfu::ilog2_32(x) as f64;
+            worst = worst.max((approx - (x as f64).log2()).abs());
+        }
+        assert!(worst <= bound, "measured {worst} vs bound {bound}");
+        assert!(worst > bound - 0.04, "bound should be near-attained");
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! assert_eq!(bufs[0][0], 9.0);
 //! ```
 
-use crate::isa::{AddrMode, ExecError, Instr, Program, Reg};
+use crate::isa::{AddrMode, Instr, Program, Reg};
 
 /// An assembly error with its 1-based source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,6 +60,7 @@ impl std::error::Error for AsmError {}
 /// mnemonics, malformed operands or arity mismatches.
 pub fn assemble(name: impl Into<String>, source: &str) -> Result<Program, AsmError> {
     let mut instrs = Vec::new();
+    let mut lines: Vec<u32> = Vec::new();
     let mut max_reg = 0u8;
     for (idx, raw) in source.lines().enumerate() {
         let line_no = idx + 1;
@@ -148,17 +149,31 @@ pub fn assemble(name: impl Into<String>, source: &str) -> Result<Program, AsmErr
             max_reg = max_reg.max(r);
         }
         instrs.push(instr);
+        lines.push(line_no as u32);
     }
-    Program::new(name, max_reg.saturating_add(1).max(1), instrs).map_err(|e| match e {
-        ExecError::InvalidRegister { reg, regs } => AsmError {
-            line: 0,
+    // Validation errors point at the line of the first offending
+    // instruction instead of a synthetic "line 0".
+    let regs = max_reg.saturating_add(1).max(1);
+    if let Some(idx) = instrs
+        .iter()
+        .position(|i| instr_regs(i).iter().any(|&r| r >= regs))
+    {
+        let reg = instr_regs(&instrs[idx])
+            .into_iter()
+            .find(|&r| r >= regs)
+            .unwrap_or(max_reg);
+        return Err(AsmError {
+            line: lines[idx] as usize,
             message: format!("register r{reg} exceeds register file {regs}"),
-        },
-        other => AsmError {
+        });
+    }
+    match Program::new(name, regs, instrs) {
+        Ok(prog) => Ok(prog.with_source_lines(lines)),
+        Err(other) => Err(AsmError {
             line: 0,
             message: other.to_string(),
-        },
-    })
+        }),
+    }
 }
 
 fn one<'a>(ops: &[&'a str]) -> Result<[&'a str; 1], &'static str> {
@@ -355,6 +370,20 @@ mod tests {
 
         let err = assemble("bad", "ld r0, b0[tid").unwrap_err();
         assert!(err.message.contains("missing ']'"));
+    }
+
+    #[test]
+    fn source_lines_carried_into_program() {
+        let prog = assemble(
+            "lined",
+            "# header comment\nmovi r0, 1.0\n\nfmul r1, r0, r0  # trailing\nst b0[tid], r1\n",
+        )
+        .expect("assembles");
+        assert_eq!(prog.source_line(0), Some(2));
+        assert_eq!(prog.source_line(1), Some(4));
+        assert_eq!(prog.source_line(2), Some(5));
+        assert_eq!(prog.source_line(3), None, "out of range");
+        assert_eq!(prog.locate(1), "lined.s:4");
     }
 
     #[test]

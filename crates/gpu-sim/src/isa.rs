@@ -158,6 +158,10 @@ pub struct Program {
     name: String,
     regs: u8,
     instrs: Vec<Instr>,
+    /// 1-based source line of each instruction (0 = unknown), parallel
+    /// to `instrs`. Populated by the assembler so analyzer diagnostics
+    /// can point at `kernel.s:line` instead of an instruction index.
+    lines: Vec<u32>,
 }
 
 impl Program {
@@ -179,10 +183,12 @@ impl Program {
                 }
             }
         }
+        let lines = vec![0; instrs.len()];
         Ok(Program {
             name: name.into(),
             regs,
             instrs,
+            lines,
         })
     }
 
@@ -196,12 +202,44 @@ impl Program {
         &self.instrs
     }
 
+    /// Register-file size.
+    pub fn regs(&self) -> u8 {
+        self.regs
+    }
+
+    /// Attaches 1-based source line numbers (one per instruction, 0 for
+    /// unknown). Extra entries are dropped; missing ones default to 0.
+    pub fn with_source_lines(mut self, lines: Vec<u32>) -> Program {
+        self.lines = lines;
+        self.lines.resize(self.instrs.len(), 0);
+        self
+    }
+
+    /// The 1-based source line of instruction `idx`, when the program
+    /// was built by the assembler (or otherwise annotated).
+    pub fn source_line(&self, idx: usize) -> Option<u32> {
+        match self.lines.get(idx) {
+            Some(&l) if l > 0 => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Describes instruction `idx` as a diagnostic location: the source
+    /// line when known, the instruction index otherwise.
+    pub fn locate(&self, idx: usize) -> String {
+        match self.source_line(idx) {
+            Some(line) => format!("{}.s:{line}", self.name),
+            None => format!("{}#{idx}", self.name),
+        }
+    }
+
     /// Appends `body` repeated `times` times (loop unrolling helper).
     pub fn unroll(mut self, body: &[Instr], times: usize) -> Result<Program, ExecError> {
         for _ in 0..times {
             self.instrs.extend_from_slice(body);
         }
-        Program::new(self.name, self.regs, self.instrs)
+        let lines = std::mem::take(&mut self.lines);
+        Program::new(self.name, self.regs, self.instrs).map(|p| p.with_source_lines(lines))
     }
 }
 
@@ -528,6 +566,22 @@ mod tests {
         let mut interp = WarpInterpreter::new(IhwConfig::precise());
         interp.launch(&with_st, 2, &mut bufs).expect("runs");
         assert_eq!(bufs[0], vec![10.0, 10.0]);
+    }
+
+    #[test]
+    fn source_lines_default_unknown_and_survive_unroll() {
+        let prog = saxpy();
+        assert_eq!(prog.source_line(0), None);
+        assert_eq!(prog.locate(0), "saxpy#0");
+        let annotated = saxpy().with_source_lines(vec![3, 4, 5, 6, 7]);
+        assert_eq!(annotated.source_line(4), Some(7));
+        assert_eq!(annotated.locate(4), "saxpy.s:7");
+        // Unrolled instructions have no source line; originals keep theirs.
+        let body = [Instr::Fadd(Reg(2), Reg(2), Reg(1))];
+        let unrolled = annotated.unroll(&body, 2).expect("valid");
+        assert_eq!(unrolled.source_line(0), Some(3));
+        assert_eq!(unrolled.source_line(5), None);
+        assert_eq!(unrolled.instrs().len(), 7);
     }
 
     #[test]

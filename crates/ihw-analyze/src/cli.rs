@@ -1,0 +1,220 @@
+//! Command-line front end, mounted as the `analyze` subcommand of the
+//! `repro` binary (`cargo run -p ihw-bench --bin repro -- analyze`).
+//!
+//! ```text
+//! repro analyze                       # analyze stock kernels × configs
+//! repro analyze --json                # machine-readable (ihw-analyze/1)
+//! repro analyze --json-out f.json     # human output + JSON artifact
+//! repro analyze --write-baseline      # grandfather current findings
+//! repro analyze --max-rel-err 0.25    # tighten the A001 budget to 25%
+//! repro analyze saxpy distance        # restrict to named kernels
+//! ```
+//!
+//! Exit status mirrors `ihw-lint`: 0 when no *new* (non-baselined)
+//! findings, 1 when new findings exist, 2 on usage errors.
+
+use crate::interp::AnalysisSettings;
+use crate::report::{self, ANALYZE_BASELINE_FILE, BASELINE_HEADER};
+use crate::{analyze_stock, stock_kernel_names};
+use ihw_lint::baseline::Baseline;
+use std::path::PathBuf;
+
+/// Runs the analyzer CLI over `args` (everything after `analyze`);
+/// returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut write_baseline = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut settings = AnalysisSettings::default();
+    let mut kernels: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--write-baseline" => write_baseline = true,
+            "--json-out" | "--baseline" | "--max-rel-err" | "--threads" => {
+                let Some(value) = it.next() else {
+                    eprintln!("{arg} expects a value");
+                    return 2;
+                };
+                match arg.as_str() {
+                    "--json-out" => json_out = Some(PathBuf::from(value)),
+                    "--baseline" => baseline_path = Some(PathBuf::from(value)),
+                    "--max-rel-err" => match value.parse::<f64>() {
+                        Ok(v) if v >= 0.0 => settings.max_rel_err = v,
+                        _ => {
+                            eprintln!("--max-rel-err expects a non-negative number, got '{value}'");
+                            return 2;
+                        }
+                    },
+                    _ => match value.parse::<u32>() {
+                        Ok(n) if n >= 1 => settings.threads = n,
+                        _ => {
+                            eprintln!("--threads expects a positive integer, got '{value}'");
+                            return 2;
+                        }
+                    },
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro analyze [--json] [--json-out FILE] [--baseline FILE] \
+                     [--write-baseline] [--max-rel-err X] [--threads N] [KERNELS...]\n\
+                     kernels: {}",
+                    stock_kernel_names().join(" ")
+                );
+                return 0;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                return 2;
+            }
+            name => kernels.push(name.to_string()),
+        }
+    }
+    for k in &kernels {
+        if !stock_kernel_names().contains(&k.as_str()) {
+            eprintln!(
+                "unknown kernel '{k}'. Available: {}",
+                stock_kernel_names().join(" ")
+            );
+            return 2;
+        }
+    }
+
+    let analyses = analyze_stock(&settings, &kernels);
+    let mut findings = report::collect_findings(&analyses, &settings);
+
+    let baseline_file =
+        baseline_path.unwrap_or_else(|| ihw_lint::default_root().join(ANALYZE_BASELINE_FILE));
+    if write_baseline {
+        let text = Baseline::render_with_header(&findings, BASELINE_HEADER);
+        if let Err(e) = std::fs::write(&baseline_file, text) {
+            eprintln!("cannot write {}: {e}", baseline_file.display());
+            return 2;
+        }
+        println!(
+            "baseline written: {} finding(s) grandfathered to {}",
+            findings.len(),
+            baseline_file.display()
+        );
+        return 0;
+    }
+    let baseline = Baseline::load(&baseline_file);
+    let new = baseline.apply(&mut findings);
+
+    if json {
+        print!("{}", report::to_json(&findings));
+    } else {
+        println!(
+            "{:<12} {:<16} {:>6} {:>12} {:>12}",
+            "kernel", "config", "output", "static", "measured"
+        );
+        for a in &analyses {
+            let measured = crate::empirical::measure(
+                &crate::stock_kernels()
+                    .into_iter()
+                    .find(|p| p.name() == a.kernel)
+                    .expect("stock analysis"),
+                &crate::stock_configs()
+                    .iter()
+                    .find(|(l, _)| *l == a.config)
+                    .expect("stock config")
+                    .1,
+                settings.threads,
+                settings.input_lo,
+                settings.input_hi,
+            );
+            for out in &a.outputs {
+                let obs = measured
+                    .as_ref()
+                    .ok()
+                    .and_then(|ms| ms.iter().find(|m| m.buffer == out.buffer))
+                    .map_or("n/a".to_string(), |m| report::fmt_bound(m.max_rel));
+                println!(
+                    "{:<12} {:<16} {:>6} {:>12} {:>12}",
+                    a.kernel,
+                    a.config,
+                    format!("b{}", out.buffer),
+                    report::fmt_bound(out.bound),
+                    obs
+                );
+            }
+        }
+        for f in &findings {
+            let tag = if f.new { "" } else { " (baselined)" };
+            println!("{}{tag}", f.render());
+        }
+        let outputs: usize = analyses.iter().map(|a| a.outputs.len()).sum();
+        println!(
+            "ihw-analyze: {} kernel×config pair(s), {} output bound(s), \
+             {} finding(s), {} new, {} baselined",
+            analyses.len(),
+            outputs,
+            findings.len(),
+            new,
+            findings.len() - new
+        );
+    }
+    if let Some(path) = &json_out {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, report::to_json(&findings)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return 2;
+        }
+        if !json {
+            println!("JSON diagnostics written to {}", path.display());
+        }
+    }
+    if new > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn usage_errors_exit_2() {
+        assert_eq!(run(&s(&["--bogus"])), 2);
+        assert_eq!(run(&s(&["--max-rel-err"])), 2);
+        assert_eq!(run(&s(&["--max-rel-err", "-1"])), 2);
+        assert_eq!(run(&s(&["--threads", "0"])), 2);
+        assert_eq!(run(&s(&["no_such_kernel"])), 2);
+    }
+
+    #[test]
+    fn help_exits_0() {
+        assert_eq!(run(&s(&["--help"])), 0);
+    }
+
+    #[test]
+    fn stock_analysis_is_clean_against_empty_baseline() {
+        // Default budget: stock kernels stay below 100% on every stock
+        // config, so with the shipped (empty) baseline nothing is new.
+        assert_eq!(run(&s(&[])), 0);
+    }
+
+    #[test]
+    fn tight_budget_yields_findings() {
+        assert_eq!(
+            run(&s(&[
+                "--max-rel-err",
+                "0.001",
+                "--baseline",
+                "/nonexistent"
+            ])),
+            1
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! The abstract domain of the static analyzer.
+//!
+//! Each register (and each global-memory buffer) is abstracted by an
+//! [`AbsVal`]: an interval over the *ideal* (infinitely precise) value,
+//! a guaranteed bound on the relative error of the *computed* value with
+//! respect to that ideal value, and a taint set recording which
+//! imprecise unit classes contributed to the value. The invariant the
+//! transfer functions maintain is the paper's multiplicative error
+//! model: `computed = ideal · (1 + δ)` with `|δ| ≤ rel_err`, so
+//! `rel_err = +∞` is the lattice top (⊤): nothing is known about the
+//! computed value beyond its ideal range.
+
+use ihw_core::config::FpOp;
+
+/// A closed interval `[lo, hi]` over ideal (real-valued) quantities.
+/// Endpoints may be infinite; a NaN endpoint collapses to [`Interval::FULL`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The whole extended real line — the range component of ⊤.
+    pub const FULL: Interval = Interval {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
+
+    /// Builds an interval, normalising endpoint order and collapsing NaN
+    /// endpoints (e.g. from `∞ − ∞` interval arithmetic) to [`Self::FULL`].
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        if lo.is_nan() || hi.is_nan() {
+            Interval::FULL
+        } else if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: f64) -> Interval {
+        Interval::new(v, v)
+    }
+
+    /// Smallest interval containing both operands.
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// True when `0 ∈ [lo, hi]`.
+    pub fn contains_zero(self) -> bool {
+        self.lo <= 0.0 && self.hi >= 0.0
+    }
+
+    /// `min |x|` over the interval (0 when the interval straddles zero).
+    pub fn min_abs(self) -> f64 {
+        if self.contains_zero() {
+            0.0
+        } else {
+            self.lo.abs().min(self.hi.abs())
+        }
+    }
+
+    /// `max |x|` over the interval.
+    pub fn max_abs(self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// True when every element is `≥ 0`.
+    pub fn is_nonneg(self) -> bool {
+        self.lo >= 0.0
+    }
+
+    /// True when every element is `≤ 0`.
+    pub fn is_nonpos(self) -> bool {
+        self.hi <= 0.0
+    }
+
+    /// Interval reciprocal; an interval straddling zero widens to full.
+    pub fn recip(self) -> Interval {
+        if self.contains_zero() {
+            Interval::FULL
+        } else {
+            Interval::new(1.0 / self.hi, 1.0 / self.lo)
+        }
+    }
+
+    /// Elementwise maximum of two intervals.
+    pub fn max(self, o: Interval) -> Interval {
+        Interval::new(self.lo.max(o.lo), self.hi.max(o.hi))
+    }
+}
+
+impl std::ops::Neg for Interval {
+    type Output = Interval;
+
+    /// `{−x}` — endpoint negation.
+    fn neg(self) -> Interval {
+        Interval::new(-self.hi, -self.lo)
+    }
+}
+
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    /// Interval sum.
+    fn add(self, o: Interval) -> Interval {
+        Interval::new(self.lo + o.lo, self.hi + o.hi)
+    }
+}
+
+impl std::ops::Mul for Interval {
+    type Output = Interval;
+
+    /// Interval product (four-corner min/max; NaN corners widen to full).
+    fn mul(self, o: Interval) -> Interval {
+        let c = [
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        ];
+        if c.iter().any(|x| x.is_nan()) {
+            return Interval::FULL;
+        }
+        let lo = c.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = c.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Interval::new(lo, hi)
+    }
+}
+
+impl std::ops::Div for Interval {
+    type Output = Interval;
+
+    /// Interval quotient via [`Interval::recip`] (full on a divisor
+    /// straddling zero).
+    #[allow(clippy::suspicious_arithmetic_impl)] // x/y ≡ x·(1/y) by construction
+    fn div(self, o: Interval) -> Interval {
+        if o.contains_zero() {
+            Interval::FULL
+        } else {
+            self * o.recip()
+        }
+    }
+}
+
+/// Taint provenance: the set of imprecise unit classes ([`FpOp`]) whose
+/// error has flowed into a value. The lattice is a bitmask join
+/// semilattice ordered by inclusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TaintSet(u16);
+
+impl TaintSet {
+    /// The empty (fully precise-derived) taint set — lattice bottom.
+    pub const CLEAN: TaintSet = TaintSet(0);
+
+    fn bit(op: FpOp) -> u16 {
+        let idx = FpOp::ALL
+            .iter()
+            .position(|&o| o == op)
+            .expect("FpOp::ALL is exhaustive");
+        1 << idx
+    }
+
+    /// The singleton taint set `{op}`.
+    pub fn of(op: FpOp) -> TaintSet {
+        TaintSet(Self::bit(op))
+    }
+
+    /// Lattice join (set union).
+    pub fn union(self, other: TaintSet) -> TaintSet {
+        TaintSet(self.0 | other.0)
+    }
+
+    /// `self ∪ {op}`.
+    pub fn with(self, op: FpOp) -> TaintSet {
+        self.union(TaintSet::of(op))
+    }
+
+    /// True when no imprecise unit contributed.
+    pub fn is_clean(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    pub fn contains(self, op: FpOp) -> bool {
+        self.0 & Self::bit(op) != 0
+    }
+}
+
+impl std::fmt::Display for TaintSet {
+    /// Joins the member unit mnemonics (`ifpadd+ifpmul`), or `clean`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return f.write_str("clean");
+        }
+        let mut first = true;
+        for op in FpOp::ALL {
+            if self.contains(op) {
+                if !first {
+                    f.write_str("+")?;
+                }
+                f.write_str(op.mnemonic())?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Abstract value: ideal-value interval × relative-error bound × taint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsVal {
+    /// Interval containing every *ideal* value the slot can hold.
+    pub range: Interval,
+    /// Sound bound on `|computed − ideal| / |ideal|`; `+∞` is ⊤.
+    pub rel_err: f64,
+    /// Imprecise unit classes whose error flowed into the value.
+    pub taint: TaintSet,
+    /// Sticky: the bound became ⊤ through catastrophic cancellation of
+    /// an imprecise effective subtraction (§4.1.1 case d) — drives A002.
+    pub cancelled: bool,
+}
+
+impl AbsVal {
+    /// An exactly computed value (no accumulated error, no taint).
+    pub fn exact(range: Interval) -> AbsVal {
+        AbsVal {
+            range,
+            rel_err: 0.0,
+            taint: TaintSet::CLEAN,
+            cancelled: false,
+        }
+    }
+
+    /// The ⊤ element: full range, unbounded error.
+    pub fn top(taint: TaintSet, cancelled: bool) -> AbsVal {
+        AbsVal {
+            range: Interval::FULL,
+            rel_err: f64::INFINITY,
+            taint,
+            cancelled,
+        }
+    }
+
+    /// True when the error bound is ⊤.
+    pub fn is_top(&self) -> bool {
+        self.rel_err.is_infinite()
+    }
+
+    /// Lattice join: range hull, worst error, taint union, sticky flag.
+    pub fn join(self, other: AbsVal) -> AbsVal {
+        AbsVal {
+            range: self.range.hull(other.range),
+            rel_err: self.rel_err.max(other.rel_err),
+            taint: self.taint.union(other.taint),
+            cancelled: self.cancelled || other.cancelled,
+        }
+    }
+
+    /// Bit-exact equality (distinguishes `∞` correctly) — used for the
+    /// buffer-store fixpoint check.
+    pub fn bits_eq(&self, other: &AbsVal) -> bool {
+        self.range.lo.to_bits() == other.range.lo.to_bits()
+            && self.range.hi.to_bits() == other.range.hi.to_bits()
+            && self.rel_err.to_bits() == other.rel_err.to_bits()
+            && self.taint == other.taint
+            && self.cancelled == other.cancelled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_arithmetic_basics() {
+        let a = Interval::new(0.5, 1.0);
+        let b = Interval::new(-2.0, 3.0);
+        assert_eq!(a + b, Interval::new(-1.5, 4.0));
+        assert_eq!(a * a, Interval::new(0.25, 1.0));
+        assert_eq!(-a, Interval::new(-1.0, -0.5));
+        assert!(b.contains_zero());
+        assert_eq!(b.min_abs(), 0.0);
+        assert_eq!(b.max_abs(), 3.0);
+        assert_eq!(a.min_abs(), 0.5);
+        assert_eq!(a.recip(), Interval::new(1.0, 2.0));
+        assert_eq!(b.recip(), Interval::FULL);
+        assert_eq!(a / a, Interval::new(0.5, 2.0));
+        assert_eq!(a.max(b), Interval::new(0.5, 3.0));
+    }
+
+    #[test]
+    fn nan_widening_to_full() {
+        assert_eq!(Interval::new(f64::NAN, 1.0), Interval::FULL);
+        let zero = Interval::point(0.0);
+        assert_eq!(zero * Interval::FULL, Interval::FULL);
+    }
+
+    #[test]
+    fn endpoints_normalised() {
+        assert_eq!(Interval::new(2.0, 1.0), Interval::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn taint_set_is_a_join_semilattice() {
+        let t = TaintSet::of(FpOp::Mul).with(FpOp::Add);
+        assert!(t.contains(FpOp::Mul) && t.contains(FpOp::Add));
+        assert!(!t.contains(FpOp::Sqrt));
+        assert!(!t.is_clean());
+        assert_eq!(t.union(t), t);
+        assert_eq!(t.to_string(), "ifpadd+ifpmul");
+        assert_eq!(TaintSet::CLEAN.to_string(), "clean");
+    }
+
+    #[test]
+    fn absval_join_is_conservative() {
+        let a = AbsVal::exact(Interval::new(0.0, 1.0));
+        let mut b = AbsVal::exact(Interval::new(2.0, 3.0));
+        b.rel_err = 0.25;
+        b.taint = TaintSet::of(FpOp::Rcp);
+        let j = a.join(b);
+        assert_eq!(j.range, Interval::new(0.0, 3.0));
+        assert_eq!(j.rel_err, 0.25);
+        assert!(j.taint.contains(FpOp::Rcp));
+        assert!(!j.is_top());
+        assert!(AbsVal::top(TaintSet::CLEAN, true).is_top());
+    }
+
+    #[test]
+    fn bits_eq_distinguishes_infinity() {
+        let a = AbsVal::top(TaintSet::CLEAN, false);
+        let b = AbsVal::top(TaintSet::CLEAN, true);
+        assert!(!a.bits_eq(&b));
+        assert!(a.bits_eq(&a));
+    }
+}

@@ -1,0 +1,182 @@
+//! Empirical counterpart of the static analysis: runs a kernel twice
+//! through the functional simulator — once fully precise, once under the
+//! analyzed `IhwConfig` — over deterministic low-discrepancy inputs, and
+//! measures the worst observed per-element relative error of every
+//! output buffer. The differential gate asserts `observed ≤ static` for
+//! every kernel × configuration pair.
+
+use gpu_sim::isa::{AddrMode, ExecError, Instr, Program, WarpInterpreter};
+use ihw_core::config::IhwConfig;
+use ihw_qmc::{van_der_corput, PRIMES};
+
+/// Worst observed relative error for one output buffer.
+#[derive(Debug, Clone)]
+pub struct MeasuredError {
+    /// Global buffer index.
+    pub buffer: usize,
+    /// `max |imprecise − precise| / |precise|` over all elements
+    /// (`+∞` when a precise-zero element turns non-zero, or NaN appears).
+    pub max_rel: f64,
+}
+
+/// Minimum length of each buffer so that every access of every thread
+/// is in bounds.
+pub fn required_lens(prog: &Program, threads: u32) -> Vec<usize> {
+    let mut lens: Vec<usize> = Vec::new();
+    let mut need = |buf: usize, mode: AddrMode| {
+        let len = match mode {
+            AddrMode::Tid => threads as usize,
+            AddrMode::TidPlus(k) => (threads as i64 + k.max(0)) as usize,
+            AddrMode::Abs(i) => i + 1,
+        };
+        if buf >= lens.len() {
+            lens.resize(buf + 1, 0);
+        }
+        lens[buf] = lens[buf].max(len).max(threads as usize);
+    };
+    for instr in prog.instrs() {
+        match *instr {
+            Instr::Ld(_, buf, mode) | Instr::St(buf, mode, _) => need(buf, mode),
+            _ => {}
+        }
+    }
+    lens
+}
+
+/// Buffer indices the program stores into, ascending and deduplicated.
+pub fn output_buffers(prog: &Program) -> Vec<usize> {
+    let mut bufs: Vec<usize> = prog
+        .instrs()
+        .iter()
+        .filter_map(|i| match *i {
+            Instr::St(buf, _, _) => Some(buf),
+            _ => None,
+        })
+        .collect();
+    bufs.sort_unstable();
+    bufs.dedup();
+    bufs
+}
+
+/// Fills every buffer with deterministic van der Corput points scaled
+/// into `[lo, hi]` — each buffer uses a different prime base so no two
+/// buffers are correlated.
+pub fn input_buffers(prog: &Program, threads: u32, lo: f64, hi: f64) -> Vec<Vec<f32>> {
+    required_lens(prog, threads)
+        .iter()
+        .enumerate()
+        .map(|(buf, &len)| {
+            let base = PRIMES[buf % PRIMES.len()];
+            (0..len)
+                .map(|i| {
+                    let u = van_der_corput(i as u64 + 1, base);
+                    (lo + u * (hi - lo)) as f32
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs `prog` precise and under `cfg`, and returns the worst observed
+/// relative error per output buffer.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] from either launch (out-of-bounds accesses
+/// and the like).
+pub fn measure(
+    prog: &Program,
+    cfg: &IhwConfig,
+    threads: u32,
+    lo: f64,
+    hi: f64,
+) -> Result<Vec<MeasuredError>, ExecError> {
+    let inputs = input_buffers(prog, threads, lo, hi);
+    let mut precise = inputs.clone();
+    let mut imprecise = inputs;
+    WarpInterpreter::new(IhwConfig::precise()).launch(prog, threads, &mut precise)?;
+    WarpInterpreter::new(*cfg).launch(prog, threads, &mut imprecise)?;
+    Ok(output_buffers(prog)
+        .into_iter()
+        .map(|buffer| {
+            let mut max_rel = 0.0f64;
+            for (&p, &q) in precise[buffer].iter().zip(&imprecise[buffer]) {
+                let (p, q) = (p as f64, q as f64);
+                if p.to_bits() == q.to_bits() {
+                    continue;
+                }
+                let rel = if q.is_nan() || p == 0.0 {
+                    f64::INFINITY
+                } else {
+                    ((q - p) / p).abs()
+                };
+                max_rel = max_rel.max(rel);
+            }
+            MeasuredError { buffer, max_rel }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::isa::Reg;
+    use gpu_sim::programs;
+
+    #[test]
+    fn buffer_sizing_covers_every_access() {
+        let lens = required_lens(&programs::dot_partial(4), 16);
+        assert_eq!(lens.len(), 3);
+        assert_eq!(lens[0], 16 + 3, "TidPlus(3) needs threads+3 elements");
+        assert_eq!(lens[1], 16 + 3);
+        assert_eq!(lens[2], 16);
+        let prog = Program::new(
+            "abs",
+            1,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::Abs(40)),
+                Instr::St(1, AddrMode::Tid, Reg(0)),
+            ],
+        )
+        .expect("valid");
+        assert_eq!(required_lens(&prog, 8)[0], 41);
+        assert_eq!(output_buffers(&prog), vec![1]);
+    }
+
+    #[test]
+    fn inputs_are_deterministic_and_in_range() {
+        let prog = programs::saxpy(2.0);
+        let a = input_buffers(&prog, 32, 0.5, 1.0);
+        let b = input_buffers(&prog, 32, 0.5, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1], "distinct bases decorrelate buffers");
+        for buf in &a {
+            for &v in buf {
+                assert!((0.5..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn precise_config_measures_zero_error() {
+        let errs =
+            measure(&programs::distance(), &IhwConfig::precise(), 32, 0.5, 1.0).expect("runs");
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].buffer, 2);
+        assert_eq!(errs[0].max_rel, 0.0);
+    }
+
+    #[test]
+    fn imprecise_config_measures_nonzero_bounded_error() {
+        let errs = measure(
+            &programs::rsqrt_norm(),
+            &IhwConfig::all_imprecise(),
+            64,
+            0.5,
+            1.0,
+        )
+        .expect("runs");
+        assert!(errs[0].max_rel > 0.0, "imprecision must be observable");
+        assert!(errs[0].max_rel < 0.5, "got {}", errs[0].max_rel);
+    }
+}

@@ -1,0 +1,842 @@
+//! The abstract interpreter: per-instruction transfer functions over
+//! [`crate::domain::AbsVal`] and a small fixpoint over the global-memory
+//! buffer store.
+//!
+//! Every transfer function composes two error sources multiplicatively
+//! (`ihw_core::bounds::compose_rel`):
+//!
+//! 1. the **carried** error — how the operands' accumulated relative
+//!    errors propagate through the *exact* operation, and
+//! 2. the **unit** error — the closed-form worst case of the hardware
+//!    unit serving the operation under the given `IhwConfig`
+//!    (`ihw_core::bounds::unit_bound` plus slack), or the IEEE rounding
+//!    allowance for precise units.
+//!
+//! The imprecise adder is the interesting case (§4.1.1): effective
+//! additions have the finite cases (a)–(b) bound, effective subtractions
+//! only the case (c) bound *when a `2^(TH+1)` magnitude gap between the
+//! perturbed operand intervals proves the exponent distance*, and ⊤
+//! otherwise — that ⊤ is catastrophic cancellation, flagged as A002.
+
+use crate::domain::{AbsVal, Interval, TaintSet};
+use gpu_sim::isa::{AddrMode, Instr, Program};
+use ihw_core::bounds;
+use ihw_core::config::{AddUnit, FpOp, IhwConfig};
+use std::collections::BTreeMap;
+
+/// Per-operation allowance for IEEE-754 f32 rounding, covering both the
+/// precise reference run and the encode step of an imprecise run
+/// (2 × 2⁻²⁴ with headroom).
+pub const ROUND_EPS: f64 = 3.0e-7;
+
+/// Slack added to each closed-form imprecise unit bound: the vendored
+/// unit implementations are characterized to sit within ~1e-4 of the
+/// analytic constants (see the `ihw-core` sfu tests), so the analyzer
+/// widens by 5e-4 to stay sound against implementation detail.
+pub const UNIT_SLACK: f64 = 5.0e-4;
+
+/// Buffer-store fixpoint passes before widening aliased loads to ⊤.
+const MAX_PASSES: usize = 5;
+
+/// Analysis parameters: launch shape, assumed input range, error budget.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisSettings {
+    /// Number of threads the kernel is analyzed for.
+    pub threads: u32,
+    /// Lower endpoint of every input buffer element.
+    pub input_lo: f64,
+    /// Upper endpoint of every input buffer element.
+    pub input_hi: f64,
+    /// A001 budget: maximum tolerated static relative-error bound for
+    /// any output buffer (1.0 = 100%).
+    pub max_rel_err: f64,
+}
+
+impl Default for AnalysisSettings {
+    /// 64 threads, inputs in `[0.5, 1]` (the characterization sweep's
+    /// positive-unit range), 100% error budget.
+    fn default() -> Self {
+        AnalysisSettings {
+            threads: 64,
+            input_lo: 0.5,
+            input_hi: 1.0,
+            max_rel_err: 1.0,
+        }
+    }
+}
+
+/// The guaranteed static bound for one output buffer.
+#[derive(Debug, Clone)]
+pub struct OutputReport {
+    /// Global buffer index.
+    pub buffer: usize,
+    /// Instruction index of the worst `St` into this buffer.
+    pub instr: usize,
+    /// 1-based source line of that store (0 when unknown).
+    pub line: u32,
+    /// Sound bound on the relative error of every stored element
+    /// (`+∞` = unbounded).
+    pub bound: f64,
+    /// Ideal-value interval of the stored elements.
+    pub range: Interval,
+    /// Imprecise units whose error can reach the buffer.
+    pub taint: TaintSet,
+    /// The bound is ⊤ *because of* imprecise-subtraction cancellation.
+    pub cancelled: bool,
+}
+
+/// A control construct steered by an imprecise-derived value (A003).
+#[derive(Debug, Clone)]
+pub struct TaintSite {
+    /// Instruction index of the `Sel`.
+    pub instr: usize,
+    /// 1-based source line (0 when unknown).
+    pub line: u32,
+    /// The predicate's taint provenance.
+    pub taint: TaintSet,
+}
+
+/// The full analysis result for one kernel under one configuration.
+#[derive(Debug, Clone)]
+pub struct KernelAnalysis {
+    /// Kernel name (`Program::name`).
+    pub kernel: String,
+    /// Human label of the analyzed `IhwConfig`.
+    pub config: String,
+    /// One entry per stored-to buffer, ascending buffer index.
+    pub outputs: Vec<OutputReport>,
+    /// `Sel` instructions with imprecise-derived predicates.
+    pub taint_sites: Vec<TaintSite>,
+}
+
+/// One abstract store into a buffer during a pass.
+#[derive(Debug, Clone)]
+struct Write {
+    instr: usize,
+    mode: AddrMode,
+    val: AbsVal,
+}
+
+type WriteMap = BTreeMap<usize, Vec<Write>>;
+
+/// Runs the abstract interpreter over `prog` under `cfg`.
+///
+/// Loads and stores go through a per-buffer abstract store: every buffer
+/// starts as an exact input in `[input_lo, input_hi]`, loads join in the
+/// may-alias visible stores (cross-thread stores from the previous
+/// fixpoint pass, program-earlier stores from the current pass), and the
+/// pass repeats until the store stabilises — with a final widening pass
+/// that sends still-unstable aliased loads to ⊤, guaranteeing
+/// termination and soundness.
+pub fn analyze_program(
+    prog: &Program,
+    cfg: &IhwConfig,
+    label: &str,
+    s: &AnalysisSettings,
+) -> KernelAnalysis {
+    let input = AbsVal::exact(Interval::new(s.input_lo, s.input_hi));
+    let mut prev: WriteMap = WriteMap::new();
+    let mut analysis = None;
+    for pass in 0..MAX_PASSES {
+        let widen = pass + 1 == MAX_PASSES;
+        let (writes, result) = run_pass(prog, cfg, label, s, &input, &prev, widen);
+        let stable = writes_eq(&writes, &prev);
+        prev = writes;
+        analysis = Some(result);
+        if stable {
+            break;
+        }
+    }
+    analysis.expect("at least one pass runs")
+}
+
+fn writes_eq(a: &WriteMap, b: &WriteMap) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|((ka, wa), (kb, wb))| {
+            ka == kb
+                && wa.len() == wb.len()
+                && wa
+                    .iter()
+                    .zip(wb.iter())
+                    .all(|(x, y)| x.instr == y.instr && x.mode == y.mode && x.val.bits_eq(&y.val))
+        })
+}
+
+fn run_pass(
+    prog: &Program,
+    cfg: &IhwConfig,
+    label: &str,
+    s: &AnalysisSettings,
+    input: &AbsVal,
+    prev: &WriteMap,
+    widen: bool,
+) -> (WriteMap, KernelAnalysis) {
+    let mut regs = vec![AbsVal::exact(Interval::point(0.0)); prog.regs() as usize];
+    let mut writes = WriteMap::new();
+    let mut taint_sites = Vec::new();
+    let r = |regs: &[AbsVal], reg: gpu_sim::isa::Reg| regs[reg.0 as usize];
+    for (idx, instr) in prog.instrs().iter().enumerate() {
+        match *instr {
+            Instr::Movi(d, imm) => {
+                regs[d.0 as usize] = AbsVal::exact(Interval::point(imm as f64));
+            }
+            Instr::Tid(d) => {
+                let hi = s.threads.saturating_sub(1) as f64;
+                regs[d.0 as usize] = AbsVal::exact(Interval::new(0.0, hi));
+            }
+            Instr::Fadd(d, a, b) => {
+                regs[d.0 as usize] = add_like(cfg, &r(&regs, a), &r(&regs, b), false);
+            }
+            Instr::Fsub(d, a, b) => {
+                regs[d.0 as usize] = add_like(cfg, &r(&regs, a), &r(&regs, b), true);
+            }
+            Instr::Fmul(d, a, b) => {
+                regs[d.0 as usize] = mul_tf(cfg, &r(&regs, a), &r(&regs, b));
+            }
+            Instr::Fdiv(d, a, b) => {
+                regs[d.0 as usize] = div_tf(cfg, &r(&regs, a), &r(&regs, b));
+            }
+            Instr::Ffma(d, a, b, c) => {
+                let prod = mul_tf(cfg, &r(&regs, a), &r(&regs, b));
+                regs[d.0 as usize] = add_like(cfg, &prod, &r(&regs, c), false);
+            }
+            Instr::Rcp(d, a) => regs[d.0 as usize] = rcp_tf(cfg, &r(&regs, a)),
+            Instr::Rsqrt(d, a) => regs[d.0 as usize] = rsqrt_tf(cfg, &r(&regs, a)),
+            Instr::Sqrt(d, a) => regs[d.0 as usize] = sqrt_tf(cfg, &r(&regs, a)),
+            Instr::Log2(d, a) => regs[d.0 as usize] = log2_tf(cfg, &r(&regs, a)),
+            Instr::Fmax(d, a, b) => {
+                regs[d.0 as usize] = fmax_tf(&r(&regs, a), &r(&regs, b));
+            }
+            Instr::Sel(d, c, a, b) => {
+                let pred = r(&regs, c);
+                if !pred.taint.is_clean() {
+                    taint_sites.push(TaintSite {
+                        instr: idx,
+                        line: prog.source_line(idx).unwrap_or(0),
+                        taint: pred.taint,
+                    });
+                }
+                regs[d.0 as usize] = sel_tf(&pred, &r(&regs, a), &r(&regs, b));
+            }
+            Instr::Ld(d, buf, mode) => {
+                regs[d.0 as usize] = load(prog, buf, mode, idx, input, prev, &writes, widen, cfg);
+            }
+            Instr::St(buf, mode, src) => {
+                writes.entry(buf).or_default().push(Write {
+                    instr: idx,
+                    mode,
+                    val: r(&regs, src),
+                });
+            }
+        }
+    }
+
+    let outputs = writes
+        .iter()
+        .map(|(&buffer, ws)| {
+            let worst = ws
+                .iter()
+                .max_by(|x, y| {
+                    x.val
+                        .rel_err
+                        .partial_cmp(&y.val.rel_err)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("entry exists only with a write");
+            let joined = ws
+                .iter()
+                .map(|w| w.val)
+                .reduce(AbsVal::join)
+                .expect("non-empty");
+            OutputReport {
+                buffer,
+                instr: worst.instr,
+                line: prog.source_line(worst.instr).unwrap_or(0),
+                bound: joined.rel_err,
+                range: joined.range,
+                taint: joined.taint,
+                cancelled: joined.cancelled && joined.rel_err.is_infinite(),
+            }
+        })
+        .collect();
+
+    let analysis = KernelAnalysis {
+        kernel: prog.name().to_string(),
+        config: label.to_string(),
+        outputs,
+        taint_sites,
+    };
+    (writes, analysis)
+}
+
+/// Could a store with `write` mode by an *earlier thread* land on the
+/// element a `read`-mode load of the current thread observes? Threads
+/// run to completion in ascending tid order, so thread `t` reading
+/// `t+kr` sees thread `t′ = t+kr−kw`'s store iff `t′ < t`, i.e.
+/// `kr < kw`. Anything involving a broadcast (`Abs`) element is
+/// conservatively visible.
+fn cross_thread_visible(read: AddrMode, write: AddrMode) -> bool {
+    match (offset_of(read), offset_of(write)) {
+        (Some(kr), Some(kw)) => kr < kw,
+        _ => abs_may_match(read, write),
+    }
+}
+
+/// Same-thread visibility: the store must alias the load's element for
+/// the *same* tid (plus program order, checked by the caller).
+fn same_thread_visible(read: AddrMode, write: AddrMode) -> bool {
+    match (offset_of(read), offset_of(write)) {
+        (Some(kr), Some(kw)) => kr == kw,
+        _ => abs_may_match(read, write),
+    }
+}
+
+fn offset_of(mode: AddrMode) -> Option<i64> {
+    match mode {
+        AddrMode::Tid => Some(0),
+        AddrMode::TidPlus(k) => Some(k),
+        AddrMode::Abs(_) => None,
+    }
+}
+
+fn abs_may_match(a: AddrMode, b: AddrMode) -> bool {
+    match (a, b) {
+        (AddrMode::Abs(i), AddrMode::Abs(j)) => i == j,
+        // Abs vs tid-relative: some thread's index can coincide.
+        _ => true,
+    }
+}
+
+/// Joins the initial input with every visible may-alias store.
+#[allow(clippy::too_many_arguments)]
+fn load(
+    prog: &Program,
+    buf: usize,
+    mode: AddrMode,
+    ridx: usize,
+    input: &AbsVal,
+    prev: &WriteMap,
+    current: &WriteMap,
+    widen: bool,
+    cfg: &IhwConfig,
+) -> AbsVal {
+    if widen && load_may_alias_any_store(prog, buf, mode, ridx) {
+        // The store never stabilised: give up on precision, stay sound.
+        return AbsVal::top(config_taint(cfg), false);
+    }
+    let mut v = *input;
+    if let Some(ws) = prev.get(&buf) {
+        for w in ws {
+            if cross_thread_visible(mode, w.mode) {
+                v = v.join(w.val);
+            }
+        }
+    }
+    if let Some(ws) = current.get(&buf) {
+        for w in ws {
+            if w.instr < ridx && same_thread_visible(mode, w.mode) {
+                v = v.join(w.val);
+            }
+        }
+    }
+    v
+}
+
+/// Static check against *every* store in the program (stores later in
+/// program order are cross-thread visible), used by the widening pass.
+fn load_may_alias_any_store(prog: &Program, buf: usize, mode: AddrMode, ridx: usize) -> bool {
+    prog.instrs().iter().enumerate().any(|(widx, i)| match *i {
+        Instr::St(wbuf, wmode, _) if wbuf == buf => {
+            cross_thread_visible(mode, wmode) || (widx < ridx && same_thread_visible(mode, wmode))
+        }
+        _ => false,
+    })
+}
+
+/// Every unit class configured imprecise — the conservative taint of a
+/// widened (unknown) value.
+fn config_taint(cfg: &IhwConfig) -> TaintSet {
+    FpOp::ALL
+        .iter()
+        .filter(|&&op| cfg.is_op_imprecise(op))
+        .fold(TaintSet::CLEAN, |t, &op| t.with(op))
+}
+
+/// Worst-case relative error of the unit serving `op`, widened by
+/// [`UNIT_SLACK`] when imprecise, plus the [`ROUND_EPS`] encode/reference
+/// rounding allowance.
+fn unit_err(cfg: &IhwConfig, op: FpOp) -> f64 {
+    if cfg.is_op_imprecise(op) {
+        bounds::unit_bound(cfg, op) + UNIT_SLACK + ROUND_EPS
+    } else {
+        ROUND_EPS
+    }
+}
+
+fn taint_through(cfg: &IhwConfig, op: FpOp, base: TaintSet) -> TaintSet {
+    if cfg.is_op_imprecise(op) {
+        base.with(op)
+    } else {
+        base
+    }
+}
+
+/// `2^(TH+1)` magnitude-gap test on the *perturbed* (computed) operand
+/// intervals: when it holds, the adder's exponent distance is provably
+/// `≥ TH`, so only the far cases (a)/(c) of §4.1.1 can occur. NaN-safe:
+/// any ⊤ operand fails the comparison.
+fn magnitudes_far(a: &AbsVal, b: &AbsVal, th: u32) -> bool {
+    let scale = 2f64.powi(th as i32 + 1);
+    let min_mag = |v: &AbsVal| v.range.min_abs() * (1.0 - v.rel_err);
+    let max_mag = |v: &AbsVal| v.range.max_abs() * (1.0 + v.rel_err);
+    min_mag(a) >= max_mag(b) * scale || min_mag(b) >= max_mag(a) * scale
+}
+
+/// Transfer for `Fadd`/`Fsub` (and the add stage of `Ffma`).
+fn add_like(cfg: &IhwConfig, a: &AbsVal, b_in: &AbsVal, sub: bool) -> AbsVal {
+    let b = if sub {
+        AbsVal {
+            range: -b_in.range,
+            ..*b_in
+        }
+    } else {
+        *b_in
+    };
+    let range = a.range + b.range;
+    let (ea, eb) = (a.rel_err, b.rel_err);
+    let mut cancelled = a.cancelled || b.cancelled;
+    // Guaranteed effective addition: ideal operands share a sign, and a
+    // sub-100% error bound pins the computed signs to the ideal signs.
+    let same_sign = (a.range.is_nonneg() && b.range.is_nonneg())
+        || (a.range.is_nonpos() && b.range.is_nonpos());
+    let signs_known = ea < 1.0 && eb < 1.0;
+
+    // Carried error of the exact sum of the computed operands.
+    let carry = if ea == 0.0 && eb == 0.0 {
+        0.0
+    } else if same_sign {
+        // |a·δa + b·δb| ≤ max(ea,eb)·(|a|+|b|) = max(ea,eb)·|a+b|.
+        ea.max(eb)
+    } else {
+        let m = range.min_abs();
+        if m == 0.0 {
+            cancelled = true;
+            f64::INFINITY
+        } else {
+            let ta = if ea == 0.0 {
+                0.0
+            } else {
+                a.range.max_abs() * ea
+            };
+            let tb = if eb == 0.0 {
+                0.0
+            } else {
+                b.range.max_abs() * eb
+            };
+            (ta + tb) / m
+        }
+    };
+
+    let u = match cfg.add {
+        AddUnit::Precise => ROUND_EPS,
+        AddUnit::Imprecise { th } => {
+            if same_sign && signs_known {
+                bounds::adder_add_bound(th) + UNIT_SLACK + ROUND_EPS
+            } else if magnitudes_far(a, &b, th) {
+                // Exponent gap ≥ TH: far cases only; (c) dominates (a).
+                bounds::adder_sub_far_bound(th) + UNIT_SLACK + ROUND_EPS
+            } else {
+                // §4.1.1 case (d): overlapping operand magnitudes under
+                // an imprecise effective subtraction — unbounded.
+                cancelled = true;
+                f64::INFINITY
+            }
+        }
+    };
+
+    AbsVal {
+        range,
+        rel_err: bounds::compose_rel(carry, u),
+        taint: taint_through(cfg, FpOp::Add, a.taint.union(b.taint)),
+        cancelled,
+    }
+}
+
+/// Transfer for `Fmul` (and the mul stage of `Ffma`): relative errors
+/// compound multiplicatively through an exact product.
+fn mul_tf(cfg: &IhwConfig, a: &AbsVal, b: &AbsVal) -> AbsVal {
+    let u = unit_err(cfg, FpOp::Mul);
+    AbsVal {
+        range: a.range * b.range,
+        rel_err: bounds::compose_rel(bounds::compose_rel(a.rel_err, b.rel_err), u),
+        taint: taint_through(cfg, FpOp::Mul, a.taint.union(b.taint)),
+        cancelled: a.cancelled || b.cancelled,
+    }
+}
+
+/// Transfer for `Fdiv`: a divisor error `eb < 1` inflates the quotient
+/// by at most `1/(1−eb)`.
+fn div_tf(cfg: &IhwConfig, a: &AbsVal, b: &AbsVal) -> AbsVal {
+    let u = unit_err(cfg, FpOp::Div);
+    let rel = if b.rel_err < 1.0 {
+        (1.0 + a.rel_err) * (1.0 + u) / (1.0 - b.rel_err) - 1.0
+    } else {
+        f64::INFINITY
+    };
+    AbsVal {
+        range: a.range / b.range,
+        rel_err: rel,
+        taint: taint_through(cfg, FpOp::Div, a.taint.union(b.taint)),
+        cancelled: a.cancelled || b.cancelled,
+    }
+}
+
+/// Transfer for `Rcp`.
+fn rcp_tf(cfg: &IhwConfig, a: &AbsVal) -> AbsVal {
+    let u = unit_err(cfg, FpOp::Rcp);
+    let rel = if a.rel_err < 1.0 {
+        (1.0 + u) / (1.0 - a.rel_err) - 1.0
+    } else {
+        f64::INFINITY
+    };
+    AbsVal {
+        range: a.range.recip(),
+        rel_err: rel,
+        taint: taint_through(cfg, FpOp::Rcp, a.taint),
+        cancelled: a.cancelled,
+    }
+}
+
+/// Transfer for `Sqrt`: `√(x(1+δ)) = √x·√(1+δ)` halves the operand's
+/// relative error (to first order) before the unit error applies.
+fn sqrt_tf(cfg: &IhwConfig, a: &AbsVal) -> AbsVal {
+    if a.range.lo < 0.0 {
+        // The ideal value can be NaN — no bound is expressible.
+        return AbsVal::top(taint_through(cfg, FpOp::Sqrt, a.taint), a.cancelled);
+    }
+    let u = unit_err(cfg, FpOp::Sqrt);
+    let rel = if a.rel_err < 1.0 {
+        let up = (1.0 + u) * (1.0 + a.rel_err).sqrt() - 1.0;
+        let down = 1.0 - (1.0 - u) * (1.0 - a.rel_err).sqrt();
+        up.max(down)
+    } else {
+        f64::INFINITY
+    };
+    AbsVal {
+        range: Interval::new(a.range.lo.sqrt(), a.range.hi.sqrt()),
+        rel_err: rel,
+        taint: taint_through(cfg, FpOp::Sqrt, a.taint),
+        cancelled: a.cancelled,
+    }
+}
+
+/// Transfer for `Rsqrt` (the operand must be provably positive).
+fn rsqrt_tf(cfg: &IhwConfig, a: &AbsVal) -> AbsVal {
+    if a.range.lo <= 0.0 {
+        return AbsVal::top(taint_through(cfg, FpOp::Rsqrt, a.taint), a.cancelled);
+    }
+    let u = unit_err(cfg, FpOp::Rsqrt);
+    let rel = if a.rel_err < 1.0 {
+        let up = (1.0 + u) / (1.0 - a.rel_err).sqrt() - 1.0;
+        let down = 1.0 - (1.0 - u) / (1.0 + a.rel_err).sqrt();
+        up.max(down)
+    } else {
+        f64::INFINITY
+    };
+    AbsVal {
+        range: Interval::new(1.0 / a.range.hi.sqrt(), 1.0 / a.range.lo.sqrt()),
+        rel_err: rel,
+        taint: taint_through(cfg, FpOp::Rsqrt, a.taint),
+        cancelled: a.cancelled,
+    }
+}
+
+/// Transfer for `Log2`. Relative bounds exist only when the ideal log
+/// is bounded away from zero (the argument interval excludes 1); the
+/// imprecise unit's error is absolute ([`bounds::log2_abs_bound`]), so
+/// it is divided by the smallest ideal log magnitude.
+fn log2_tf(cfg: &IhwConfig, a: &AbsVal) -> AbsVal {
+    let taint = taint_through(cfg, FpOp::Log2, a.taint);
+    if a.range.lo <= 0.0 {
+        return AbsVal::top(taint, a.cancelled);
+    }
+    let range = Interval::new(a.range.lo.log2(), a.range.hi.log2());
+    let m = range.min_abs();
+    let rel = if a.rel_err >= 1.0 || m == 0.0 {
+        f64::INFINITY
+    } else {
+        // |log2(x(1+δ)) − log2 x| ≤ log2(1/(1−ea)).
+        let shift = (1.0 / (1.0 - a.rel_err)).log2();
+        if cfg.is_op_imprecise(FpOp::Log2) {
+            (bounds::log2_abs_bound() + shift) / m + ROUND_EPS
+        } else {
+            ROUND_EPS + (1.0 + ROUND_EPS) * shift / m
+        }
+    };
+    AbsVal {
+        range,
+        rel_err: rel,
+        taint,
+        cancelled: a.cancelled,
+    }
+}
+
+/// Transfer for `Fmax` (precise ALU op): whichever computed operand
+/// wins, it is within `max(ea, eb)` of an ideal operand that is `≤` the
+/// ideal max, and the ideal max is within the same factor of it.
+fn fmax_tf(a: &AbsVal, b: &AbsVal) -> AbsVal {
+    let rel = if a.rel_err < 1.0 && b.rel_err < 1.0 {
+        a.rel_err.max(b.rel_err)
+    } else {
+        f64::INFINITY
+    };
+    AbsVal {
+        range: a.range.max(b.range),
+        rel_err: rel,
+        taint: a.taint.union(b.taint),
+        cancelled: a.cancelled || b.cancelled,
+    }
+}
+
+/// Transfer for `Sel(c, a, b)`: with `ec < 1` the computed predicate
+/// sign matches the ideal sign, so the selection matches the ideal
+/// execution and the error is the selected operand's. A predicate at ⊤
+/// can steer the select differently from the ideal run — the result is
+/// unbounded (and, separately, a tainted predicate is an A003 site).
+fn sel_tf(c: &AbsVal, a: &AbsVal, b: &AbsVal) -> AbsVal {
+    if c.rel_err < 1.0 {
+        if c.range.lo > 0.0 {
+            return *a;
+        }
+        if c.range.hi <= 0.0 {
+            return *b;
+        }
+        AbsVal {
+            range: a.range.hull(b.range),
+            rel_err: a.rel_err.max(b.rel_err),
+            taint: a.taint.union(b.taint),
+            cancelled: a.cancelled || b.cancelled,
+        }
+    } else {
+        AbsVal {
+            range: a.range.hull(b.range),
+            rel_err: f64::INFINITY,
+            taint: a.taint.union(b.taint).union(c.taint),
+            cancelled: a.cancelled || b.cancelled || c.cancelled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::isa::Reg;
+    use gpu_sim::programs;
+
+    fn settings() -> AnalysisSettings {
+        AnalysisSettings::default()
+    }
+
+    #[test]
+    fn precise_config_is_almost_exact() {
+        let a = analyze_program(
+            &programs::saxpy(2.0),
+            &IhwConfig::precise(),
+            "precise",
+            &settings(),
+        );
+        assert_eq!(a.outputs.len(), 1);
+        let out = &a.outputs[0];
+        assert_eq!(out.buffer, 1);
+        assert!(out.bound < 1e-5, "got {}", out.bound);
+        assert!(out.taint.is_clean());
+        assert!(!out.cancelled);
+    }
+
+    #[test]
+    fn all_imprecise_bounds_are_finite_for_stock_kernels() {
+        let cfg = IhwConfig::all_imprecise();
+        for prog in [
+            programs::saxpy(2.0),
+            programs::rsqrt_norm(),
+            programs::dot_partial(4),
+            programs::distance(),
+        ] {
+            let a = analyze_program(&prog, &cfg, "all_imprecise", &settings());
+            for out in &a.outputs {
+                assert!(
+                    out.bound.is_finite(),
+                    "{}/b{} should be bounded, got ∞",
+                    a.kernel,
+                    out.buffer
+                );
+                assert!(
+                    out.bound < 0.5,
+                    "{}/b{} bound {} unexpectedly loose",
+                    a.kernel,
+                    out.buffer,
+                    out.bound
+                );
+                assert!(!out.taint.is_clean());
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_imprecise_subtraction_is_cancelled_top() {
+        // out[i] = x[i] − y[i] with both inputs in [0.5, 1]: §4.1.1 (d).
+        let prog = Program::new(
+            "cancel",
+            2,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::Tid),
+                Instr::Ld(Reg(1), 1, AddrMode::Tid),
+                Instr::Fsub(Reg(0), Reg(0), Reg(1)),
+                Instr::St(2, AddrMode::Tid, Reg(0)),
+            ],
+        )
+        .expect("valid");
+        let a = analyze_program(
+            &prog,
+            &IhwConfig::all_imprecise(),
+            "all_imprecise",
+            &settings(),
+        );
+        let out = &a.outputs[0];
+        assert!(out.bound.is_infinite());
+        assert!(out.cancelled, "⊤ must be attributed to cancellation");
+        // The precise adder keeps the same kernel bounded (tiny carry).
+        let p = analyze_program(&prog, &IhwConfig::precise(), "precise", &settings());
+        assert!(p.outputs[0].bound < 1e-5);
+    }
+
+    #[test]
+    fn far_separated_subtraction_stays_bounded() {
+        // x − 0.0001·x′ with x ∈ [0.5,1]: magnitudes provably 2^(TH+1) apart.
+        let prog = Program::new(
+            "far_sub",
+            2,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::Tid),
+                Instr::Movi(Reg(1), 1.0e-4),
+                Instr::Fmul(Reg(1), Reg(1), Reg(1)), // 1e-8, exact-ish
+                Instr::Fsub(Reg(0), Reg(0), Reg(1)),
+                Instr::St(1, AddrMode::Tid, Reg(0)),
+            ],
+        )
+        .expect("valid");
+        let cfg = IhwConfig::precise().with_add(ihw_core::config::AddUnit::Imprecise { th: 8 });
+        let a = analyze_program(&prog, &cfg, "add_only", &settings());
+        let out = &a.outputs[0];
+        assert!(out.bound.is_finite(), "far gap ⇒ case (c) bound");
+        assert!(out.bound < 0.01, "got {}", out.bound);
+    }
+
+    #[test]
+    fn tainted_select_predicate_is_recorded() {
+        let prog = Program::new(
+            "steer",
+            3,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::Tid),
+                Instr::Fmul(Reg(1), Reg(0), Reg(0)), // imprecise ⇒ tainted
+                Instr::Sel(Reg(2), Reg(1), Reg(0), Reg(0)),
+                Instr::St(1, AddrMode::Tid, Reg(2)),
+            ],
+        )
+        .expect("valid");
+        let a = analyze_program(
+            &prog,
+            &IhwConfig::all_imprecise(),
+            "all_imprecise",
+            &settings(),
+        );
+        assert_eq!(a.taint_sites.len(), 1);
+        assert_eq!(a.taint_sites[0].instr, 2);
+        assert!(a.taint_sites[0].taint.contains(FpOp::Mul));
+        // Under the precise config the predicate is clean: no site.
+        let p = analyze_program(&prog, &IhwConfig::precise(), "precise", &settings());
+        assert!(p.taint_sites.is_empty());
+    }
+
+    #[test]
+    fn read_after_write_same_thread_joins_stored_value() {
+        // b0[tid] ← x²; r ← b0[tid]; b1[tid] ← r. The load must see the
+        // (imprecise) stored square, so b1 inherits its error bound.
+        let prog = Program::new(
+            "rw",
+            2,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::Tid),
+                Instr::Fmul(Reg(1), Reg(0), Reg(0)),
+                Instr::St(0, AddrMode::Tid, Reg(1)),
+                Instr::Ld(Reg(0), 0, AddrMode::Tid),
+                Instr::St(1, AddrMode::Tid, Reg(0)),
+            ],
+        )
+        .expect("valid");
+        let a = analyze_program(
+            &prog,
+            &IhwConfig::all_imprecise(),
+            "all_imprecise",
+            &settings(),
+        );
+        let b1 = a.outputs.iter().find(|o| o.buffer == 1).expect("stored");
+        assert!(b1.bound >= bounds::IFPMUL_MAX_ERROR);
+        assert!(b1.taint.contains(FpOp::Mul));
+    }
+
+    #[test]
+    fn cross_thread_chain_widens_to_top_not_forever() {
+        // Each thread reads its predecessor's already-rewritten slot and
+        // rewrites its own: the error compounds with the thread index,
+        // the store never stabilises, and widening must kick in.
+        let prog = Program::new(
+            "chain",
+            2,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::TidPlus(-1)),
+                Instr::Movi(Reg(1), 0.5),
+                Instr::Fmul(Reg(0), Reg(0), Reg(1)),
+                Instr::St(0, AddrMode::Tid, Reg(0)),
+            ],
+        )
+        .expect("valid");
+        let a = analyze_program(
+            &prog,
+            &IhwConfig::all_imprecise(),
+            "all_imprecise",
+            &settings(),
+        );
+        // Terminates (the point of widening) and stays conservative.
+        assert_eq!(a.outputs.len(), 1);
+        assert!(a.outputs[0].bound.is_infinite());
+        assert!(!a.outputs[0].cancelled, "widening is not cancellation");
+    }
+
+    #[test]
+    fn fmax_and_sel_refinements() {
+        // max of two positives then a select on a clean positive
+        // predicate: bound stays the operand bound.
+        let prog = Program::new(
+            "maxsel",
+            3,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::Tid),
+                Instr::Ld(Reg(1), 1, AddrMode::Tid),
+                Instr::Fmax(Reg(2), Reg(0), Reg(1)),
+                Instr::Sel(Reg(2), Reg(0), Reg(2), Reg(1)),
+                Instr::St(2, AddrMode::Tid, Reg(2)),
+            ],
+        )
+        .expect("valid");
+        let a = analyze_program(
+            &prog,
+            &IhwConfig::all_imprecise(),
+            "all_imprecise",
+            &settings(),
+        );
+        assert_eq!(a.outputs[0].bound, 0.0, "exact inputs through ALU ops");
+        assert!(a.taint_sites.is_empty(), "clean predicate");
+    }
+}

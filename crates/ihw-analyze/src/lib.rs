@@ -1,0 +1,129 @@
+//! `ihw-analyze` — static error-bound and imprecision-taint analysis
+//! over the kernel IR.
+//!
+//! Abstract-interprets a [`gpu_sim::isa::Program`] under a given
+//! [`IhwConfig`], propagating for every register a magnitude interval,
+//! an accumulated relative-error bound (composed from the unit-level
+//! analytic bounds in `ihw_core::bounds`) and a taint set of imprecise
+//! unit classes. The result is a *guaranteed* static error bound for
+//! every `st` output buffer — the differential test in
+//! `tests/analyzer_soundness.rs` asserts it dominates the empirically
+//! measured error for every stock kernel × stock configuration.
+//!
+//! Findings are reported through the shared `ihw-lint` diagnostic
+//! machinery:
+//!
+//! * **A001** `output-bound` — a static bound exceeds the error budget;
+//! * **A002** `unbounded-cancellation` — catastrophic cancellation of an
+//!   imprecise subtraction can reach an output (paper §4.1.1 case d);
+//! * **A003** `imprecision-taint` — an imprecise-derived value steers a
+//!   control construct (`sel` predicate).
+//!
+//! ```
+//! use ihw_analyze::interp::{analyze_program, AnalysisSettings};
+//! use ihw_core::config::IhwConfig;
+//!
+//! let a = analyze_program(
+//!     &gpu_sim::programs::saxpy(2.0),
+//!     &IhwConfig::all_imprecise(),
+//!     "all_imprecise",
+//!     &AnalysisSettings::default(),
+//! );
+//! let out = &a.outputs[0];
+//! assert!(out.bound.is_finite() && out.bound > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod domain;
+pub mod empirical;
+pub mod interp;
+pub mod report;
+
+pub use domain::{AbsVal, Interval, TaintSet};
+pub use interp::{analyze_program, AnalysisSettings, KernelAnalysis, OutputReport};
+pub use report::{collect_findings, SCHEMA};
+
+use gpu_sim::isa::Program;
+use gpu_sim::programs;
+use ihw_core::config::IhwConfig;
+
+/// The stock kernels the analyzer (and the CI gate) covers.
+pub fn stock_kernels() -> Vec<Program> {
+    vec![
+        programs::saxpy(2.0),
+        programs::rsqrt_norm(),
+        programs::dot_partial(4),
+        programs::distance(),
+    ]
+}
+
+/// Names of [`stock_kernels`], for CLI filtering and help text.
+pub fn stock_kernel_names() -> Vec<&'static str> {
+    vec!["saxpy", "rsqrt_norm", "dot_partial", "distance"]
+}
+
+/// The stock configurations analyzed, labelled for fingerprints.
+pub fn stock_configs() -> Vec<(&'static str, IhwConfig)> {
+    vec![
+        ("precise", IhwConfig::precise()),
+        ("all_imprecise", IhwConfig::all_imprecise()),
+        ("ray_basic", IhwConfig::ray_basic()),
+        ("ray_with_rsqrt", IhwConfig::ray_with_rsqrt()),
+        ("ray_ac_mul_t19", IhwConfig::ray_with_ac_mul(19)),
+    ]
+}
+
+/// Analyzes every stock kernel under every stock configuration. When
+/// `filter` is non-empty only kernels whose name is listed are kept.
+pub fn analyze_stock(settings: &AnalysisSettings, filter: &[String]) -> Vec<KernelAnalysis> {
+    let mut analyses = Vec::new();
+    for prog in stock_kernels() {
+        if !filter.is_empty() && !filter.iter().any(|k| k == prog.name()) {
+            continue;
+        }
+        for (label, cfg) in stock_configs() {
+            analyses.push(analyze_program(&prog, &cfg, label, settings));
+        }
+    }
+    analyses
+}
+
+/// [`analyze_stock`] with no kernel filter.
+pub fn analyze_all(settings: &AnalysisSettings) -> Vec<KernelAnalysis> {
+    analyze_stock(settings, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_names_match_programs() {
+        let names = stock_kernel_names();
+        for (prog, name) in stock_kernels().iter().zip(&names) {
+            assert_eq!(prog.name(), *name);
+        }
+    }
+
+    #[test]
+    fn analyze_all_covers_the_full_matrix() {
+        let analyses = analyze_all(&AnalysisSettings::default());
+        assert_eq!(
+            analyses.len(),
+            stock_kernels().len() * stock_configs().len()
+        );
+        for a in &analyses {
+            assert!(!a.outputs.is_empty(), "{} has outputs", a.kernel);
+        }
+    }
+
+    #[test]
+    fn filter_restricts_kernels() {
+        let analyses = analyze_stock(&AnalysisSettings::default(), &["distance".to_string()]);
+        assert_eq!(analyses.len(), stock_configs().len());
+        assert!(analyses.iter().all(|a| a.kernel == "distance"));
+    }
+}

@@ -63,14 +63,26 @@ impl Baseline {
         new
     }
 
-    /// Renders the given findings as baseline-file text.
+    /// Renders the given findings as baseline-file text with the
+    /// `ihw-lint` header.
     pub fn render(findings: &[Finding]) -> String {
-        let mut out = String::from(
+        Baseline::render_with_header(
+            findings,
             "# ihw-lint baseline — grandfathered findings (one fingerprint per line).\n\
              # Regenerate with `cargo run -p ihw-lint -- --write-baseline`; the CI gate\n\
              # fails only on findings NOT listed here. Keep this file empty: fix or\n\
              # annotate violations instead of baselining them whenever possible.\n",
-        );
+        )
+    }
+
+    /// Renders the given findings as baseline-file text under a custom
+    /// `#`-comment header. Shared by `ihw-lint` and `ihw-analyze` so the
+    /// two tools never diverge on baseline syntax.
+    pub fn render_with_header(findings: &[Finding], header: &str) -> String {
+        let mut out = String::from(header);
+        if !out.is_empty() && !out.ends_with('\n') {
+            out.push('\n');
+        }
         let set: BTreeSet<String> = findings.iter().map(Finding::fingerprint).collect();
         for fp in set {
             out.push_str(&fp);
@@ -121,6 +133,13 @@ mod tests {
         assert_eq!(b.len(), 2, "deduplicated");
         let mut fs = vec![finding("a"), finding("b")];
         assert_eq!(b.apply(&mut fs), 0);
+    }
+
+    #[test]
+    fn custom_header_roundtrips() {
+        let text = Baseline::render_with_header(&[finding("x")], "# custom tool baseline");
+        assert!(text.starts_with("# custom tool baseline\n"));
+        assert_eq!(Baseline::parse(&text).len(), 1);
     }
 
     #[test]

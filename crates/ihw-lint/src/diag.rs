@@ -1,8 +1,15 @@
 //! Findings and their human/JSON renderings.
 //!
-//! The JSON document is schema-pinned (`"schema": "ihw-lint/1"`) and
-//! hand-rolled (the workspace's offline `serde` shim is marker-only), the
-//! same approach as `ihw-bench`'s timing report.
+//! The JSON document is schema-pinned (`"schema": "ihw-lint/1"` for the
+//! lint auditor, `"ihw-analyze/1"` for the static error-bound analyzer,
+//! see [`to_json_with_schema`]) and hand-rolled (the workspace's offline
+//! `serde` shim is marker-only), the same approach as `ihw-bench`'s
+//! timing report.
+//!
+//! The rule catalog carries two families with one shared diagnostic
+//! pipeline: `L00x` source-level determinism rules emitted by this
+//! crate's lexer pass, and `A00x` kernel-IR rules emitted by
+//! `ihw-analyze`'s abstract interpreter.
 
 /// The catalog of rules, with stable codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -18,10 +25,21 @@ pub enum Rule {
     LossyCast,
     /// L005 — crate root missing `#![forbid(unsafe_code)]`.
     MissingForbid,
+    /// A001 — a kernel output's static relative-error bound exceeds the
+    /// configured budget.
+    OutputBound,
+    /// A002 — catastrophic cancellation: an effective subtraction whose
+    /// operand intervals overlap makes an output bound unbounded (⊤),
+    /// §4.1.1 case (d).
+    UnboundedCancellation,
+    /// A003 — an imprecise-derived value reaches an address operand or
+    /// control construct (the static form of the paper's "IHW for the FP
+    /// datapath only" rule).
+    ImprecisionTaint,
 }
 
 impl Rule {
-    /// Stable diagnostic code (`L001`…`L005`).
+    /// Stable diagnostic code (`L001`…`L005`, `A001`…`A003`).
     pub fn code(self) -> &'static str {
         match self {
             Rule::FloatArith => "L001",
@@ -29,10 +47,14 @@ impl Rule {
             Rule::WallClock => "L003",
             Rule::LossyCast => "L004",
             Rule::MissingForbid => "L005",
+            Rule::OutputBound => "A001",
+            Rule::UnboundedCancellation => "A002",
+            Rule::ImprecisionTaint => "A003",
         }
     }
 
-    /// Marker name accepted by `// ihw-lint: allow(<name>)`.
+    /// Marker name accepted by `// ihw-lint: allow(<name>)` (and used as
+    /// the machine-readable rule name in the JSON document).
     pub fn marker(self) -> &'static str {
         match self {
             Rule::FloatArith => "float-arith",
@@ -40,6 +62,9 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::LossyCast => "lossy-cast",
             Rule::MissingForbid => "missing-forbid",
+            Rule::OutputBound => "output-bound",
+            Rule::UnboundedCancellation => "unbounded-cancellation",
+            Rule::ImprecisionTaint => "imprecision-taint",
         }
     }
 
@@ -51,17 +76,39 @@ impl Rule {
             "wall-clock" => Rule::WallClock,
             "lossy-cast" => Rule::LossyCast,
             "missing-forbid" => Rule::MissingForbid,
+            "output-bound" => Rule::OutputBound,
+            "unbounded-cancellation" => Rule::UnboundedCancellation,
+            "imprecision-taint" => Rule::ImprecisionTaint,
             _ => return None,
         })
     }
 
     /// Every rule, in code order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 8] = [
         Rule::FloatArith,
         Rule::HashIter,
         Rule::WallClock,
         Rule::LossyCast,
         Rule::MissingForbid,
+        Rule::OutputBound,
+        Rule::UnboundedCancellation,
+        Rule::ImprecisionTaint,
+    ];
+
+    /// The source-level lint rules this crate's lexer pass emits.
+    pub const LINT: [Rule; 5] = [
+        Rule::FloatArith,
+        Rule::HashIter,
+        Rule::WallClock,
+        Rule::LossyCast,
+        Rule::MissingForbid,
+    ];
+
+    /// The kernel-IR analysis rules emitted by `ihw-analyze`.
+    pub const ANALYZE: [Rule; 3] = [
+        Rule::OutputBound,
+        Rule::UnboundedCancellation,
+        Rule::ImprecisionTaint,
     ];
 }
 
@@ -115,10 +162,17 @@ impl Finding {
 
 /// Renders the full finding set as the `ihw-lint/1` JSON document.
 pub fn to_json(findings: &[Finding]) -> String {
+    to_json_with_schema(findings, "ihw-lint/1")
+}
+
+/// Renders the finding set as a schema-pinned JSON document. The lint
+/// auditor passes `"ihw-lint/1"`; `ihw-analyze` reuses the exact same
+/// document shape under `"ihw-analyze/1"`.
+pub fn to_json_with_schema(findings: &[Finding], schema: &str) -> String {
     let new = findings.iter().filter(|f| f.new).count();
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"ihw-lint/1\",\n");
+    out.push_str(&format!("  \"schema\": \"{}\",\n", json_escape(schema)));
     out.push_str(&format!("  \"total\": {},\n", findings.len()));
     out.push_str(&format!("  \"new\": {new},\n"));
     out.push_str("  \"findings\": [\n");
@@ -185,6 +239,10 @@ mod tests {
         assert_eq!(Rule::from_marker("unknown"), None);
         assert_eq!(Rule::FloatArith.code(), "L001");
         assert_eq!(Rule::MissingForbid.code(), "L005");
+        assert_eq!(Rule::OutputBound.code(), "A001");
+        assert_eq!(Rule::UnboundedCancellation.code(), "A002");
+        assert_eq!(Rule::ImprecisionTaint.code(), "A003");
+        assert_eq!(Rule::LINT.len() + Rule::ANALYZE.len(), Rule::ALL.len());
     }
 
     #[test]
@@ -208,6 +266,13 @@ mod tests {
         assert!(json.contains("\"new\": 1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_schema_is_parameterizable() {
+        let json = to_json_with_schema(&[sample()], "ihw-analyze/1");
+        assert!(json.contains("\"schema\": \"ihw-analyze/1\""));
+        assert!(!json.contains("ihw-lint/1"));
     }
 
     #[test]

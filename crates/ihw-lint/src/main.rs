@@ -72,6 +72,10 @@ fn main() -> ExitCode {
                 }
             }
         }
+        // Explicit file lists arrive in argv order; sort so the report
+        // (and any fingerprint diff) is independent of invocation order,
+        // matching `lint_workspace`.
+        findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
         Ok(findings)
     };
     let mut findings = match result {

@@ -28,3 +28,8 @@ clippy:
 # Fails on findings not in lint-baseline.txt.
 lint *ARGS:
     cargo run --release -p ihw-lint -- {{ARGS}}
+
+# Static error-bound & imprecision-taint analysis (see DESIGN.md §8).
+# Fails on findings not in analyze-baseline.txt.
+analyze *ARGS:
+    cargo run --release -p ihw-bench --bin repro -- analyze {{ARGS}}

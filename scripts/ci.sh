@@ -20,6 +20,11 @@ echo "== ihw-lint: workspace invariant audit (deny new findings) =="
 # diagnostics (schema ihw-lint/1) are kept as a CI artifact.
 cargo run --release -p ihw-lint -- --json-out target/ihw-lint.json
 
+echo "== ihw-analyze: static error bounds (deny new findings) =="
+# Exits non-zero on findings not in analyze-baseline.txt; the JSON
+# diagnostics (schema ihw-analyze/1) are kept as a CI artifact.
+cargo run --release -p ihw-bench --bin repro -- analyze --json-out target/ihw-analyze.json
+
 echo "== smoke: repro --timings table5 fig14 =="
 cargo run --release -p ihw-bench --bin repro -- --timings table5 fig14
 

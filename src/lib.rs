@@ -13,6 +13,10 @@
 //! * [`quality`] (`ihw-quality`) — MAE/MSE/WED/SSIM/Pratt quality metrics;
 //! * [`sim`] (`gpu-sim`) — the SIMT performance simulator and GPUWattch-style
 //!   power model;
+//! * [`analyze`] (`ihw-analyze`) — static error-bound and
+//!   imprecision-taint analysis over the kernel IR (rules A001–A003);
+//! * [`lint`] (`ihw-lint`) — workspace bit-determinism auditor and the
+//!   shared diagnostic/baseline machinery;
 //! * [`workloads`] (`ihw-workloads`) — HotSpot, SRAD, RayTracing, CP, ART,
 //!   MD and Sphinx-like benchmarks.
 //!
@@ -27,8 +31,10 @@
 #![forbid(unsafe_code)]
 
 pub use gpu_sim as sim;
+pub use ihw_analyze as analyze;
 pub use ihw_core as core;
 pub use ihw_error as error;
+pub use ihw_lint as lint;
 pub use ihw_power as power;
 pub use ihw_qmc as qmc;
 pub use ihw_quality as quality;

@@ -1,0 +1,178 @@
+//! Soundness gate for `ihw-analyze`: the static per-output error bound
+//! must *dominate* the empirically observed relative error — for the
+//! full stock kernel × stock configuration matrix, and for randomly
+//! generated straight-line kernels under randomly drawn configurations.
+
+use imprecise_gpgpu::analyze::empirical::measure;
+use imprecise_gpgpu::analyze::interp::{analyze_program, AnalysisSettings};
+use imprecise_gpgpu::analyze::{stock_configs, stock_kernels};
+use imprecise_gpgpu::core::config::IhwConfig;
+use imprecise_gpgpu::sim::isa::{AddrMode, Instr, Program, Reg};
+use proptest::prelude::*;
+
+/// Slack for the dominance comparison: the observed error is computed in
+/// a different order than the bound, so allow a pure-rounding margin.
+const DOM_SLACK: f64 = 1e-9;
+
+fn assert_dominates(prog: &Program, label: &str, cfg: &IhwConfig, s: &AnalysisSettings) {
+    let analysis = analyze_program(prog, cfg, label, s);
+    let measured =
+        measure(prog, cfg, s.threads, s.input_lo, s.input_hi).expect("stock kernels run in-bounds");
+    assert!(!measured.is_empty(), "{}: no outputs measured", prog.name());
+    for m in &measured {
+        let out = analysis
+            .outputs
+            .iter()
+            .find(|o| o.buffer == m.buffer)
+            .unwrap_or_else(|| panic!("{}: buffer {} not analyzed", prog.name(), m.buffer));
+        assert!(
+            m.max_rel <= out.bound * (1.0 + DOM_SLACK) + f64::EPSILON,
+            "{}/{}/b{}: observed {} exceeds static bound {}",
+            prog.name(),
+            label,
+            m.buffer,
+            m.max_rel,
+            out.bound
+        );
+    }
+}
+
+/// The differential gate of the issue: for every kernel in
+/// `gpu_sim::programs` × every stock `IhwConfig`, static ≥ observed.
+#[test]
+fn static_bounds_dominate_measured_error_for_stock_matrix() {
+    let s = AnalysisSettings::default();
+    for prog in stock_kernels() {
+        for (label, cfg) in stock_configs() {
+            assert_dominates(&prog, label, &cfg, &s);
+        }
+    }
+}
+
+/// Keeps the gate non-degenerate: a bound of `+∞` dominates trivially,
+/// so separately require finite (and non-trivial) bounds on the stock
+/// matrix.
+#[test]
+fn stock_matrix_bounds_are_finite_and_nontrivial() {
+    let s = AnalysisSettings::default();
+    for prog in stock_kernels() {
+        for (label, cfg) in stock_configs() {
+            let analysis = analyze_program(&prog, &cfg, label, &s);
+            for out in &analysis.outputs {
+                assert!(
+                    out.bound.is_finite(),
+                    "{}/{}/b{}: expected a finite static bound",
+                    prog.name(),
+                    label,
+                    out.buffer
+                );
+                assert!(
+                    out.bound < 1.0,
+                    "{}/{}/b{}: bound {} blows the 100% budget",
+                    prog.name(),
+                    label,
+                    out.buffer,
+                    out.bound
+                );
+            }
+        }
+    }
+}
+
+// ---- randomized straight-line kernels --------------------------------
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A random straight-line kernel over 4 registers: inputs from buffers
+/// 0–1 (both `tid` and `tid+1` elements, exercising the cross-thread
+/// aliasing logic of the abstract store), a random body drawn from the
+/// full FP instruction set, and one output store to buffer 2.
+fn random_program(seed: u64) -> Program {
+    let mut st = seed;
+    let reg = |st: &mut u64| Reg((splitmix(st) % 4) as u8);
+    let mut instrs = vec![
+        Instr::Ld(Reg(0), 0, AddrMode::Tid),
+        Instr::Ld(Reg(1), 1, AddrMode::Tid),
+        Instr::Ld(Reg(2), 0, AddrMode::TidPlus(1)),
+        Instr::Ld(Reg(3), 1, AddrMode::TidPlus(1)),
+    ];
+    let body = 3 + (splitmix(&mut st) % 8) as usize;
+    for _ in 0..body {
+        let d = reg(&mut st);
+        let a = reg(&mut st);
+        let b = reg(&mut st);
+        instrs.push(match splitmix(&mut st) % 11 {
+            0 => Instr::Fadd(d, a, b),
+            1 => Instr::Fsub(d, a, b),
+            2 => Instr::Fmul(d, a, b),
+            3 => Instr::Fdiv(d, a, b),
+            4 => Instr::Ffma(d, a, b, reg(&mut st)),
+            5 => Instr::Fmax(d, a, b),
+            6 => Instr::Sqrt(d, a),
+            7 => Instr::Rsqrt(d, a),
+            8 => Instr::Rcp(d, a),
+            9 => Instr::Sel(d, reg(&mut st), a, b),
+            _ => {
+                let imm = 0.5 + (splitmix(&mut st) % 1024) as f32 * (1.5 / 1024.0);
+                Instr::Movi(d, imm)
+            }
+        });
+    }
+    instrs.push(Instr::St(2, AddrMode::Tid, reg(&mut st)));
+    Program::new("random", 4, instrs).expect("generated registers are in range")
+}
+
+fn random_config(seed: u64) -> (&'static str, IhwConfig) {
+    let mut st = seed ^ 0xD1B5_4A32_D192_ED03;
+    match splitmix(&mut st) % 5 {
+        0 => ("precise", IhwConfig::precise()),
+        1 => ("all_imprecise", IhwConfig::all_imprecise()),
+        2 => ("ray_basic", IhwConfig::ray_basic()),
+        3 => ("ray_with_rsqrt", IhwConfig::ray_with_rsqrt()),
+        _ => (
+            "ray_ac_mul",
+            IhwConfig::ray_with_ac_mul(16 + (splitmix(&mut st) % 8) as u32),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Property: for arbitrary straight-line kernels and arbitrary stock
+    // configurations, the static bound dominates the observed error
+    // (a ⊤ bound dominates trivially — the analysis is allowed to give
+    // up on sign-risky dataflow, never to under-promise).
+    #[test]
+    fn random_kernels_never_exceed_their_static_bound(seed in any::<u64>()) {
+        let prog = random_program(seed);
+        let (label, cfg) = random_config(seed);
+        let s = AnalysisSettings {
+            threads: 16,
+            ..AnalysisSettings::default()
+        };
+        let analysis = analyze_program(&prog, &cfg, label, &s);
+        let measured = measure(&prog, &cfg, s.threads, s.input_lo, s.input_hi)
+            .expect("generated programs stay in bounds");
+        for m in &measured {
+            let out = analysis
+                .outputs
+                .iter()
+                .find(|o| o.buffer == m.buffer)
+                .expect("every stored buffer is analyzed");
+            prop_assert!(
+                m.max_rel <= out.bound * (1.0 + DOM_SLACK) + f64::EPSILON,
+                "seed {seed} ({label}): observed {} exceeds static bound {}\n{:?}",
+                m.max_rel,
+                out.bound,
+                prog
+            );
+        }
+    }
+}
