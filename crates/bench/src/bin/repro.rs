@@ -9,6 +9,8 @@
 //! cargo run --release -p ihw-bench --bin repro -- --jobs 8 --timings all
 //! cargo run --release -p ihw-bench --bin repro -- --json timings.json all
 //! cargo run --release -p ihw-bench --bin repro -- analyze --json
+//! cargo run --release -p ihw-bench --bin repro -- racecheck
+//! cargo run --release -p ihw-bench --bin repro -- racecheck --bench --workers 8
 //! ```
 //!
 //! Without `--paper`, experiments run at `Scale::Quick` (seconds each);
@@ -282,6 +284,16 @@ fn main() {
     // flag grammar — hand everything after it to the analyzer CLI.
     if args.first().map(String::as_str) == Some("analyze") {
         std::process::exit(ihw_analyze::cli::run(&args[1..]));
+    }
+    // `repro racecheck ...` likewise; `--bench` routes to the
+    // sequential-vs-parallel throughput benchmark instead of the
+    // diagnostic gate.
+    if args.first().map(String::as_str) == Some("racecheck") {
+        let rest = &args[1..];
+        if rest.iter().any(|a| a == "--bench") {
+            std::process::exit(ihw_bench::racebench::run_cli(rest));
+        }
+        std::process::exit(ihw_analyze::races::run(rest));
     }
     if let Some(flag) = args.last().filter(|a| VALUE_FLAGS.contains(&a.as_str())) {
         eprintln!("{flag} expects a value");

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod racebench;
 pub mod runner;
 pub mod table;
 

@@ -1,0 +1,331 @@
+//! Kernel-throughput benchmark for the racecheck-gated parallel launch
+//! path: sequential vs multi-worker launches of every stock kernel ×
+//! stock config, with a bit-identity check folded into every
+//! measurement. Records `BENCH_kernel_throughput.json`
+//! (schema `ihw-racebench/1`).
+//!
+//! Timing goes through [`Stopwatch`] — the workspace's single
+//! sanctioned wall-clock read (`ihw-lint` rule L003) — so this module
+//! must live in `ihw-bench` next to the timing report.
+
+use crate::runner::report::Stopwatch;
+use gpu_sim::deps::footprints;
+use gpu_sim::isa::{Program, WarpInterpreter};
+use ihw_core::config::IhwConfig;
+
+/// Default output filename (workspace root, committed as a perf record).
+pub const BENCH_FILE: &str = "BENCH_kernel_throughput.json";
+
+/// Schema tag of the benchmark JSON document.
+pub const SCHEMA: &str = "ihw-racebench/1";
+
+/// One kernel × config measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Config label (as in `ihw_analyze::stock_configs`).
+    pub config: String,
+    /// Best-of-N sequential launch seconds.
+    pub sequential_seconds: f64,
+    /// Best-of-N parallel launch seconds (same thread count).
+    pub parallel_seconds: f64,
+    /// `sequential_seconds / parallel_seconds`.
+    pub speedup: f64,
+    /// Whether the interpreter actually took the parallel path (it
+    /// falls back to sequential unless racecheck proves independence).
+    pub parallel_used: bool,
+    /// Whether outputs and op counters matched bit-for-bit.
+    pub bit_identical: bool,
+}
+
+/// The full benchmark result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// Threads per launch.
+    pub threads: u32,
+    /// Worker budget of the parallel runs.
+    pub workers: usize,
+    /// Repetitions per measurement (best-of).
+    pub repeats: u32,
+    /// `std::thread::available_parallelism()` of the measuring host —
+    /// speedup is bounded above by this, so a 1-core CI box recording
+    /// ~1.0× is expected, not a regression.
+    pub host_parallelism: usize,
+    /// Per kernel × config rows.
+    pub rows: Vec<ThroughputRow>,
+}
+
+/// Deterministic well-conditioned inputs: every element in `[0.5, 1)`,
+/// buffers sized by the kernel's own footprint
+/// ([`gpu_sim::deps::Footprint::required_len`]) so strided reads stay
+/// in bounds at any thread count.
+pub fn seed_buffers(prog: &Program, threads: u32) -> Vec<Vec<f32>> {
+    let fps = footprints(prog);
+    let n_bufs = fps.keys().max().map_or(0, |b| b + 1);
+    (0..n_bufs)
+        .map(|b| {
+            let len = fps.get(&b).map_or(0, |fp| fp.required_len(threads));
+            (0..len)
+                .map(|i| 0.5 + ((i * 37 + b * 11) % 512) as f32 / 1024.0)
+                .collect()
+        })
+        .collect()
+}
+
+/// Times one closure best-of-`repeats`.
+fn best_of<F: FnMut()>(repeats: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let sw = Stopwatch::start();
+        f();
+        best = best.min(sw.elapsed_seconds());
+    }
+    best
+}
+
+/// Measures one kernel under one config: sequential vs `workers`-way
+/// parallel launch over `threads` threads, asserting nothing — the
+/// bit-identity verdict is recorded in the row (the differential test
+/// suite is the enforcing gate; the benchmark only reports).
+pub fn measure(
+    prog: &Program,
+    cfg: &IhwConfig,
+    label: &str,
+    threads: u32,
+    workers: usize,
+    repeats: u32,
+) -> ThroughputRow {
+    let base = seed_buffers(prog, threads);
+
+    let mut seq_bufs = Vec::new();
+    let mut seq_interp = WarpInterpreter::new(*cfg);
+    let sequential_seconds = best_of(repeats, || {
+        let mut bufs = base.clone();
+        seq_interp.reset_counters();
+        seq_interp
+            .launch_sequential(prog, threads, &mut bufs)
+            .expect("stock kernels run");
+        seq_bufs = bufs;
+    });
+
+    let mut par_bufs = Vec::new();
+    let mut par_interp = WarpInterpreter::new(*cfg).with_workers(workers);
+    let parallel_seconds = best_of(repeats, || {
+        let mut bufs = base.clone();
+        par_interp.reset_counters();
+        par_interp
+            .launch(prog, threads, &mut bufs)
+            .expect("stock kernels run");
+        par_bufs = bufs;
+    });
+
+    let bits = |bufs: &Vec<Vec<f32>>| -> Vec<Vec<u32>> {
+        bufs.iter()
+            .map(|b| b.iter().map(|x| x.to_bits()).collect())
+            .collect()
+    };
+    let bit_identical = bits(&seq_bufs) == bits(&par_bufs)
+        && seq_interp.ctx().counts() == par_interp.ctx().counts()
+        && seq_interp.ctx().int_ops() == par_interp.ctx().int_ops()
+        && seq_interp.ctx().mem_ops() == par_interp.ctx().mem_ops()
+        && seq_interp.ctx().precise_mul_ops() == par_interp.ctx().precise_mul_ops();
+
+    ThroughputRow {
+        kernel: prog.name().to_string(),
+        config: label.to_string(),
+        sequential_seconds,
+        parallel_seconds,
+        speedup: sequential_seconds / parallel_seconds.max(1e-12),
+        parallel_used: par_interp.last_launch_was_parallel(),
+        bit_identical,
+    }
+}
+
+/// Runs the benchmark over every stock kernel × stock config.
+pub fn run_stock(threads: u32, workers: usize, repeats: u32) -> ThroughputReport {
+    let mut rows = Vec::new();
+    for prog in ihw_analyze::stock_kernels() {
+        for (label, cfg) in ihw_analyze::stock_configs() {
+            rows.push(measure(&prog, &cfg, label, threads, workers, repeats));
+        }
+    }
+    ThroughputReport {
+        threads,
+        workers,
+        repeats,
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        rows,
+    }
+}
+
+impl ThroughputReport {
+    /// Aligned human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== kernel throughput: {} threads, {} workers, best of {}, host parallelism {} ==\n",
+            self.threads, self.workers, self.repeats, self.host_parallelism
+        ));
+        out.push_str(&format!(
+            "{:<12} {:<16} {:>12} {:>12} {:>8} {:>9} {:>9}\n",
+            "kernel", "config", "seq (s)", "par (s)", "speedup", "parallel", "bitexact"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<12} {:<16} {:>12.6} {:>12.6} {:>7.2}x {:>9} {:>9}\n",
+                r.kernel,
+                r.config,
+                r.sequential_seconds,
+                r.parallel_seconds,
+                r.speedup,
+                if r.parallel_used { "yes" } else { "no" },
+                if r.bit_identical { "yes" } else { "NO" },
+            ));
+        }
+        out
+    }
+
+    /// Stable JSON document (hand-rolled; the workspace `serde` shim is
+    /// marker-only).
+    pub fn to_json(&self) -> String {
+        let f = |x: f64| {
+            if x.is_finite() {
+                format!("{x:.6}")
+            } else {
+                "0.0".to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!(
+            "  \"host_parallelism\": {},\n",
+            self.host_parallelism
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"kernel\": \"{}\", \"config\": \"{}\", \
+                 \"sequential_seconds\": {}, \"parallel_seconds\": {}, \
+                 \"speedup\": {}, \"parallel_used\": {}, \"bit_identical\": {} }}{comma}\n",
+                r.kernel,
+                r.config,
+                f(r.sequential_seconds),
+                f(r.parallel_seconds),
+                f(r.speedup),
+                r.parallel_used,
+                r.bit_identical,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// CLI for `repro racecheck --bench`: runs the benchmark, prints the
+/// table and writes the JSON record. Returns the process exit code
+/// (non-zero when any row is not bit-identical).
+pub fn run_cli(args: &[String]) -> i32 {
+    let mut threads: u32 = 1 << 15;
+    let mut workers: usize = 8;
+    let mut repeats: u32 = 3;
+    let mut out_path = std::path::PathBuf::from(BENCH_FILE);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bench" => {}
+            "--threads" | "--workers" | "--repeats" | "--out" => {
+                let Some(value) = it.next() else {
+                    eprintln!("{arg} expects a value");
+                    return 2;
+                };
+                let ok = match arg.as_str() {
+                    "--threads" => value.parse().map(|v: u32| threads = v.max(1)).is_ok(),
+                    "--workers" => value.parse().map(|v: usize| workers = v.max(1)).is_ok(),
+                    "--repeats" => value.parse().map(|v: u32| repeats = v.max(1)).is_ok(),
+                    _ => {
+                        out_path = std::path::PathBuf::from(value);
+                        true
+                    }
+                };
+                if !ok {
+                    eprintln!("{arg} expects a positive integer, got '{value}'");
+                    return 2;
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro racecheck --bench [--threads N] [--workers N] \
+                     [--repeats N] [--out FILE]"
+                );
+                return 0;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                return 2;
+            }
+        }
+    }
+    let report = run_stock(threads, workers, repeats);
+    print!("{}", report.render());
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("cannot write {}: {e}", out_path.display());
+        return 2;
+    }
+    println!("throughput record written to {}", out_path.display());
+    if report.rows.iter().all(|r| r.bit_identical) {
+        0
+    } else {
+        eprintln!("parallel launch diverged from sequential — see table above");
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::programs;
+
+    #[test]
+    fn seed_buffers_cover_strided_footprints() {
+        let prog = programs::dot_partial(4);
+        let bufs = seed_buffers(&prog, 16);
+        assert_eq!(bufs.len(), 3);
+        assert_eq!(bufs[0].len(), 16 + 3, "x covers tid..tid+4 strips");
+        assert_eq!(bufs[2].len(), 16);
+        assert!(bufs[0].iter().all(|&v| (0.5..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn measure_is_bit_identical_and_parallel() {
+        let prog = programs::saxpy(2.0);
+        let row = measure(
+            &prog,
+            &IhwConfig::all_imprecise(),
+            "all_imprecise",
+            256,
+            4,
+            1,
+        );
+        assert!(row.bit_identical, "parallel run must match sequential");
+        assert!(row.parallel_used, "saxpy is thread-independent");
+        assert!(row.sequential_seconds >= 0.0 && row.parallel_seconds >= 0.0);
+    }
+
+    #[test]
+    fn json_record_shape() {
+        let report = run_stock(64, 2, 1);
+        assert_eq!(report.rows.len(), 4 * 5, "kernels × configs");
+        assert!(report.rows.iter().all(|r| r.bit_identical));
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"ihw-racebench/1\""));
+        assert!(json.contains("\"host_parallelism\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

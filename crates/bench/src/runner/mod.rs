@@ -8,7 +8,10 @@
 //! 1. **A worker pool** ([`sweep`]) — each sweep is expressed as a list
 //!    of independent [`SweepPoint`] jobs executed on a crossbeam
 //!    scoped-thread pool. Results are returned **in input order**, so a
-//!    parallel sweep renders byte-identically to the serial one.
+//!    parallel sweep renders byte-identically to the serial one. The
+//!    pool itself lives in the `ihw-pool` crate (re-exported here
+//!    unchanged) so the kernel interpreter's proof-gated parallel
+//!    launch path (`gpu-sim::isa`) can share the same engine.
 //! 2. **A memoizing run cache** ([`cache`]) — workload executions are
 //!    keyed by a stable hash of (benchmark, params, [`IhwConfig`]) so
 //!    shared baselines (e.g. the precise HotSpot run that fig15, fig19,
@@ -32,133 +35,19 @@
 pub mod cache;
 pub mod report;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// One independent job of a sweep: an input item tagged with the output
-/// slot it fills, so workers can execute points in any order while the
-/// sweep's result vector stays in input order.
-#[derive(Debug)]
-pub struct SweepPoint<I> {
-    /// Position in the sweep (and in the result vector).
-    pub index: usize,
-    /// The sweep input (benchmark, config, truncation level, seed, …).
-    pub input: I,
-}
-
-/// Worker-thread budget shared by every sweep in the process.
-///
-/// Default 1 (serial). The `repro` binary sets it from `--jobs`/the
-/// available parallelism; tests flip it to prove determinism.
-static JOBS: AtomicUsize = AtomicUsize::new(1);
-
-/// Sets the worker-thread budget for subsequent sweeps (min 1).
-pub fn set_jobs(n: usize) {
-    JOBS.store(n.max(1), Ordering::SeqCst);
-}
-
-/// The current worker-thread budget.
-pub fn jobs() -> usize {
-    JOBS.load(Ordering::SeqCst)
-}
-
-/// Runs `f` over every item on the shared worker pool, returning the
-/// results in input order.
-///
-/// With a budget of 1 (or a single item) this degenerates to a plain
-/// serial map with zero threading overhead — the reference execution
-/// the parallel path must match byte-for-byte.
-///
-/// # Panics
-///
-/// Propagates a panic from any job after the scope unwinds.
-pub fn sweep<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
-where
-    I: Send,
-    T: Send,
-    F: Fn(I) -> T + Sync,
-{
-    let workers = jobs().min(items.len());
-    if workers <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let points: Vec<parking_lot::Mutex<Option<SweepPoint<I>>>> = items
-        .into_iter()
-        .enumerate()
-        .map(|(index, input)| parking_lot::Mutex::new(Some(SweepPoint { index, input })))
-        .collect();
-    let slots: Vec<parking_lot::Mutex<Option<T>>> = points
-        .iter()
-        .map(|_| parking_lot::Mutex::new(None))
-        .collect();
-    let next = AtomicUsize::new(0);
-    let run = &f;
-    let points_ref = &points;
-    let slots_ref = &slots;
-    let next_ref = &next;
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(move |_| loop {
-                    let i = next_ref.fetch_add(1, Ordering::SeqCst);
-                    if i >= points_ref.len() {
-                        break;
-                    }
-                    let point = points_ref[i].lock().take().expect("sweep point taken once");
-                    let out = run(point.input);
-                    *slots_ref[point.index].lock() = Some(out);
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("sweep worker panicked");
-        }
-    })
-    .expect("sweep scope failed");
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("sweep slot filled"))
-        .collect()
-}
+pub use ihw_pool::{jobs, set_jobs, sweep, sweep_with, SweepPoint};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// The jobs budget is process-global; tests that mutate it hold this
-    /// lock so the parallel test harness can't interleave them.
-    fn jobs_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
     #[test]
-    fn serial_and_parallel_order_match() {
-        let _guard = jobs_lock();
-        let items: Vec<u64> = (0..97).collect();
-        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
-        set_jobs(1);
-        let serial = sweep(items.clone(), |x| x * x);
-        set_jobs(8);
-        let parallel = sweep(items, |x| x * x);
-        set_jobs(1);
-        assert_eq!(serial, expect);
-        assert_eq!(parallel, expect);
-    }
-
-    #[test]
-    fn empty_sweep_is_fine() {
-        let _guard = jobs_lock();
-        set_jobs(4);
-        let out: Vec<u32> = sweep(Vec::<u32>::new(), |x| x);
-        set_jobs(1);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn jobs_floor_is_one() {
-        let _guard = jobs_lock();
-        set_jobs(0);
-        assert_eq!(jobs(), 1);
-        set_jobs(1);
+    fn pool_reexport_is_live() {
+        // The engine moved to `ihw-pool`; the runner facade must keep
+        // exposing it unchanged (experiments and the repro binary call
+        // `runner::sweep`/`runner::set_jobs`).
+        let out = sweep_with(2, vec![1u32, 2, 3], |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+        assert!(jobs() >= 1);
     }
 }

@@ -16,6 +16,20 @@
 //!
 //! Memory operands are `bN[tid]`, `bN[tid+K]`, `bN[tid-K]` or `bN[K]`.
 //!
+//! Two optional forms support static analysis:
+//!
+//! * a `.buffers N` directive declares the buffer count, turning any
+//!   `bM[...]` with `M ≥ N` into a parse error (without the directive,
+//!   buffer ids are checked only at launch);
+//! * a trailing `# ihw-racecheck: allow(RULE) reason=...` comment on an
+//!   instruction line attaches a diagnostic suppression to that
+//!   instruction (see [`crate::isa::AllowMarker`]).
+//!
+//! Reading a register before any instruction has written it is a parse
+//! error: the register file is zero-initialised, so such reads execute,
+//! but they are almost always latent bugs (rule A007) and hand-written
+//! kernels have no reason to rely on them.
+//!
 //! ```
 //! use gpu_sim::asm::assemble;
 //! use ihw_core::config::IhwConfig;
@@ -57,15 +71,53 @@ impl std::error::Error for AsmError {}
 /// # Errors
 ///
 /// Returns an [`AsmError`] naming the offending line for unknown
-/// mnemonics, malformed operands or arity mismatches.
+/// mnemonics, malformed operands, arity mismatches, registers read
+/// before any write, and (when a `.buffers` directive is present)
+/// out-of-range buffer ids.
 pub fn assemble(name: impl Into<String>, source: &str) -> Result<Program, AsmError> {
     let mut instrs = Vec::new();
     let mut lines: Vec<u32> = Vec::new();
+    let mut allows: Vec<(usize, String, String)> = Vec::new();
     let mut max_reg = 0u8;
+    let mut declared_buffers: Option<usize> = None;
+    let mut defined = [false; 256];
     for (idx, raw) in source.lines().enumerate() {
         let line_no = idx + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
+        let (code, comment) = match raw.split_once('#') {
+            Some((code, comment)) => (code, Some(comment.trim())),
+            None => (raw, None),
+        };
+        let marker = match comment.and_then(parse_allow_marker) {
+            Some(Ok(m)) => Some(m),
+            Some(Err(message)) => {
+                return Err(AsmError {
+                    line: line_no,
+                    message,
+                })
+            }
+            None => None,
+        };
+        let line = code.trim();
         if line.is_empty() {
+            if marker.is_some() {
+                return Err(AsmError {
+                    line: line_no,
+                    message: "allow marker must annotate an instruction line".to_string(),
+                });
+            }
+            continue;
+        }
+        if let Some(count) = line.strip_prefix(".buffers") {
+            if marker.is_some() {
+                return Err(AsmError {
+                    line: line_no,
+                    message: "allow marker must annotate an instruction line".to_string(),
+                });
+            }
+            declared_buffers = Some(count.trim().parse::<usize>().map_err(|_| AsmError {
+                line: line_no,
+                message: format!("bad .buffers count '{}'", count.trim()),
+            })?);
             continue;
         }
         let (mnemonic, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
@@ -145,8 +197,35 @@ pub fn assemble(name: impl Into<String>, source: &str) -> Result<Program, AsmErr
             }
             other => return Err(err(&format!("unknown mnemonic '{other}'"))),
         };
+        // Parse-time hygiene: reads must be dominated by a write (the
+        // file is zero-initialised, but relying on that is a latent
+        // bug), and buffer ids must respect a `.buffers` declaration.
+        for r in instr.reads() {
+            if !defined[r.0 as usize] {
+                return Err(AsmError {
+                    line: line_no,
+                    message: format!("register r{} read before any write", r.0),
+                });
+            }
+        }
+        if let Some(d) = instr.dest() {
+            defined[d.0 as usize] = true;
+        }
+        if let (Some(declared), Instr::Ld(_, buf, _) | Instr::St(buf, _, _)) =
+            (declared_buffers, instr)
+        {
+            if buf >= declared {
+                return Err(AsmError {
+                    line: line_no,
+                    message: format!("buffer b{buf} out of range (.buffers {declared})"),
+                });
+            }
+        }
         for r in instr_regs(&instr) {
             max_reg = max_reg.max(r);
+        }
+        if let Some((rule, reason)) = marker {
+            allows.push((instrs.len(), rule, reason));
         }
         instrs.push(instr);
         lines.push(line_no as u32);
@@ -168,12 +247,47 @@ pub fn assemble(name: impl Into<String>, source: &str) -> Result<Program, AsmErr
         });
     }
     match Program::new(name, regs, instrs) {
-        Ok(prog) => Ok(prog.with_source_lines(lines)),
+        Ok(prog) => {
+            let mut prog = prog.with_source_lines(lines);
+            for (instr, rule, reason) in allows {
+                prog = prog.with_allow(instr, rule, reason);
+            }
+            Ok(prog)
+        }
         Err(other) => Err(AsmError {
             line: 0,
             message: other.to_string(),
         }),
     }
+}
+
+/// Recognises a `ihw-racecheck: allow(RULE) reason=...` comment.
+/// Returns `None` for ordinary comments, `Some(Err(_))` for a marker
+/// that is malformed (wrong shape or missing reason).
+fn parse_allow_marker(comment: &str) -> Option<Result<(String, String), String>> {
+    let body = comment.trim().strip_prefix("ihw-racecheck:")?.trim();
+    let Some(rest) = body.strip_prefix("allow(") else {
+        return Some(Err(format!("malformed racecheck marker '{body}'")));
+    };
+    let Some((rule, after)) = rest.split_once(')') else {
+        return Some(Err("racecheck marker missing ')'".to_string()));
+    };
+    let rule = rule.trim();
+    if rule.is_empty() {
+        return Some(Err("racecheck marker names no rule".to_string()));
+    }
+    let Some(reason) = after.trim().strip_prefix("reason=") else {
+        return Some(Err(
+            "racecheck marker requires 'reason=...' justification".to_string()
+        ));
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Some(Err(
+            "racecheck marker requires a non-empty reason".to_string()
+        ));
+    }
+    Some(Ok((rule.to_string(), reason.to_string())))
 }
 
 fn one<'a>(ops: &[&'a str]) -> Result<[&'a str; 1], &'static str> {
@@ -370,6 +484,69 @@ mod tests {
 
         let err = assemble("bad", "ld r0, b0[tid").unwrap_err();
         assert!(err.message.contains("missing ']'"));
+    }
+
+    #[test]
+    fn use_before_def_rejected_with_location() {
+        let err = assemble("ubd", "movi r0, 1.0\nfadd r2, r0, r1\nst b0[tid], r2").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("r1 read before any write"), "{err}");
+
+        let err = assemble("ubd", "st b0[tid], r0").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("r0 read before any write"));
+    }
+
+    #[test]
+    fn buffers_directive_bounds_buffer_ids() {
+        let err = assemble("bufs", ".buffers 2\nld r0, b0[tid]\nst b2[tid], r0").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("buffer b2 out of range"), "{err}");
+
+        // In-range ids assemble; without the directive any id parses.
+        assemble("bufs", ".buffers 2\nld r0, b1[tid]\nst b0[tid], r0").expect("assembles");
+        assemble("bufs", "ld r0, b9[tid]\nst b0[tid], r0").expect("assembles");
+
+        let err = assemble("bufs", ".buffers two\nld r0, b0[tid]").unwrap_err();
+        assert!(err.message.contains("bad .buffers count"));
+    }
+
+    #[test]
+    fn allow_markers_attach_to_their_instruction() {
+        let prog = assemble(
+            "marked",
+            "
+            movi r0, 0.0   # ihw-racecheck: allow(A007) reason=accumulator seed
+            st b0[tid], r0
+            ",
+        )
+        .expect("assembles");
+        assert!(prog.is_allowed(0, "A007"));
+        assert!(!prog.is_allowed(1, "A007"));
+        assert_eq!(prog.allows()[0].reason, "accumulator seed");
+
+        // Ordinary comments are not markers.
+        let plain =
+            assemble("plain", "movi r0, 1.0 # just a note\nst b0[tid], r0").expect("assembles");
+        assert!(plain.allows().is_empty());
+    }
+
+    #[test]
+    fn malformed_or_dangling_markers_rejected() {
+        let err = assemble("m", "# ihw-racecheck: allow(A007) reason=x").unwrap_err();
+        assert!(err.message.contains("must annotate an instruction"));
+
+        let err = assemble(
+            "m",
+            "movi r0, 1.0 # ihw-racecheck: allow(A007)\nst b0[tid], r0",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("reason"), "{err}");
+
+        let err =
+            assemble("m", "movi r0, 1.0 # ihw-racecheck: suppress(A007) reason=x").unwrap_err();
+        assert!(err.message.contains("malformed racecheck marker"));
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub mod asm;
+pub mod deps;
 pub mod dispatch;
 pub mod dvfs;
 pub mod isa;
@@ -56,6 +57,7 @@ pub mod wattch;
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::deps::{racecheck, RaceReport, Verdict};
     pub use crate::dispatch::FpCtx;
     pub use crate::dvfs::DvfsPoint;
     pub use crate::isa::{Instr, Program, Reg, WarpInterpreter};

@@ -120,6 +120,41 @@ mod tests {
     }
 
     #[test]
+    fn stock_kernels_are_hygienic_and_thread_independent() {
+        // Rule A007 (register hygiene) and the racecheck verdict, kept
+        // clean at the source: no stock kernel reads an unwritten
+        // register, leaves a dead store, or carries a cross-tid
+        // dependence — so none needs an allow marker and the parallel
+        // launch path applies to all of them.
+        use crate::deps::{racecheck, Verdict};
+        for prog in [saxpy(2.0), rsqrt_norm(), dot_partial(4), distance()] {
+            let report = racecheck(&prog);
+            assert_eq!(
+                report.verdict,
+                Verdict::ThreadIndependent,
+                "{} must stay embarrassingly parallel",
+                prog.name()
+            );
+            assert!(
+                report.uninit_reads.is_empty(),
+                "{} reads an unwritten register",
+                prog.name()
+            );
+            assert!(
+                report.dead_stores.is_empty(),
+                "{} leaves a dead store",
+                prog.name()
+            );
+            assert!(report.oob.is_empty(), "{} is statically OOB", prog.name());
+            assert!(
+                prog.allows().is_empty(),
+                "{} should not need suppressions",
+                prog.name()
+            );
+        }
+    }
+
+    #[test]
     fn distance_under_imprecise_sqrt() {
         let mut bufs = vec![vec![3.0f32], vec![4.0f32], vec![0.0f32]];
         let mut interp = WarpInterpreter::new(IhwConfig::all_imprecise());

@@ -19,6 +19,12 @@
 //! * **A003** `imprecision-taint` — an imprecise-derived value steers a
 //!   control construct (`sel` predicate).
 //!
+//! A second pass — racecheck ([`races`], analysis core in
+//! [`gpu_sim::deps`]) — proves whether threads are memory-independent
+//! and emits **A004** `write-write-conflict`, **A005**
+//! `carried-dependence`, **A006** `static-out-of-bounds` and **A007**
+//! `register-hygiene` under the `ihw-racecheck/1` schema.
+//!
 //! ```
 //! use ihw_analyze::interp::{analyze_program, AnalysisSettings};
 //! use ihw_core::config::IhwConfig;
@@ -37,13 +43,17 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod deps;
 pub mod domain;
 pub mod empirical;
 pub mod interp;
+pub mod races;
 pub mod report;
 
+pub use deps::{brute_force_conflicts, racecheck, BruteForce, RaceReport, Verdict};
 pub use domain::{AbsVal, Interval, TaintSet};
 pub use interp::{analyze_program, AnalysisSettings, KernelAnalysis, OutputReport};
+pub use races::{racecheck_stock, KernelRace};
 pub use report::{collect_findings, SCHEMA};
 
 use gpu_sim::isa::Program;

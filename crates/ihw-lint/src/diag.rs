@@ -6,10 +6,12 @@
 //! `serde` shim is marker-only), the same approach as `ihw-bench`'s
 //! timing report.
 //!
-//! The rule catalog carries two families with one shared diagnostic
+//! The rule catalog carries three families with one shared diagnostic
 //! pipeline: `L00x` source-level determinism rules emitted by this
-//! crate's lexer pass, and `A00x` kernel-IR rules emitted by
-//! `ihw-analyze`'s abstract interpreter.
+//! crate's lexer pass, `A001`–`A003` kernel-IR error-bound rules
+//! emitted by `ihw-analyze`'s abstract interpreter, and `A004`–`A007`
+//! memory-dependence/race rules emitted by its racecheck pass
+//! (`"ihw-racecheck/1"` JSON schema).
 
 /// The catalog of rules, with stable codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -36,6 +38,18 @@ pub enum Rule {
     /// control construct (the static form of the paper's "IHW for the FP
     /// datapath only" rule).
     ImprecisionTaint,
+    /// A004 — two threads can write the same buffer element (cross-tid
+    /// write-write conflict proven by the affine race analysis).
+    WriteWriteConflict,
+    /// A005 — a load can observe an earlier tid's store: the kernel is
+    /// only defined under the sequential-tid order.
+    CarriedDependence,
+    /// A006 — a buffer access that is out of bounds for every launch
+    /// (tid-relative index with a negative offset).
+    StaticOutOfBounds,
+    /// A007 — register hygiene: a read of a never-written register, or
+    /// a register store that is never read.
+    RegisterHygiene,
 }
 
 impl Rule {
@@ -50,6 +64,10 @@ impl Rule {
             Rule::OutputBound => "A001",
             Rule::UnboundedCancellation => "A002",
             Rule::ImprecisionTaint => "A003",
+            Rule::WriteWriteConflict => "A004",
+            Rule::CarriedDependence => "A005",
+            Rule::StaticOutOfBounds => "A006",
+            Rule::RegisterHygiene => "A007",
         }
     }
 
@@ -65,6 +83,10 @@ impl Rule {
             Rule::OutputBound => "output-bound",
             Rule::UnboundedCancellation => "unbounded-cancellation",
             Rule::ImprecisionTaint => "imprecision-taint",
+            Rule::WriteWriteConflict => "write-write-conflict",
+            Rule::CarriedDependence => "carried-dependence",
+            Rule::StaticOutOfBounds => "static-out-of-bounds",
+            Rule::RegisterHygiene => "register-hygiene",
         }
     }
 
@@ -79,12 +101,16 @@ impl Rule {
             "output-bound" => Rule::OutputBound,
             "unbounded-cancellation" => Rule::UnboundedCancellation,
             "imprecision-taint" => Rule::ImprecisionTaint,
+            "write-write-conflict" => Rule::WriteWriteConflict,
+            "carried-dependence" => Rule::CarriedDependence,
+            "static-out-of-bounds" => Rule::StaticOutOfBounds,
+            "register-hygiene" => Rule::RegisterHygiene,
             _ => return None,
         })
     }
 
     /// Every rule, in code order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 12] = [
         Rule::FloatArith,
         Rule::HashIter,
         Rule::WallClock,
@@ -93,6 +119,10 @@ impl Rule {
         Rule::OutputBound,
         Rule::UnboundedCancellation,
         Rule::ImprecisionTaint,
+        Rule::WriteWriteConflict,
+        Rule::CarriedDependence,
+        Rule::StaticOutOfBounds,
+        Rule::RegisterHygiene,
     ];
 
     /// The source-level lint rules this crate's lexer pass emits.
@@ -109,6 +139,15 @@ impl Rule {
         Rule::OutputBound,
         Rule::UnboundedCancellation,
         Rule::ImprecisionTaint,
+    ];
+
+    /// The memory-dependence / race-analysis rules emitted by
+    /// `ihw-analyze`'s racecheck pass.
+    pub const RACECHECK: [Rule; 4] = [
+        Rule::WriteWriteConflict,
+        Rule::CarriedDependence,
+        Rule::StaticOutOfBounds,
+        Rule::RegisterHygiene,
     ];
 }
 
@@ -242,7 +281,14 @@ mod tests {
         assert_eq!(Rule::OutputBound.code(), "A001");
         assert_eq!(Rule::UnboundedCancellation.code(), "A002");
         assert_eq!(Rule::ImprecisionTaint.code(), "A003");
-        assert_eq!(Rule::LINT.len() + Rule::ANALYZE.len(), Rule::ALL.len());
+        assert_eq!(Rule::WriteWriteConflict.code(), "A004");
+        assert_eq!(Rule::CarriedDependence.code(), "A005");
+        assert_eq!(Rule::StaticOutOfBounds.code(), "A006");
+        assert_eq!(Rule::RegisterHygiene.code(), "A007");
+        assert_eq!(
+            Rule::LINT.len() + Rule::ANALYZE.len() + Rule::RACECHECK.len(),
+            Rule::ALL.len()
+        );
     }
 
     #[test]

@@ -33,3 +33,9 @@ lint *ARGS:
 # Fails on findings not in analyze-baseline.txt.
 analyze *ARGS:
     cargo run --release -p ihw-bench --bin repro -- analyze {{ARGS}}
+
+# Memory-dependence / race analysis and the parallel-launch gate
+# (see DESIGN.md §9). Fails on findings not in racecheck-baseline.txt.
+# `just racecheck --bench` records BENCH_kernel_throughput.json.
+racecheck *ARGS:
+    cargo run --release -p ihw-bench --bin repro -- racecheck {{ARGS}}

@@ -25,6 +25,16 @@ echo "== ihw-analyze: static error bounds (deny new findings) =="
 # diagnostics (schema ihw-analyze/1) are kept as a CI artifact.
 cargo run --release -p ihw-bench --bin repro -- analyze --json-out target/ihw-analyze.json
 
+echo "== ihw-racecheck: memory-dependence audit (deny new findings) =="
+# Exits non-zero on findings not in racecheck-baseline.txt; the JSON
+# diagnostics (schema ihw-racecheck/1) are kept as a CI artifact.
+cargo run --release -p ihw-bench --bin repro -- racecheck --json-out target/ihw-racecheck.json
+
+echo "== racebench: sequential vs parallel launch (bit-identity + throughput) =="
+# Fails if any parallel launch diverges from the sequential reference;
+# refreshes the committed BENCH_kernel_throughput.json perf record.
+cargo run --release -p ihw-bench --bin repro -- racecheck --bench --workers 8
+
 echo "== smoke: repro --timings table5 fig14 =="
 cargo run --release -p ihw-bench --bin repro -- --timings table5 fig14
 

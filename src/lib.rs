@@ -14,7 +14,10 @@
 //! * [`sim`] (`gpu-sim`) — the SIMT performance simulator and GPUWattch-style
 //!   power model;
 //! * [`analyze`] (`ihw-analyze`) — static error-bound and
-//!   imprecision-taint analysis over the kernel IR (rules A001–A003);
+//!   imprecision-taint analysis over the kernel IR (rules A001–A003),
+//!   plus the [`racecheck`] memory-dependence pass (rules A004–A007)
+//!   whose `ThreadIndependent` proof gates the simulator's parallel
+//!   launch path;
 //! * [`lint`] (`ihw-lint`) — workspace bit-determinism auditor and the
 //!   shared diagnostic/baseline machinery;
 //! * [`workloads`] (`ihw-workloads`) — HotSpot, SRAD, RayTracing, CP, ART,
@@ -26,12 +29,28 @@
 //! let cfg = IhwConfig::all_imprecise();
 //! assert_eq!(cfg.mul32(1.5, 1.5), 2.0);
 //! ```
+//!
+//! The race analysis proves which kernels may fan out across cores:
+//!
+//! ```
+//! use imprecise_gpgpu::racecheck;
+//! use imprecise_gpgpu::sim::deps::{racecheck as verdict_of, Verdict};
+//! use imprecise_gpgpu::sim::programs;
+//!
+//! let report = verdict_of(&programs::saxpy(2.0));
+//! assert_eq!(report.verdict, Verdict::ThreadIndependent);
+//! assert_eq!(report.verdict.label(), "thread-independent");
+//! // The diagnostic front end maps reports onto A004–A007 findings.
+//! let races = racecheck::racecheck_stock(&[]);
+//! assert!(racecheck::collect_findings(&races).is_empty());
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub use gpu_sim as sim;
 pub use ihw_analyze as analyze;
+pub use ihw_analyze::races as racecheck;
 pub use ihw_core as core;
 pub use ihw_error as error;
 pub use ihw_lint as lint;

@@ -1,0 +1,196 @@
+//! Differential gate for the racecheck-gated parallel launch path:
+//! fanned-out launches must be **bit-for-bit** identical to the
+//! sequential reference — output buffers, per-unit op counts, int/mem
+//! counters and dispatch traces — for every stock kernel × stock
+//! config, at several worker budgets. Kernels the analysis cannot
+//! prove independent must fall back to the sequential path, and the
+//! error path (partial effects up to the faulting thread) must match
+//! exactly as well.
+
+use imprecise_gpgpu::analyze::{stock_configs, stock_kernels};
+use imprecise_gpgpu::sim::asm::assemble;
+use imprecise_gpgpu::sim::deps::{footprints, racecheck, Verdict};
+use imprecise_gpgpu::sim::isa::{Program, WarpInterpreter};
+
+/// Deterministic well-conditioned inputs sized by the kernel's own
+/// footprint (mirrors `ihw_bench::racebench::seed_buffers`).
+fn seed_buffers(prog: &Program, threads: u32) -> Vec<Vec<f32>> {
+    let fps = footprints(prog);
+    let n_bufs = fps.keys().max().map_or(0, |b| b + 1);
+    (0..n_bufs)
+        .map(|b| {
+            let len = fps.get(&b).map_or(0, |fp| fp.required_len(threads));
+            (0..len)
+                .map(|i| 0.5 + ((i * 37 + b * 11) % 512) as f32 / 1024.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn bits(bufs: &[Vec<f32>]) -> Vec<Vec<u32>> {
+    bufs.iter()
+        .map(|b| b.iter().map(|x| x.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn parallel_is_bit_identical_for_every_stock_pair() {
+    let threads = 513u32; // odd, so chunks are uneven
+    for prog in stock_kernels() {
+        assert_eq!(
+            racecheck(&prog).verdict,
+            Verdict::ThreadIndependent,
+            "{} must be provably parallel",
+            prog.name()
+        );
+        for (label, cfg) in stock_configs() {
+            let base = seed_buffers(&prog, threads);
+
+            let mut seq_bufs = base.clone();
+            let mut seq = WarpInterpreter::new(cfg.to_owned());
+            seq.enable_trace();
+            seq.launch_sequential(&prog, threads, &mut seq_bufs)
+                .expect("sequential runs");
+            let seq_trace = seq.take_trace();
+
+            for workers in [2usize, 3, 8] {
+                let mut par_bufs = base.clone();
+                let mut par = WarpInterpreter::new(cfg.to_owned()).with_workers(workers);
+                par.enable_trace();
+                par.launch(&prog, threads, &mut par_bufs)
+                    .expect("parallel runs");
+                assert!(
+                    par.last_launch_was_parallel(),
+                    "{}/{label} at {workers} workers should take the parallel path",
+                    prog.name()
+                );
+                assert_eq!(
+                    bits(&seq_bufs),
+                    bits(&par_bufs),
+                    "{}/{label} buffers diverge at {workers} workers",
+                    prog.name()
+                );
+                assert_eq!(
+                    seq.ctx().counts(),
+                    par.ctx().counts(),
+                    "{}/{label} op counts diverge at {workers} workers",
+                    prog.name()
+                );
+                assert_eq!(seq.ctx().int_ops(), par.ctx().int_ops());
+                assert_eq!(seq.ctx().mem_ops(), par.ctx().mem_ops());
+                assert_eq!(seq.ctx().precise_mul_ops(), par.ctx().precise_mul_ops());
+                assert_eq!(
+                    seq_trace,
+                    par.take_trace(),
+                    "{}/{label} dispatch traces diverge at {workers} workers",
+                    prog.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn carried_kernel_falls_back_to_sequential_and_matches() {
+    // A prefix-propagation kernel: thread `t` reads what thread `t−1`
+    // stored into `b1[t]` — legal sequentially, not parallelisable.
+    let src = "\
+.buffers 2
+ld r0, b0[tid]
+ld r1, b1[tid]
+fadd r0, r0, r1
+st b1[tid+1], r0
+";
+    let prog = assemble("prefix", src).expect("assembles");
+    assert_eq!(racecheck(&prog).verdict, Verdict::SequentialCarried);
+
+    let threads = 64u32;
+    let base = vec![vec![0.25f32; 64], {
+        let mut b = vec![0.0f32; 65];
+        b[0] = 1.0;
+        b
+    }];
+    let (_, cfg) = &stock_configs()[1];
+
+    let mut seq_bufs = base.clone();
+    let mut seq = WarpInterpreter::new(cfg.to_owned());
+    seq.launch_sequential(&prog, threads, &mut seq_bufs)
+        .expect("sequential runs");
+
+    let mut par_bufs = base.clone();
+    let mut par = WarpInterpreter::new(cfg.to_owned()).with_workers(8);
+    par.launch(&prog, threads, &mut par_bufs)
+        .expect("falls back and runs");
+
+    assert!(
+        !par.last_launch_was_parallel(),
+        "carried kernel must stay sequential"
+    );
+    // The chain really is order-dependent: the last output accumulates
+    // every earlier thread's contribution.
+    assert!(seq_bufs[1][64] > 1.0);
+    assert_eq!(bits(&seq_bufs), bits(&par_bufs));
+    assert_eq!(seq.ctx().counts(), par.ctx().counts());
+}
+
+#[test]
+fn error_path_partial_state_is_identical() {
+    // Strided read one past the end: the last thread faults. The
+    // parallel path must reproduce the sequential partial state —
+    // every thread before the faulting one applied, nothing after.
+    let src = "\
+.buffers 2
+ld r0, b0[tid+1]
+st b1[tid], r0
+";
+    let prog = assemble("stride_oob", src).expect("assembles");
+    assert_eq!(racecheck(&prog).verdict, Verdict::ThreadIndependent);
+
+    let threads = 97u32;
+    // b0 exactly `threads` long → thread `threads-1` reads index
+    // `threads`, out of bounds.
+    let base = vec![
+        (0..threads).map(|i| i as f32 + 0.5).collect::<Vec<f32>>(),
+        vec![0.0f32; threads as usize],
+    ];
+    for (label, cfg) in stock_configs() {
+        let mut seq_bufs = base.clone();
+        let mut seq = WarpInterpreter::new(cfg.to_owned());
+        let seq_err = seq
+            .launch_sequential(&prog, threads, &mut seq_bufs)
+            .expect_err("last thread faults");
+
+        let mut par_bufs = base.clone();
+        let mut par = WarpInterpreter::new(cfg.to_owned()).with_workers(8);
+        let par_err = par
+            .launch(&prog, threads, &mut par_bufs)
+            .expect_err("last thread faults");
+
+        assert!(par.last_launch_was_parallel(), "{label}");
+        assert_eq!(seq_err, par_err, "{label} error values diverge");
+        assert_eq!(
+            bits(&seq_bufs),
+            bits(&par_bufs),
+            "{label} partial effects diverge"
+        );
+        assert_eq!(seq.ctx().counts(), par.ctx().counts(), "{label}");
+        assert_eq!(seq.ctx().mem_ops(), par.ctx().mem_ops(), "{label}");
+    }
+}
+
+#[test]
+fn worker_budget_larger_than_launch_still_matches() {
+    let prog = stock_kernels().remove(0);
+    let (_, cfg) = stock_configs().remove(1);
+    let base = seed_buffers(&prog, 3);
+
+    let mut seq_bufs = base.clone();
+    WarpInterpreter::new(cfg.to_owned())
+        .launch_sequential(&prog, 3, &mut seq_bufs)
+        .expect("runs");
+
+    let mut par_bufs = base.clone();
+    let mut par = WarpInterpreter::new(cfg).with_workers(64);
+    par.launch(&prog, 3, &mut par_bufs).expect("runs");
+    assert_eq!(bits(&seq_bufs), bits(&par_bufs));
+}

@@ -1,8 +1,9 @@
 //! Offline shim for the subset of the `proptest` API this workspace's
 //! property tests use: the `proptest!` macro, `Strategy` with
 //! `prop_map`, `any::<T>()`, range strategies, tuple composition,
-//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` and
-//! `ProptestConfig::with_cases`.
+//! `collection::vec`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`
+//! and `ProptestConfig::with_cases`.
 //!
 //! Unlike real proptest there is no shrinking: each test draws its
 //! configured number of cases from a deterministic generator seeded by
@@ -208,11 +209,39 @@ tuple_strategy! {
     (A, B, C, D, E, F);
 }
 
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Creates a strategy for `Vec`s whose length is drawn from `len`
+    /// and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::sample(&self.len, rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
 /// Everything a property test needs, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assume, proptest, Any, ProptestConfig, Strategy,
-        TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any,
+        ProptestConfig, Strategy, TestRng,
     };
 }
 
@@ -228,6 +257,13 @@ macro_rules! prop_assert {
 macro_rules! prop_assert_eq {
     ($a:expr, $b:expr) => { assert_eq!($a, $b); };
     ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*); };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*); };
 }
 
 /// Skips the current case when its precondition does not hold.
@@ -295,6 +331,15 @@ mod tests {
             prop_assert!((1..100).contains(&a));
             prop_assume!(b);
             prop_assert_eq!(b, true);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length_and_elements(
+            v in crate::collection::vec(0u8..4, 1..6)
+        ) {
+            prop_assert!((1..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 4));
+            prop_assert_ne!(v.len(), 0);
         }
     }
 }
