@@ -18,7 +18,6 @@ use ihw_workloads::jpeg::{self, JpegParams};
 pub fn fig5() -> Table {
     let params = JpegParams::default();
     let reference_run = jpeg_cached(&params, IhwConfig::precise());
-    let (reference, scene) = (&reference_run.0, &reference_run.1);
     let configs: [(&str, IhwConfig); 3] = [
         ("precise", IhwConfig::precise()),
         (
@@ -35,19 +34,23 @@ pub fn fig5() -> Table {
         "PSNR vs scene (dB)",
         "adder EDP saving",
     ]);
-    let rows = runner::sweep(configs.to_vec(), |(name, cfg)| {
-        let run = jpeg_cached(&params, cfg);
-        let edp = if cfg.is_op_imprecise(ihw_core::config::FpOp::Add) {
-            format!("{:.0}%", adder_edp_saving * 100.0)
-        } else {
-            "-".to_string()
-        };
-        [
-            name.to_string(),
-            format!("{:.1}", jpeg::psnr_8bit(reference, &run.0)),
-            format!("{:.1}", jpeg::psnr_8bit(scene, &run.0)),
-            edp,
-        ]
+    let rows = runner::sweep(configs.to_vec(), {
+        let reference_run = reference_run.clone();
+        move |(name, cfg)| {
+            let run = jpeg_cached(&params, cfg);
+            let edp = if cfg.is_op_imprecise(ihw_core::config::FpOp::Add) {
+                format!("{:.0}%", adder_edp_saving * 100.0)
+            } else {
+                "-".to_string()
+            };
+            let (reference, scene) = (&reference_run.0, &reference_run.1);
+            [
+                name.to_string(),
+                format!("{:.1}", jpeg::psnr_8bit(reference, &run.0)),
+                format!("{:.1}", jpeg::psnr_8bit(scene, &run.0)),
+                edp,
+            ]
+        }
     });
     for row in rows {
         t.row(row);
@@ -169,7 +172,7 @@ pub fn sensitivity() -> Table {
     let shares = breakdown.shares();
     let kernel = GpuBenchmark::Hotspot.run(Scale::Quick, IhwConfig::all_imprecise());
     let mut t = Table::new(["scaled unit", "x0.5", "x1.0", "x2.0"]);
-    let rows = runner::sweep(vec![FpOp::Add, FpOp::Rcp, FpOp::Mul], |op| {
+    let rows = runner::sweep(vec![FpOp::Add, FpOp::Rcp, FpOp::Mul], move |op| {
         let mut cells = vec![format!("{op} DWIP power")];
         for factor in [0.5, 1.0, 2.0] {
             let lib = SynthesisLibrary::cmos45().with_unit_power_scaled(op, factor);

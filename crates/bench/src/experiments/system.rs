@@ -311,7 +311,7 @@ pub fn fig2(scale: Scale) -> Table {
         "MEM %",
         "other %",
     ]);
-    let breakdowns = runner::sweep(GpuBenchmark::ALL.to_vec(), |bench| {
+    let breakdowns = runner::sweep(GpuBenchmark::ALL.to_vec(), move |bench| {
         power_breakdown(bench, scale)
     });
     let mut arith_sum = 0.0;
@@ -395,7 +395,7 @@ pub fn table5(scale: Scale) -> Vec<SavingsRow> {
             "RAY(rcp,add,sqrt,fpmul_fp*)",
         ),
     ];
-    runner::sweep(points, |(bench, cfg, label)| {
+    runner::sweep(points, move |(bench, cfg, label)| {
         estimate_savings(bench, scale, cfg, label)
     })
 }
@@ -507,16 +507,19 @@ pub fn fig17_18(scale: Scale) -> Table {
         ),
     ];
     let mut t = Table::new(["configuration", "SSIM", "holistic savings", "arith savings"]);
-    let rows = runner::sweep(configs, |(label, cfg)| {
-        let run = ray_cached(&params, cfg);
-        let s = ssim(&reference.0, &run.0, 1.0);
-        let row = estimate_savings(GpuBenchmark::Ray, scale, cfg, label);
-        [
-            label.to_string(),
-            format!("{:.3}", s),
-            format!("{:.2}%", row.holistic * 100.0),
-            format!("{:.2}%", row.arithmetic * 100.0),
-        ]
+    let rows = runner::sweep(configs, {
+        let reference = reference.clone();
+        move |(label, cfg)| {
+            let run = ray_cached(&params, cfg);
+            let s = ssim(&reference.0, &run.0, 1.0);
+            let row = estimate_savings(GpuBenchmark::Ray, scale, cfg, label);
+            [
+                label.to_string(),
+                format!("{:.3}", s),
+                format!("{:.2}%", row.holistic * 100.0),
+                format!("{:.2}%", row.arithmetic * 100.0),
+            ]
+        }
     });
     for row in rows {
         t.row(row);

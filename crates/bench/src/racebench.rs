@@ -2,7 +2,19 @@
 //! path: sequential vs multi-worker launches of every stock kernel ×
 //! stock config, with a bit-identity check folded into every
 //! measurement. Records `BENCH_kernel_throughput.json`
-//! (schema `ihw-racebench/1`).
+//! (schema `ihw-racebench/2`).
+//!
+//! Schema 2 additions over schema 1:
+//! - the default worker budget is clamped to the measuring host's
+//!   `available_parallelism()` (an explicit `--workers` overrides the
+//!   clamp), and the report says so via `"workers_clamped"`;
+//! - every row records which launch `"path"` the interpreter actually
+//!   took (`direct`, `journal`, `cutover`, `unproven`, `sequential`),
+//!   so a 1.0× speedup from an adaptive sequential fallback is
+//!   distinguishable from a genuinely slow parallel run;
+//! - the adaptive cutover threshold used for the run is calibrated
+//!   from a measured fan-out overhead and recorded as
+//!   `"overhead_ops"`.
 //!
 //! Timing goes through [`Stopwatch`] — the workspace's single
 //! sanctioned wall-clock read (`ihw-lint` rule L003) — so this module
@@ -10,14 +22,17 @@
 
 use crate::runner::report::Stopwatch;
 use gpu_sim::deps::footprints;
-use gpu_sim::isa::{Program, WarpInterpreter};
+use gpu_sim::isa::{CutoverPolicy, Program, WarpInterpreter, DEFAULT_PARALLEL_OVERHEAD_OPS};
 use ihw_core::config::IhwConfig;
 
 /// Default output filename (workspace root, committed as a perf record).
 pub const BENCH_FILE: &str = "BENCH_kernel_throughput.json";
 
 /// Schema tag of the benchmark JSON document.
-pub const SCHEMA: &str = "ihw-racebench/1";
+pub const SCHEMA: &str = "ihw-racebench/2";
+
+/// Default worker budget before clamping to the host.
+pub const DEFAULT_WORKERS: usize = 8;
 
 /// One kernel × config measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,8 +48,13 @@ pub struct ThroughputRow {
     /// `sequential_seconds / parallel_seconds`.
     pub speedup: f64,
     /// Whether the interpreter actually took the parallel path (it
-    /// falls back to sequential unless racecheck proves independence).
+    /// falls back to sequential unless racecheck proves independence
+    /// and the cutover estimate favours fanning out).
     pub parallel_used: bool,
+    /// Launch-path label from [`gpu_sim::isa::LaunchDecision::label`]:
+    /// `direct` / `journal` when parallel, `cutover` / `unproven` /
+    /// `sequential` when the launch stayed on one thread.
+    pub path: String,
     /// Whether outputs and op counters matched bit-for-bit.
     pub bit_identical: bool,
 }
@@ -46,14 +66,49 @@ pub struct ThroughputReport {
     pub threads: u32,
     /// Worker budget of the parallel runs.
     pub workers: usize,
+    /// Whether the default worker budget was reduced to the host's
+    /// `available_parallelism()` (never true when `--workers` is
+    /// explicit — an override is honoured verbatim).
+    pub workers_clamped: bool,
     /// Repetitions per measurement (best-of).
     pub repeats: u32,
     /// `std::thread::available_parallelism()` of the measuring host —
     /// speedup is bounded above by this, so a 1-core CI box recording
     /// ~1.0× is expected, not a regression.
     pub host_parallelism: usize,
+    /// Adaptive-cutover threshold (estimated launch ops below which
+    /// the interpreter stays sequential) used for every measurement.
+    pub overhead_ops: u64,
     /// Per kernel × config rows.
     pub rows: Vec<ThroughputRow>,
+}
+
+/// Knobs for one [`measure`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureOpts {
+    /// Threads per launch.
+    pub threads: u32,
+    /// Worker budget for the parallel interpreter.
+    pub workers: usize,
+    /// Best-of repetitions.
+    pub repeats: u32,
+    /// Cutover policy for the parallel interpreter (the CLI benchmarks
+    /// the production `Adaptive` policy; unit tests force a side).
+    pub cutover: CutoverPolicy,
+    /// Adaptive-cutover threshold in estimated ops.
+    pub overhead_ops: u64,
+}
+
+impl Default for MeasureOpts {
+    fn default() -> Self {
+        Self {
+            threads: 1 << 15,
+            workers: DEFAULT_WORKERS,
+            repeats: 3,
+            cutover: CutoverPolicy::Adaptive,
+            overhead_ops: DEFAULT_PARALLEL_OVERHEAD_OPS,
+        }
+    }
 }
 
 /// Deterministic well-conditioned inputs: every element in `[0.5, 1)`,
@@ -84,18 +139,81 @@ fn best_of<F: FnMut()>(repeats: u32, mut f: F) -> f64 {
     best
 }
 
+/// Estimates the adaptive-cutover threshold for this host: the number
+/// of interpreter ops whose sequential execution costs about as much
+/// as one parallel fan-out.
+///
+/// Method: measure sequential ops/second on a large saxpy launch, then
+/// measure how much longer a *tiny* forced-parallel launch takes than
+/// the same launch run sequentially — at 64 threads the work is
+/// negligible, so the difference is almost pure pool/snapshot/merge
+/// overhead. The product converts that overhead into the op-count
+/// denomination `gpu-sim` uses (it may not read the clock itself,
+/// `ihw-lint` rule L003 — so the calibration lives here and the result
+/// is handed over via `set_parallel_overhead_ops`).
+///
+/// Falls back to [`DEFAULT_PARALLEL_OVERHEAD_OPS`] when `workers <= 1`
+/// (nothing to calibrate) or the timings are degenerate.
+pub fn calibrate_overhead_ops(workers: usize, repeats: u32) -> u64 {
+    if workers <= 1 {
+        return DEFAULT_PARALLEL_OVERHEAD_OPS;
+    }
+    let prog = gpu_sim::programs::saxpy(2.0);
+    let cfg = IhwConfig::default();
+    let reps = repeats.clamp(2, 5);
+
+    // Sequential ops/second at a size large enough to swamp timer noise.
+    let big: u32 = 1 << 14;
+    let big_base = seed_buffers(&prog, big);
+    let mut seq_big = WarpInterpreter::new(cfg);
+    let seq_big_seconds = best_of(reps, || {
+        let mut bufs = big_base.clone();
+        seq_big
+            .launch_sequential(&prog, big, &mut bufs)
+            .expect("saxpy runs");
+    });
+    let ops = prog.instrs().len() as f64 * f64::from(big);
+    let ops_per_second = ops / seq_big_seconds.max(1e-9);
+
+    // A tiny forced-parallel launch is almost pure fan-out overhead.
+    let tiny: u32 = 64;
+    let tiny_base = seed_buffers(&prog, tiny);
+    let mut par = WarpInterpreter::new(cfg)
+        .with_workers(workers)
+        .with_cutover(CutoverPolicy::ForceParallel);
+    let par_tiny_seconds = best_of(reps, || {
+        let mut bufs = tiny_base.clone();
+        par.launch(&prog, tiny, &mut bufs).expect("saxpy runs");
+    });
+    let mut seq_tiny = WarpInterpreter::new(cfg);
+    let seq_tiny_seconds = best_of(reps, || {
+        let mut bufs = tiny_base.clone();
+        seq_tiny
+            .launch_sequential(&prog, tiny, &mut bufs)
+            .expect("saxpy runs");
+    });
+
+    let overhead_seconds = (par_tiny_seconds - seq_tiny_seconds).max(0.0);
+    let estimate = (overhead_seconds * ops_per_second).round();
+    if estimate.is_finite() {
+        estimate.max(1.0) as u64
+    } else {
+        DEFAULT_PARALLEL_OVERHEAD_OPS
+    }
+}
+
 /// Measures one kernel under one config: sequential vs `workers`-way
 /// parallel launch over `threads` threads, asserting nothing — the
 /// bit-identity verdict is recorded in the row (the differential test
 /// suite is the enforcing gate; the benchmark only reports).
-pub fn measure(
-    prog: &Program,
-    cfg: &IhwConfig,
-    label: &str,
-    threads: u32,
-    workers: usize,
-    repeats: u32,
-) -> ThroughputRow {
+pub fn measure(prog: &Program, cfg: &IhwConfig, label: &str, opts: MeasureOpts) -> ThroughputRow {
+    let MeasureOpts {
+        threads,
+        workers,
+        repeats,
+        cutover,
+        overhead_ops,
+    } = opts;
     let base = seed_buffers(prog, threads);
 
     let mut seq_bufs = Vec::new();
@@ -110,7 +228,10 @@ pub fn measure(
     });
 
     let mut par_bufs = Vec::new();
-    let mut par_interp = WarpInterpreter::new(*cfg).with_workers(workers);
+    let mut par_interp = WarpInterpreter::new(*cfg)
+        .with_workers(workers)
+        .with_cutover(cutover);
+    par_interp.set_parallel_overhead_ops(overhead_ops);
     let parallel_seconds = best_of(repeats, || {
         let mut bufs = base.clone();
         par_interp.reset_counters();
@@ -131,32 +252,55 @@ pub fn measure(
         && seq_interp.ctx().mem_ops() == par_interp.ctx().mem_ops()
         && seq_interp.ctx().precise_mul_ops() == par_interp.ctx().precise_mul_ops();
 
+    let stats = par_interp.last_launch_stats();
     ThroughputRow {
         kernel: prog.name().to_string(),
         config: label.to_string(),
         sequential_seconds,
         parallel_seconds,
         speedup: sequential_seconds / parallel_seconds.max(1e-12),
-        parallel_used: par_interp.last_launch_was_parallel(),
+        parallel_used: stats.decision.is_parallel(),
+        path: stats.decision.label().to_string(),
         bit_identical,
     }
 }
 
-/// Runs the benchmark over every stock kernel × stock config.
+/// Runs the benchmark over every stock kernel × stock config under the
+/// production `Adaptive` cutover, calibrating the overhead threshold
+/// once up front.
 pub fn run_stock(threads: u32, workers: usize, repeats: u32) -> ThroughputReport {
+    let overhead_ops = calibrate_overhead_ops(workers, repeats);
     let mut rows = Vec::new();
     for prog in ihw_analyze::stock_kernels() {
         for (label, cfg) in ihw_analyze::stock_configs() {
-            rows.push(measure(&prog, &cfg, label, threads, workers, repeats));
+            rows.push(measure(
+                &prog,
+                &cfg,
+                label,
+                MeasureOpts {
+                    threads,
+                    workers,
+                    repeats,
+                    cutover: CutoverPolicy::Adaptive,
+                    overhead_ops,
+                },
+            ));
         }
     }
     ThroughputReport {
         threads,
         workers,
+        workers_clamped: false,
         repeats,
-        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_parallelism: host_parallelism(),
+        overhead_ops,
         rows,
     }
+}
+
+/// `available_parallelism()` with a floor of 1.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 impl ThroughputReport {
@@ -164,22 +308,32 @@ impl ThroughputReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "== kernel throughput: {} threads, {} workers, best of {}, host parallelism {} ==\n",
-            self.threads, self.workers, self.repeats, self.host_parallelism
+            "== kernel throughput: {} threads, {} workers{}, best of {}, \
+             host parallelism {}, cutover {} ops ==\n",
+            self.threads,
+            self.workers,
+            if self.workers_clamped {
+                " (clamped to host)"
+            } else {
+                ""
+            },
+            self.repeats,
+            self.host_parallelism,
+            self.overhead_ops,
         ));
         out.push_str(&format!(
-            "{:<12} {:<16} {:>12} {:>12} {:>8} {:>9} {:>9}\n",
-            "kernel", "config", "seq (s)", "par (s)", "speedup", "parallel", "bitexact"
+            "{:<12} {:<16} {:>12} {:>12} {:>8} {:>10} {:>9}\n",
+            "kernel", "config", "seq (s)", "par (s)", "speedup", "path", "bitexact"
         ));
         for r in &self.rows {
             out.push_str(&format!(
-                "{:<12} {:<16} {:>12.6} {:>12.6} {:>7.2}x {:>9} {:>9}\n",
+                "{:<12} {:<16} {:>12.6} {:>12.6} {:>7.2}x {:>10} {:>9}\n",
                 r.kernel,
                 r.config,
                 r.sequential_seconds,
                 r.parallel_seconds,
                 r.speedup,
-                if r.parallel_used { "yes" } else { "no" },
+                r.path,
                 if r.bit_identical { "yes" } else { "NO" },
             ));
         }
@@ -201,24 +355,31 @@ impl ThroughputReport {
         out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!(
+            "  \"workers_clamped\": {},\n",
+            self.workers_clamped
+        ));
         out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
         out.push_str(&format!(
             "  \"host_parallelism\": {},\n",
             self.host_parallelism
         ));
+        out.push_str(&format!("  \"overhead_ops\": {},\n", self.overhead_ops));
         out.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             let comma = if i + 1 < self.rows.len() { "," } else { "" };
             out.push_str(&format!(
                 "    {{ \"kernel\": \"{}\", \"config\": \"{}\", \
                  \"sequential_seconds\": {}, \"parallel_seconds\": {}, \
-                 \"speedup\": {}, \"parallel_used\": {}, \"bit_identical\": {} }}{comma}\n",
+                 \"speedup\": {}, \"parallel_used\": {}, \"path\": \"{}\", \
+                 \"bit_identical\": {} }}{comma}\n",
                 r.kernel,
                 r.config,
                 f(r.sequential_seconds),
                 f(r.parallel_seconds),
                 f(r.speedup),
                 r.parallel_used,
+                r.path,
                 r.bit_identical,
             ));
         }
@@ -229,39 +390,54 @@ impl ThroughputReport {
 
 /// CLI for `repro racecheck --bench`: runs the benchmark, prints the
 /// table and writes the JSON record. Returns the process exit code
-/// (non-zero when any row is not bit-identical).
+/// (non-zero when any row is not bit-identical, or — with
+/// `--min-speedup` — when any row that fanned out failed to pay for
+/// itself).
 pub fn run_cli(args: &[String]) -> i32 {
     let mut threads: u32 = 1 << 15;
-    let mut workers: usize = 8;
+    let mut workers: Option<usize> = None;
     let mut repeats: u32 = 3;
+    let mut min_speedup: Option<f64> = None;
     let mut out_path = std::path::PathBuf::from(BENCH_FILE);
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--bench" => {}
-            "--threads" | "--workers" | "--repeats" | "--out" => {
+            "--threads" | "--workers" | "--repeats" | "--min-speedup" | "--out" => {
                 let Some(value) = it.next() else {
                     eprintln!("{arg} expects a value");
                     return 2;
                 };
                 let ok = match arg.as_str() {
                     "--threads" => value.parse().map(|v: u32| threads = v.max(1)).is_ok(),
-                    "--workers" => value.parse().map(|v: usize| workers = v.max(1)).is_ok(),
+                    "--workers" => value
+                        .parse()
+                        .map(|v: usize| workers = Some(v.max(1)))
+                        .is_ok(),
                     "--repeats" => value.parse().map(|v: u32| repeats = v.max(1)).is_ok(),
+                    "--min-speedup" => value
+                        .parse()
+                        .map(|v: f64| min_speedup = Some(v.max(0.0)))
+                        .is_ok(),
                     _ => {
                         out_path = std::path::PathBuf::from(value);
                         true
                     }
                 };
                 if !ok {
-                    eprintln!("{arg} expects a positive integer, got '{value}'");
+                    eprintln!("{arg} expects a number, got '{value}'");
                     return 2;
                 }
             }
             "--help" | "-h" => {
                 println!(
                     "usage: repro racecheck --bench [--threads N] [--workers N] \
-                     [--repeats N] [--out FILE]"
+                     [--repeats N] [--min-speedup X] [--out FILE]\n\
+                     \n\
+                     The default worker budget ({DEFAULT_WORKERS}) is clamped to the host's\n\
+                     available parallelism; pass --workers to override the clamp.\n\
+                     --min-speedup X fails the run (exit 1) when any row that took a\n\
+                     parallel path recorded a speedup below X."
                 );
                 return 0;
             }
@@ -271,19 +447,46 @@ pub fn run_cli(args: &[String]) -> i32 {
             }
         }
     }
-    let report = run_stock(threads, workers, repeats);
+    let host = host_parallelism();
+    let (workers, workers_clamped) = match workers {
+        Some(w) => (w, false),
+        None => (DEFAULT_WORKERS.min(host).max(1), host < DEFAULT_WORKERS),
+    };
+    let mut report = run_stock(threads, workers, repeats);
+    report.workers_clamped = workers_clamped;
     print!("{}", report.render());
     if let Err(e) = std::fs::write(&out_path, report.to_json()) {
         eprintln!("cannot write {}: {e}", out_path.display());
         return 2;
     }
     println!("throughput record written to {}", out_path.display());
-    if report.rows.iter().all(|r| r.bit_identical) {
-        0
-    } else {
+    if !report.rows.iter().all(|r| r.bit_identical) {
         eprintln!("parallel launch diverged from sequential — see table above");
-        1
+        return 1;
     }
+    if let Some(min) = min_speedup {
+        let losers: Vec<&ThroughputRow> = report
+            .rows
+            .iter()
+            .filter(|r| r.parallel_used && r.speedup < min)
+            .collect();
+        if !losers.is_empty() {
+            for r in &losers {
+                eprintln!(
+                    "bench-sanity: {} × {} took the {} path but only reached \
+                     {:.2}x (< {min:.2}x)",
+                    r.kernel, r.config, r.path, r.speedup
+                );
+            }
+            eprintln!(
+                "bench-sanity: {} parallel row(s) below --min-speedup {min:.2} — \
+                 the proof-gated launch is not paying for itself",
+                losers.len()
+            );
+            return 1;
+        }
+    }
+    0
 }
 
 #[cfg(test)]
@@ -308,13 +511,38 @@ mod tests {
             &prog,
             &IhwConfig::all_imprecise(),
             "all_imprecise",
-            256,
-            4,
-            1,
+            MeasureOpts {
+                threads: 256,
+                workers: 4,
+                repeats: 1,
+                cutover: CutoverPolicy::ForceParallel,
+                overhead_ops: 1,
+            },
         );
         assert!(row.bit_identical, "parallel run must match sequential");
         assert!(row.parallel_used, "saxpy is thread-independent");
+        assert_eq!(row.path, "direct", "saxpy stores are affine own-slot");
         assert!(row.sequential_seconds >= 0.0 && row.parallel_seconds >= 0.0);
+    }
+
+    #[test]
+    fn forced_sequential_records_the_cutover_path() {
+        let prog = programs::saxpy(2.0);
+        let row = measure(
+            &prog,
+            &IhwConfig::all_imprecise(),
+            "all_imprecise",
+            MeasureOpts {
+                threads: 64,
+                workers: 4,
+                repeats: 1,
+                cutover: CutoverPolicy::ForceSequential,
+                overhead_ops: 1,
+            },
+        );
+        assert!(!row.parallel_used);
+        assert_eq!(row.path, "cutover");
+        assert!(row.bit_identical, "sequential fallback is trivially exact");
     }
 
     #[test]
@@ -323,8 +551,11 @@ mod tests {
         assert_eq!(report.rows.len(), 4 * 5, "kernels × configs");
         assert!(report.rows.iter().all(|r| r.bit_identical));
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"ihw-racebench/1\""));
+        assert!(json.contains("\"schema\": \"ihw-racebench/2\""));
         assert!(json.contains("\"host_parallelism\""));
+        assert!(json.contains("\"workers_clamped\": false"));
+        assert!(json.contains("\"overhead_ops\""));
+        assert!(json.contains("\"path\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

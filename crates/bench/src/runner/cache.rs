@@ -13,7 +13,7 @@
 //! Hit/miss counters feed the `--timings` report so the acceptance
 //! criterion "shared baselines compute exactly once" is observable.
 
-use std::any::Any;
+use std::any::{Any, TypeId};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -23,11 +23,16 @@ use parking_lot::Mutex;
 type CacheCell = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
 
 /// A memoizing map from run key to type-erased result.
+///
+/// The map key folds in the value's [`TypeId`], so two callers using
+/// the same string key for *different* result types get two distinct
+/// entries instead of a downcast panic — a string collision can cost a
+/// recomputation, never an abort.
 #[derive(Default)]
 pub struct RunCache {
     // BTreeMap: keyed access only, and the ordered map keeps any future
     // iteration (e.g. the `--timings` entry count) deterministic by key.
-    map: Mutex<BTreeMap<String, CacheCell>>,
+    map: Mutex<BTreeMap<(String, TypeId), CacheCell>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -42,13 +47,11 @@ impl RunCache {
     /// Returns the cached value for `key`, computing it with `f` on
     /// first request. Concurrent requests for the same key block until
     /// the single in-flight computation finishes, so `f` runs exactly
-    /// once per key per cache lifetime.
+    /// once per (key, type) per cache lifetime.
     ///
-    /// # Panics
-    ///
-    /// Panics if `key` was previously populated with a different
-    /// concrete type `T` — keys must encode everything that determines
-    /// the result, including its type.
+    /// The entry is keyed by `(key, TypeId::of::<T>())`: requesting the
+    /// same string key at a different result type is a separate entry,
+    /// so the downcast below cannot fail.
     pub fn get_or_compute<T, F>(&self, key: &str, f: F) -> Arc<T>
     where
         T: Send + Sync + 'static,
@@ -56,7 +59,7 @@ impl RunCache {
     {
         let cell = {
             let mut map = self.map.lock();
-            Arc::clone(map.entry(key.to_owned()).or_default())
+            Arc::clone(map.entry((key.to_owned(), TypeId::of::<T>())).or_default())
         };
         let mut computed = false;
         let value = cell.get_or_init(|| {
@@ -68,6 +71,10 @@ impl RunCache {
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
+        debug_assert!(
+            value.is::<T>(),
+            "run-cache entry for key `{key}` holds a foreign type despite TypeId keying"
+        );
         Arc::clone(value)
             .downcast::<T>()
             .unwrap_or_else(|_| panic!("run-cache type mismatch for key `{key}`"))
@@ -181,6 +188,27 @@ mod tests {
         assert_eq!(calls.load(Ordering::SeqCst), 1);
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 31);
+    }
+
+    #[test]
+    fn same_string_key_at_two_types_is_two_entries_not_a_panic() {
+        // Regression: this used to abort with "run-cache type mismatch
+        // for key `shared`" — the string key alone selected the cell,
+        // and the second type's downcast failed. TypeId keying makes
+        // the collision two independent entries.
+        let cache = RunCache::new();
+        let as_int: Arc<i64> = cache.get_or_compute("shared", || 7);
+        let as_string: Arc<String> = cache.get_or_compute("shared", || "seven".to_owned());
+        assert_eq!(*as_int, 7);
+        assert_eq!(*as_string, "seven");
+        assert_eq!(cache.len(), 2, "one entry per (key, type)");
+        assert_eq!(cache.misses(), 2);
+        // Both entries stay warm and both still hit.
+        let again_int: Arc<i64> = cache.get_or_compute("shared", || unreachable!());
+        let again_string: Arc<String> = cache.get_or_compute("shared", || unreachable!());
+        assert_eq!(*again_int, 7);
+        assert_eq!(*again_string, "seven");
+        assert_eq!(cache.hits(), 2);
     }
 
     #[test]

@@ -450,6 +450,78 @@ fn register_hygiene(prog: &Program) -> (Vec<RegSite>, Vec<RegSite>) {
     (uninit, dead)
 }
 
+/// How the parallel launch path may apply a proven thread-independent
+/// kernel's stores (see [`store_shape`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreShape {
+    /// Every store site is `tid + offset` with one common offset per
+    /// written buffer, and no load of a written buffer can alias
+    /// another thread's store: each tid-chunk owns a disjoint output
+    /// sub-range and may write it **in place**, with no snapshot and
+    /// no store journal.
+    DirectWrite {
+        /// Written buffer index → the (single) store offset.
+        offsets: BTreeMap<usize, i64>,
+    },
+    /// Proven independent, but some load of a written buffer aliases
+    /// another thread's store range (a write-after-read shape such as
+    /// read `tid+1` / write `tid`), or a store is not `scale = 1`
+    /// affine: loads must be served from launch-entry state, so the
+    /// chunks run against a snapshot and journal their stores.
+    Journal,
+}
+
+/// Classifies how the parallel path may execute a kernel's stores.
+/// Returns `None` unless `report` proves thread-independence — the
+/// shape refines an existing proof, it never creates one.
+///
+/// ```
+/// use gpu_sim::deps::{racecheck, store_shape, StoreShape};
+/// use gpu_sim::programs;
+///
+/// let report = racecheck(&programs::saxpy(2.0));
+/// assert!(matches!(
+///     store_shape(&report),
+///     Some(StoreShape::DirectWrite { .. })
+/// ));
+/// ```
+pub fn store_shape(report: &RaceReport) -> Option<StoreShape> {
+    if report.verdict != Verdict::ThreadIndependent {
+        return None;
+    }
+    let mut offsets = BTreeMap::new();
+    for (&buffer, fp) in &report.footprints {
+        let Some(first) = fp.writes.first() else {
+            continue;
+        };
+        // All store sites of the buffer must resolve to one dense
+        // `tid + offset` window. (Thread-independence already excludes
+        // broadcast stores for multi-thread launches, but the shape
+        // check keeps this pass self-contained.)
+        if first.index.scale != 1
+            || fp
+                .writes
+                .iter()
+                .any(|w| w.index.scale != 1 || w.index.offset != first.index.offset)
+        {
+            return Some(StoreShape::Journal);
+        }
+        // In-place writes are only safe when no other thread can load
+        // what this thread overwrites. A same-offset load is the
+        // thread's own slot (served by program order); anything else
+        // aliasing the store window forces the snapshot + journal.
+        if fp.reads.iter().any(|r| {
+            fp.writes
+                .iter()
+                .any(|w| r.index.overlaps_cross_tid(w.index))
+        }) {
+            return Some(StoreShape::Journal);
+        }
+        offsets.insert(buffer, first.index.offset);
+    }
+    Some(StoreShape::DirectWrite { offsets })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -604,5 +676,102 @@ mod tests {
         assert_eq!(fp[&0].required_len(10), 12);
         assert_eq!(fp[&2].required_len(10), 10);
         assert_eq!(fp[&0].required_len(0), 0);
+    }
+
+    #[test]
+    fn stock_kernels_are_direct_write_shapes() {
+        // Every stock kernel stores only to its own `tid` slot, with no
+        // read aliasing another thread's store window.
+        for prog in [
+            programs::saxpy(2.0),
+            programs::rsqrt_norm(),
+            programs::dot_partial(4),
+            programs::distance(),
+        ] {
+            let report = racecheck(&prog);
+            let shape = store_shape(&report).expect("thread-independent");
+            let StoreShape::DirectWrite { offsets } = shape else {
+                panic!("{} should be direct-write", prog.name());
+            };
+            assert!(
+                offsets.values().all(|&o| o == 0),
+                "{} stores land at tid+0",
+                prog.name()
+            );
+        }
+    }
+
+    #[test]
+    fn write_after_read_shape_needs_the_journal() {
+        // out[tid] = in[tid+1] *in the same buffer*: independent (reads
+        // observe launch-entry data either way), but an in-place chunk
+        // write would clobber what the previous tid still has to read.
+        let prog = Program::new(
+            "fwd",
+            1,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::TidPlus(1)),
+                Instr::St(0, AddrMode::Tid, Reg(0)),
+            ],
+        )
+        .unwrap();
+        let report = racecheck(&prog);
+        assert_eq!(report.verdict, Verdict::ThreadIndependent);
+        assert_eq!(store_shape(&report), Some(StoreShape::Journal));
+    }
+
+    #[test]
+    fn cross_buffer_stride_is_still_direct() {
+        // out[tid] = in[tid+1] across *different* buffers: the read
+        // aliases nothing anyone writes, so in-place chunks are safe.
+        let prog = Program::new(
+            "stride_copy",
+            1,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::TidPlus(1)),
+                Instr::St(1, AddrMode::Tid, Reg(0)),
+            ],
+        )
+        .unwrap();
+        let report = racecheck(&prog);
+        assert!(matches!(
+            store_shape(&report),
+            Some(StoreShape::DirectWrite { .. })
+        ));
+    }
+
+    #[test]
+    fn offset_store_window_is_direct_with_its_offset() {
+        // out[tid+2] = in[tid]: a shifted but still disjoint window.
+        let prog = Program::new(
+            "shifted",
+            1,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::Tid),
+                Instr::St(1, AddrMode::TidPlus(2), Reg(0)),
+            ],
+        )
+        .unwrap();
+        let report = racecheck(&prog);
+        let Some(StoreShape::DirectWrite { offsets }) = store_shape(&report) else {
+            panic!("shifted window is direct");
+        };
+        assert_eq!(offsets.get(&1), Some(&2));
+    }
+
+    #[test]
+    fn store_shape_requires_the_proof() {
+        let prog = Program::new(
+            "chain",
+            1,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::TidPlus(-1)),
+                Instr::St(0, AddrMode::Tid, Reg(0)),
+            ],
+        )
+        .unwrap();
+        let report = racecheck(&prog);
+        assert_eq!(report.verdict, Verdict::SequentialCarried);
+        assert_eq!(store_shape(&report), None);
     }
 }

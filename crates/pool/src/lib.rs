@@ -1,4 +1,4 @@
-//! # ihw-pool — shared scoped-thread worker pool
+//! # ihw-pool — persistent worker-pool sweep engine
 //!
 //! The workspace's one implementation of "run N independent jobs on
 //! worker threads and return the results in input order". Two layers
@@ -11,20 +11,47 @@
 //!   launch path fans a kernel's threads across cores once the static
 //!   race analysis (`gpu_sim::deps`) proves them independent.
 //!
+//! # Persistent workers
+//!
+//! Worker threads are spawned lazily on first demand and then **parked
+//! between sweeps** on a condition variable, so a sweep pays a queue
+//! handoff rather than N `thread::spawn`s. The kernel launch path calls
+//! [`sweep_with`] once per launch; per-launch thread-spawn cost was the
+//! dominant overhead of the previous scoped-thread design.
+//!
+//! Each sweep submits one *batch*: its items pre-chunked into
+//! contiguous index ranges, each chunk a single queue entry that writes
+//! into its own pre-sized result slot. Workers claim whole chunks (not
+//! items), and the **calling thread helps drain its own batch** before
+//! collecting results — so a sweep issued from inside another sweep's
+//! job (the repro harness nests them) always makes progress even when
+//! every pool worker is busy elsewhere.
+//!
 //! # Determinism guarantee
 //!
-//! Jobs must be pure functions of their input. The pool writes each
-//! job's result into its own slot, so the returned vector is in input
-//! order regardless of execution interleaving — a parallel sweep
-//! renders byte-identically to the serial one at any worker count.
-//! With a budget of 1 (or a single item) [`sweep_with`] degenerates to
-//! a plain serial map with zero threading overhead: the reference
+//! Jobs must be pure functions of their input. Chunks report into
+//! index-addressed slots, so the returned vector is in input order
+//! regardless of execution interleaving — a parallel sweep renders
+//! byte-identically to the serial one at any worker count. With a
+//! budget of 1 (or zero/one items) [`sweep_with`] degenerates to a
+//! plain serial map that never touches the pool: the reference
 //! execution the parallel path must match byte-for-byte.
+//!
+//! # Panic policy
+//!
+//! A panicking job never takes the pool down: each chunk runs under
+//! `catch_unwind`, every chunk of the batch still completes and reports
+//! its slot, and the *first* panic payload (lowest chunk index) is
+//! re-raised on the calling thread only after the whole batch has
+//! drained — no deadlock, no lost sibling results, no poisoned queue.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 /// One independent job of a sweep: an input item tagged with the output
 /// slot it fills, so workers can execute points in any order while the
@@ -55,75 +82,228 @@ pub fn jobs() -> usize {
     JOBS.load(Ordering::SeqCst)
 }
 
+/// A queued unit of work: one chunk of one sweep.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One sweep's private chunk queue. Shared between the pool (workers
+/// steal chunks) and the submitting thread (which helps drain it).
+struct Batch {
+    chunks: Mutex<VecDeque<Job>>,
+}
+
+impl Batch {
+    fn pop(&self) -> Option<Job> {
+        recover(self.chunks.lock()).pop_front()
+    }
+}
+
+/// Pool bookkeeping behind one mutex: the queue of live batches and
+/// how many workers have been spawned so far.
+struct PoolState {
+    batches: VecDeque<Arc<Batch>>,
+    spawned: usize,
+}
+
+/// The process-wide persistent worker pool.
+///
+/// Obtained via [`persistent`]; [`sweep_with`] submits batches to it
+/// automatically — the handle only exposes diagnostics.
+pub struct PersistentPool {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+/// Mutex poisoning cannot corrupt the pool (jobs run outside the
+/// locks, under `catch_unwind`), so recover the guard instead of
+/// propagating a stranger's panic.
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The shared persistent pool (created empty; workers spawn on first
+/// parallel sweep).
+pub fn persistent() -> &'static PersistentPool {
+    static POOL: OnceLock<PersistentPool> = OnceLock::new();
+    POOL.get_or_init(|| PersistentPool {
+        state: Mutex::new(PoolState {
+            batches: VecDeque::new(),
+            spawned: 0,
+        }),
+        work_ready: Condvar::new(),
+    })
+}
+
+impl PersistentPool {
+    /// Number of worker threads spawned so far (they persist for the
+    /// process lifetime; diagnostics and tests only).
+    pub fn spawned_workers(&self) -> usize {
+        recover(self.state.lock()).spawned
+    }
+
+    /// Enqueues a batch and makes sure at least `helpers` pool workers
+    /// exist to drain it alongside the submitting thread.
+    fn submit(&'static self, batch: &Arc<Batch>, helpers: usize) {
+        let mut st = recover(self.state.lock());
+        st.batches.push_back(Arc::clone(batch));
+        while st.spawned < helpers {
+            let id = st.spawned;
+            st.spawned += 1;
+            std::thread::Builder::new()
+                .name(format!("ihw-pool-{id}"))
+                .spawn(move || self.worker_loop())
+                .expect("spawn pool worker");
+        }
+        drop(st);
+        self.work_ready.notify_all();
+    }
+
+    /// Worker body: park until a batch has chunks, claim one, run it.
+    fn worker_loop(&'static self) {
+        loop {
+            let job = {
+                let mut st = recover(self.state.lock());
+                loop {
+                    if let Some(job) = claim_chunk(&mut st) {
+                        break job;
+                    }
+                    st = recover(self.work_ready.wait(st));
+                }
+            };
+            // Chunks are panic-proof: the sweep wraps each in
+            // `catch_unwind` and reports through its result channel.
+            job();
+        }
+    }
+}
+
+/// Claims one chunk from the front-most non-empty batch, retiring
+/// batches the submitter has already drained. Lock order: pool state,
+/// then batch queue (the helping submitter takes only the latter).
+fn claim_chunk(st: &mut PoolState) -> Option<Job> {
+    while let Some(batch) = st.batches.front() {
+        let mut chunks = recover(batch.chunks.lock());
+        if let Some(job) = chunks.pop_front() {
+            let drained = chunks.is_empty();
+            drop(chunks);
+            if drained {
+                st.batches.pop_front();
+            }
+            return Some(job);
+        }
+        drop(chunks);
+        st.batches.pop_front();
+    }
+    None
+}
+
 /// Runs `f` over every item on the shared worker pool (budget set by
 /// [`set_jobs`]), returning the results in input order.
 ///
 /// # Panics
 ///
-/// Propagates a panic from any job after the scope unwinds.
+/// Re-raises the first job panic after the whole sweep has drained.
 pub fn sweep<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
 where
-    I: Send,
-    T: Send,
-    F: Fn(I) -> T + Sync,
+    I: Send + 'static,
+    T: Send + 'static,
+    F: Fn(I) -> T + Send + Sync + 'static,
 {
     sweep_with(jobs(), items, f)
 }
 
 /// Runs `f` over every item with an explicit worker budget, returning
-/// the results in input order. `workers <= 1` (or a single item) is a
-/// plain serial map.
+/// the results in input order. `workers <= 1` (or zero/one items) is a
+/// plain serial map that never touches the pool.
+///
+/// The items are pre-chunked into `workers` contiguous index ranges;
+/// each chunk is one queue entry reporting into its own slot, and the
+/// calling thread drains its own batch alongside the persistent
+/// workers (it is always one of the `workers` hands).
 ///
 /// # Panics
 ///
-/// Propagates a panic from any job after the scope unwinds.
+/// Re-raises the first job panic (lowest chunk index) after the whole
+/// sweep has drained; sibling chunks still complete.
 pub fn sweep_with<I, T, F>(workers: usize, items: Vec<I>, f: F) -> Vec<T>
 where
-    I: Send,
-    T: Send,
-    F: Fn(I) -> T + Sync,
+    I: Send + 'static,
+    T: Send + 'static,
+    F: Fn(I) -> T + Send + Sync + 'static,
 {
-    let workers = workers.min(items.len());
+    let n = items.len();
+    let workers = workers.min(n);
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let points: Vec<parking_lot::Mutex<Option<SweepPoint<I>>>> = items
-        .into_iter()
-        .enumerate()
-        .map(|(index, input)| parking_lot::Mutex::new(Some(SweepPoint { index, input })))
-        .collect();
-    let slots: Vec<parking_lot::Mutex<Option<T>>> = points
-        .iter()
-        .map(|_| parking_lot::Mutex::new(None))
-        .collect();
-    let next = AtomicUsize::new(0);
-    let run = &f;
-    let points_ref = &points;
-    let slots_ref = &slots;
-    let next_ref = &next;
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(move |_| loop {
-                    let i = next_ref.fetch_add(1, Ordering::SeqCst);
-                    if i >= points_ref.len() {
-                        break;
-                    }
-                    let point = points_ref[i].lock().take().expect("sweep point taken once");
-                    let out = run(point.input);
-                    *slots_ref[point.index].lock() = Some(out);
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("sweep worker panicked");
+
+    let chunk_len = n.div_ceil(workers);
+    let f = Arc::new(f);
+    let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<Vec<T>>)>();
+
+    let mut chunks: VecDeque<Job> = VecDeque::with_capacity(workers);
+    let mut items = items.into_iter();
+    let mut n_chunks = 0usize;
+    loop {
+        let chunk: Vec<I> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
         }
-    })
-    .expect("sweep scope failed");
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("sweep slot filled"))
-        .collect()
+        let run = Arc::clone(&f);
+        let report = tx.clone();
+        let index = n_chunks;
+        n_chunks += 1;
+        chunks.push_back(Box::new(move || {
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                chunk.into_iter().map(|item| run(item)).collect::<Vec<T>>()
+            }));
+            // Release the shared closure handle *before* reporting, so
+            // once the caller has collected every chunk the closure
+            // (and everything it captured) is provably dropped — the
+            // launch path relies on this to reclaim its `Arc`ed
+            // buffers without a copy.
+            drop(run);
+            let _ = report.send((index, out));
+        }));
+    }
+    drop(tx);
+
+    let batch = Arc::new(Batch {
+        chunks: Mutex::new(chunks),
+    });
+    persistent().submit(&batch, n_chunks.saturating_sub(1));
+
+    // Help-first: drain our own batch so nested sweeps cannot starve
+    // even if every pool worker is stuck in some other batch.
+    while let Some(job) = batch.pop() {
+        job();
+    }
+
+    let mut slots: Vec<Option<std::thread::Result<Vec<T>>>> = Vec::with_capacity(n_chunks);
+    slots.resize_with(n_chunks, || None);
+    for _ in 0..n_chunks {
+        let (index, out) = rx.recv().expect("every chunk reports exactly once");
+        slots[index] = Some(out);
+    }
+    drop(f);
+
+    let mut results = Vec::with_capacity(n);
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for slot in slots {
+        match slot.expect("chunk slot filled") {
+            Ok(out) => results.extend(out),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        resume_unwind(payload);
+    }
+    results
 }
 
 #[cfg(test)]
@@ -161,12 +341,78 @@ mod tests {
     }
 
     #[test]
-    fn empty_sweep_is_fine() {
+    fn zero_and_single_item_sweeps_stay_serial() {
         let _guard = jobs_lock();
-        set_jobs(4);
-        let out: Vec<u32> = sweep(Vec::<u32>::new(), |x| x);
+        set_jobs(8);
+        let before = persistent().spawned_workers();
+        let empty: Vec<u32> = sweep(Vec::<u32>::new(), |x| x);
+        let single = sweep(vec![21u32], |x| x * 2);
         set_jobs(1);
-        assert!(out.is_empty());
+        assert!(empty.is_empty());
+        assert_eq!(single, vec![42]);
+        // Degenerate sweeps never touch the pool.
+        assert_eq!(persistent().spawned_workers(), before);
+    }
+
+    #[test]
+    fn workers_persist_between_sweeps() {
+        let _guard = jobs_lock();
+        let items: Vec<u64> = (0..64).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x + 7).collect();
+        assert_eq!(sweep_with(4, items.clone(), |x| x + 7), expect);
+        let after_first = persistent().spawned_workers();
+        assert!(after_first >= 1, "parallel sweep spawns helpers");
+        for _ in 0..16 {
+            assert_eq!(sweep_with(4, items.clone(), |x| x + 7), expect);
+        }
+        // Re-sweeping at the same budget reuses the parked workers.
+        assert_eq!(persistent().spawned_workers(), after_first);
+    }
+
+    #[test]
+    fn nested_sweeps_do_not_deadlock() {
+        let _guard = jobs_lock();
+        let outer: Vec<u64> = (0..8).collect();
+        let got = sweep_with(4, outer, |o| {
+            let inner: Vec<u64> = (0..5).collect();
+            sweep_with(4, inner, move |i| o * 10 + i)
+                .iter()
+                .sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..8).map(|o| (0..5).map(|i| o * 10 + i).sum()).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn panicking_job_neither_deadlocks_nor_loses_siblings() {
+        use std::sync::atomic::AtomicU64;
+        let _guard = jobs_lock();
+        static COMPLETED: AtomicU64 = AtomicU64::new(0);
+        COMPLETED.store(0, Ordering::SeqCst);
+        let items: Vec<u64> = (0..32).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            sweep_with(4, items, |x| {
+                if x == 9 {
+                    panic!("boom at {x}");
+                }
+                COMPLETED.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+        }));
+        let payload = caught.expect_err("panic propagates to the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(msg, "boom at 9", "first panic payload is re-raised");
+        // Every sibling chunk still ran to completion: only the items
+        // after the panic *within the panicking chunk* are skipped.
+        // 32 items / 4 workers = chunks of 8; item 9 is the second item
+        // of chunk 1, so that chunk completes exactly 1 item.
+        assert_eq!(COMPLETED.load(Ordering::SeqCst), 3 * 8 + 1);
+        // And the pool is still usable afterwards.
+        let again: Vec<u64> = sweep_with(4, (0..16).collect(), |x| x * 3);
+        assert_eq!(again, (0..16).map(|x| x * 3).collect::<Vec<u64>>());
     }
 
     #[test]

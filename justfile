@@ -39,3 +39,10 @@ analyze *ARGS:
 # `just racecheck --bench` records BENCH_kernel_throughput.json.
 racecheck *ARGS:
     cargo run --release -p ihw-bench --bin repro -- racecheck {{ARGS}}
+
+# Bench honesty gate: fails if any kernel×config row that took a
+# parallel launch path recorded a speedup below 0.9x (rows the
+# adaptive cutover kept sequential are exempt).
+bench-sanity:
+    cargo run --release -p ihw-bench --bin repro -- racecheck --bench \
+        --threads 4096 --repeats 2 --min-speedup 0.9 --out target/bench-sanity.json

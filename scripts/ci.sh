@@ -33,7 +33,17 @@ cargo run --release -p ihw-bench --bin repro -- racecheck --json-out target/ihw-
 echo "== racebench: sequential vs parallel launch (bit-identity + throughput) =="
 # Fails if any parallel launch diverges from the sequential reference;
 # refreshes the committed BENCH_kernel_throughput.json perf record.
-cargo run --release -p ihw-bench --bin repro -- racecheck --bench --workers 8
+# The default worker budget self-clamps to the host's cores (schema
+# ihw-racebench/2 records workers_clamped), so no explicit --workers.
+cargo run --release -p ihw-bench --bin repro -- racecheck --bench
+
+echo "== bench-sanity: every parallel row must pay for itself =="
+# Fails (exit 1) if any row that actually took a parallel path recorded
+# a speedup below 0.9x — i.e. the proof-gated fan-out made things
+# slower. Rows the adaptive cutover kept sequential are exempt: they
+# are the cost model working, not a regression. JSON kept as artifact.
+cargo run --release -p ihw-bench --bin repro -- racecheck --bench \
+    --threads 4096 --repeats 2 --min-speedup 0.9 --out target/bench-sanity.json
 
 echo "== smoke: repro --timings table5 fig14 =="
 cargo run --release -p ihw-bench --bin repro -- --timings table5 fig14

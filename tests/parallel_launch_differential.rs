@@ -2,15 +2,16 @@
 //! fanned-out launches must be **bit-for-bit** identical to the
 //! sequential reference — output buffers, per-unit op counts, int/mem
 //! counters and dispatch traces — for every stock kernel × stock
-//! config, at several worker budgets. Kernels the analysis cannot
-//! prove independent must fall back to the sequential path, and the
-//! error path (partial effects up to the faulting thread) must match
-//! exactly as well.
+//! config, at several worker budgets, under both forced cutover
+//! policies. Kernels the analysis cannot prove independent must fall
+//! back to the sequential path, and the error path (partial effects up
+//! to the faulting thread) must match exactly as well — on the
+//! direct-write path *and* the journaled snapshot path.
 
 use imprecise_gpgpu::analyze::{stock_configs, stock_kernels};
 use imprecise_gpgpu::sim::asm::assemble;
-use imprecise_gpgpu::sim::deps::{footprints, racecheck, Verdict};
-use imprecise_gpgpu::sim::isa::{Program, WarpInterpreter};
+use imprecise_gpgpu::sim::deps::{footprints, racecheck, store_shape, StoreShape, Verdict};
+use imprecise_gpgpu::sim::isa::{CutoverPolicy, LaunchDecision, Program, WarpInterpreter};
 
 /// Deterministic well-conditioned inputs sized by the kernel's own
 /// footprint (mirrors `ihw_bench::racebench::seed_buffers`).
@@ -33,60 +34,128 @@ fn bits(bufs: &[Vec<f32>]) -> Vec<Vec<u32>> {
         .collect()
 }
 
+/// Runs `prog` sequentially and under `policy` with `workers`, then
+/// asserts buffers, op counters and dispatch traces are bit-identical.
+/// Returns the decision the gated launch recorded.
+fn assert_differential(
+    prog: &Program,
+    cfg: &imprecise_gpgpu::core::config::IhwConfig,
+    label: &str,
+    threads: u32,
+    workers: usize,
+    policy: CutoverPolicy,
+) -> LaunchDecision {
+    let base = seed_buffers(prog, threads);
+
+    let mut seq_bufs = base.clone();
+    let mut seq = WarpInterpreter::new(cfg.to_owned());
+    seq.enable_trace();
+    seq.launch_sequential(prog, threads, &mut seq_bufs)
+        .expect("sequential runs");
+    let seq_trace = seq.take_trace();
+
+    let mut par_bufs = base;
+    let mut par = WarpInterpreter::new(cfg.to_owned())
+        .with_workers(workers)
+        .with_cutover(policy);
+    par.enable_trace();
+    par.launch(prog, threads, &mut par_bufs)
+        .expect("gated launch runs");
+
+    let tag = format!("{}/{label} ({policy:?}, {workers} workers)", prog.name());
+    assert_eq!(bits(&seq_bufs), bits(&par_bufs), "{tag}: buffers diverge");
+    assert_eq!(
+        seq.ctx().counts(),
+        par.ctx().counts(),
+        "{tag}: op counts diverge"
+    );
+    assert_eq!(seq.ctx().int_ops(), par.ctx().int_ops(), "{tag}");
+    assert_eq!(seq.ctx().mem_ops(), par.ctx().mem_ops(), "{tag}");
+    assert_eq!(
+        seq.ctx().precise_mul_ops(),
+        par.ctx().precise_mul_ops(),
+        "{tag}"
+    );
+    assert_eq!(seq_trace, par.take_trace(), "{tag}: traces diverge");
+    par.last_launch_stats().decision
+}
+
 #[test]
 fn parallel_is_bit_identical_for_every_stock_pair() {
     let threads = 513u32; // odd, so chunks are uneven
     for prog in stock_kernels() {
+        let report = racecheck(&prog);
         assert_eq!(
-            racecheck(&prog).verdict,
+            report.verdict,
             Verdict::ThreadIndependent,
             "{} must be provably parallel",
             prog.name()
         );
+        assert!(
+            matches!(store_shape(&report), Some(StoreShape::DirectWrite { .. })),
+            "{} stores are affine own-slot writes",
+            prog.name()
+        );
         for (label, cfg) in stock_configs() {
-            let base = seed_buffers(&prog, threads);
-
-            let mut seq_bufs = base.clone();
-            let mut seq = WarpInterpreter::new(cfg.to_owned());
-            seq.enable_trace();
-            seq.launch_sequential(&prog, threads, &mut seq_bufs)
-                .expect("sequential runs");
-            let seq_trace = seq.take_trace();
-
             for workers in [2usize, 3, 8] {
-                let mut par_bufs = base.clone();
-                let mut par = WarpInterpreter::new(cfg.to_owned()).with_workers(workers);
-                par.enable_trace();
-                par.launch(&prog, threads, &mut par_bufs)
-                    .expect("parallel runs");
-                assert!(
-                    par.last_launch_was_parallel(),
-                    "{}/{label} at {workers} workers should take the parallel path",
-                    prog.name()
+                let decision = assert_differential(
+                    &prog,
+                    &cfg,
+                    label,
+                    threads,
+                    workers,
+                    CutoverPolicy::ForceParallel,
                 );
                 assert_eq!(
-                    bits(&seq_bufs),
-                    bits(&par_bufs),
-                    "{}/{label} buffers diverge at {workers} workers",
-                    prog.name()
-                );
-                assert_eq!(
-                    seq.ctx().counts(),
-                    par.ctx().counts(),
-                    "{}/{label} op counts diverge at {workers} workers",
-                    prog.name()
-                );
-                assert_eq!(seq.ctx().int_ops(), par.ctx().int_ops());
-                assert_eq!(seq.ctx().mem_ops(), par.ctx().mem_ops());
-                assert_eq!(seq.ctx().precise_mul_ops(), par.ctx().precise_mul_ops());
-                assert_eq!(
-                    seq_trace,
-                    par.take_trace(),
-                    "{}/{label} dispatch traces diverge at {workers} workers",
+                    decision,
+                    LaunchDecision::ParallelDirect,
+                    "{}/{label} at {workers} workers should take the direct path",
                     prog.name()
                 );
             }
         }
+    }
+}
+
+#[test]
+fn forced_sequential_matches_for_every_stock_pair() {
+    // The other half of the cutover matrix: with ForceSequential the
+    // gated launch must behave exactly like launch_sequential even for
+    // proven-independent kernels, and say why in its stats.
+    let threads = 257u32;
+    for prog in stock_kernels() {
+        for (label, cfg) in stock_configs() {
+            let decision = assert_differential(
+                &prog,
+                &cfg,
+                label,
+                threads,
+                8,
+                CutoverPolicy::ForceSequential,
+            );
+            assert_eq!(
+                decision,
+                LaunchDecision::SequentialCutover,
+                "{}/{label} under ForceSequential",
+                prog.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn adaptive_cutover_keeps_tiny_launches_sequential() {
+    // 64 threads × a handful of instructions is far below the default
+    // overhead threshold, so Adaptive must refuse to fan out on any
+    // host — and still match the reference bit-for-bit.
+    for prog in stock_kernels() {
+        let (label, cfg) = &stock_configs()[0];
+        let decision = assert_differential(&prog, cfg, label, 64, 8, CutoverPolicy::Adaptive);
+        assert!(
+            !decision.is_parallel(),
+            "{}: tiny launch must not pay the fan-out overhead",
+            prog.name()
+        );
     }
 }
 
@@ -118,19 +187,62 @@ st b1[tid+1], r0
         .expect("sequential runs");
 
     let mut par_bufs = base.clone();
-    let mut par = WarpInterpreter::new(cfg.to_owned()).with_workers(8);
+    let mut par = WarpInterpreter::new(cfg.to_owned())
+        .with_workers(8)
+        .with_cutover(CutoverPolicy::ForceParallel);
     par.launch(&prog, threads, &mut par_bufs)
         .expect("falls back and runs");
 
     assert!(
         !par.last_launch_was_parallel(),
-        "carried kernel must stay sequential"
+        "carried kernel must stay sequential even under ForceParallel"
+    );
+    assert_eq!(
+        par.last_launch_stats().decision,
+        LaunchDecision::SequentialUnproven
     );
     // The chain really is order-dependent: the last output accumulates
     // every earlier thread's contribution.
     assert!(seq_bufs[1][64] > 1.0);
     assert_eq!(bits(&seq_bufs), bits(&par_bufs));
     assert_eq!(seq.ctx().counts(), par.ctx().counts());
+}
+
+#[test]
+fn journal_shape_kernel_is_bit_identical() {
+    // Forward shift: thread `t` reads `b0[t+1]` and writes `b0[t]`.
+    // Every read belongs to a *different* thread's write slot, so the
+    // kernel is proven independent but its footprint overlaps across
+    // threads — the launch must take the journaled snapshot path, not
+    // the direct-write path.
+    let src = "\
+.buffers 1
+ld r0, b0[tid+1]
+st b0[tid], r0
+";
+    let prog = assemble("fwd_shift", src).expect("assembles");
+    let report = racecheck(&prog);
+    assert_eq!(report.verdict, Verdict::ThreadIndependent);
+    assert_eq!(store_shape(&report), Some(StoreShape::Journal));
+
+    let threads = 301u32;
+    for (label, cfg) in stock_configs() {
+        for workers in [2usize, 8] {
+            let decision = assert_differential(
+                &prog,
+                &cfg,
+                label,
+                threads,
+                workers,
+                CutoverPolicy::ForceParallel,
+            );
+            assert_eq!(
+                decision,
+                LaunchDecision::ParallelJournal,
+                "fwd_shift/{label} at {workers} workers"
+            );
+        }
+    }
 }
 
 #[test]
@@ -161,7 +273,9 @@ st b1[tid], r0
             .expect_err("last thread faults");
 
         let mut par_bufs = base.clone();
-        let mut par = WarpInterpreter::new(cfg.to_owned()).with_workers(8);
+        let mut par = WarpInterpreter::new(cfg.to_owned())
+            .with_workers(8)
+            .with_cutover(CutoverPolicy::ForceParallel);
         let par_err = par
             .launch(&prog, threads, &mut par_bufs)
             .expect_err("last thread faults");
@@ -179,6 +293,65 @@ st b1[tid], r0
 }
 
 #[test]
+fn journal_error_path_partial_state_is_identical() {
+    // Same faulting setup on the journal-shaped forward shift: the
+    // snapshot path must also reproduce the sequential partial state.
+    let src = "\
+.buffers 1
+ld r0, b0[tid+1]
+st b0[tid], r0
+";
+    let prog = assemble("fwd_shift_oob", src).expect("assembles");
+    let report = racecheck(&prog);
+    assert_eq!(store_shape(&report), Some(StoreShape::Journal));
+
+    let threads = 53u32;
+    // Exactly `threads` elements → the last thread's read faults.
+    let base = vec![(0..threads).map(|i| i as f32 + 0.25).collect::<Vec<f32>>()];
+    let (label, cfg) = &stock_configs()[2];
+
+    let mut seq_bufs = base.clone();
+    let mut seq = WarpInterpreter::new(cfg.to_owned());
+    let seq_err = seq
+        .launch_sequential(&prog, threads, &mut seq_bufs)
+        .expect_err("last thread faults");
+
+    let mut par_bufs = base.clone();
+    let mut par = WarpInterpreter::new(cfg.to_owned())
+        .with_workers(8)
+        .with_cutover(CutoverPolicy::ForceParallel);
+    let par_err = par
+        .launch(&prog, threads, &mut par_bufs)
+        .expect_err("last thread faults");
+
+    assert_eq!(
+        par.last_launch_stats().decision,
+        LaunchDecision::ParallelJournal,
+        "{label}"
+    );
+    assert_eq!(seq_err, par_err, "{label} error values diverge");
+    assert_eq!(bits(&seq_bufs), bits(&par_bufs), "{label}");
+    assert_eq!(seq.ctx().counts(), par.ctx().counts(), "{label}");
+}
+
+#[test]
+fn zero_and_single_thread_launches_match() {
+    // Degenerate launches must stay on the serial fast path (no pool
+    // involvement) and still be differentially exact.
+    let prog = stock_kernels().remove(0);
+    let (label, cfg) = &stock_configs()[0];
+    for threads in [0u32, 1] {
+        let decision =
+            assert_differential(&prog, cfg, label, threads, 8, CutoverPolicy::ForceParallel);
+        assert_eq!(
+            decision,
+            LaunchDecision::SequentialBudget,
+            "{threads}-thread launch has no parallelism to spend"
+        );
+    }
+}
+
+#[test]
 fn worker_budget_larger_than_launch_still_matches() {
     let prog = stock_kernels().remove(0);
     let (_, cfg) = stock_configs().remove(1);
@@ -190,7 +363,9 @@ fn worker_budget_larger_than_launch_still_matches() {
         .expect("runs");
 
     let mut par_bufs = base.clone();
-    let mut par = WarpInterpreter::new(cfg).with_workers(64);
+    let mut par = WarpInterpreter::new(cfg)
+        .with_workers(64)
+        .with_cutover(CutoverPolicy::ForceParallel);
     par.launch(&prog, 3, &mut par_bufs).expect("runs");
     assert_eq!(bits(&seq_bufs), bits(&par_bufs));
 }

@@ -80,7 +80,7 @@ proptest! {
     fn thread_independent_kernels_take_the_parallel_path(accesses in vec(access(), 1..6)) {
         use imprecise_gpgpu::core::prelude::IhwConfig;
         use imprecise_gpgpu::sim::deps::footprints;
-        use imprecise_gpgpu::sim::isa::WarpInterpreter;
+        use imprecise_gpgpu::sim::isa::{CutoverPolicy, WarpInterpreter};
 
         let prog = build(&accesses);
         let report = racecheck(&prog);
@@ -103,7 +103,13 @@ proptest! {
         seq.launch_sequential(&prog, threads, &mut seq_bufs).expect("in bounds");
 
         let mut par_bufs = base.clone();
-        let mut par = WarpInterpreter::new(IhwConfig::all_imprecise()).with_workers(4);
+        // ForceParallel pins the cutover decision: under Adaptive the
+        // 12-thread launch is below the overhead threshold (and a
+        // 1-core host never fans out), which would make the
+        // verdict ⇔ parallel-path equivalence below vacuous.
+        let mut par = WarpInterpreter::new(IhwConfig::all_imprecise())
+            .with_workers(4)
+            .with_cutover(CutoverPolicy::ForceParallel);
         par.launch(&prog, threads, &mut par_bufs).expect("in bounds");
 
         prop_assert_eq!(
