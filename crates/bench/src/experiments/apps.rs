@@ -331,9 +331,7 @@ pub fn table7(scale: Scale) -> Table {
     // The deterministic vocabulary/utterances are re-synthesized inside
     // `run_with_config`; each of the 18 configurations is one cached
     // sweep point.
-    let run_cfg = {
-        move |cfg: IhwConfig| sphinx_cached(&params, cfg).0.correct
-    };
+    let run_cfg = { move |cfg: IhwConfig| sphinx_cached(&params, cfg).0.correct };
     let total = params.words;
     let mut t = Table::new([
         "config", "accuracy", "config", "accuracy", "config", "accuracy",

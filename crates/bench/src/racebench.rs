@@ -1,20 +1,25 @@
 //! Kernel-throughput benchmark for the racecheck-gated parallel launch
-//! path: sequential vs multi-worker launches of every stock kernel ×
-//! stock config, with a bit-identity check folded into every
-//! measurement. Records `BENCH_kernel_throughput.json`
-//! (schema `ihw-racebench/2`).
+//! path: interpreted-sequential reference vs engine-sequential vs
+//! engine-parallel launches of every stock kernel × stock config, with
+//! a three-way bit-identity check folded into every measurement.
+//! Records `BENCH_kernel_throughput.json` (schema `ihw-racebench/3`).
 //!
-//! Schema 2 additions over schema 1:
-//! - the default worker budget is clamped to the measuring host's
-//!   `available_parallelism()` (an explicit `--workers` overrides the
-//!   clamp), and the report says so via `"workers_clamped"`;
-//! - every row records which launch `"path"` the interpreter actually
-//!   took (`direct`, `journal`, `cutover`, `unproven`, `sequential`),
-//!   so a 1.0× speedup from an adaptive sequential fallback is
-//!   distinguishable from a genuinely slow parallel run;
-//! - the adaptive cutover threshold used for the run is calibrated
-//!   from a measured fan-out overhead and recorded as
-//!   `"overhead_ops"`.
+//! Schema 3 additions over schema 2:
+//! - every row records the `"engine"` that served the measured
+//!   launches (`interpreted` or `compiled` — see
+//!   [`gpu_sim::isa::ExecEngine`]); the compiled engine lowers the
+//!   `(Program, IhwConfig)` pair once and runs lanes as tight loops;
+//! - `"compile_seconds"`: the one-time plan-lowering cost the plan
+//!   cache amortizes across launches, timed separately so it can be
+//!   compared against the per-launch savings;
+//! - `"interp_seconds"` and `"speedup_vs_interp"`: the
+//!   interpreted-sequential reference time and the engine-sequential
+//!   speedup over it — the headline number of the compiled engine
+//!   (gated in CI via `--min-compiled-speedup`, a geomean floor);
+//! - `"sequential_seconds"` / `"parallel_seconds"` / `"speedup"` keep
+//!   their schema-2 meaning but both sides now run on the row's
+//!   engine, so the parallel speedup is measured against the engine's
+//!   own sequential body, not against a slower interpreter.
 //!
 //! Timing goes through [`Stopwatch`] — the workspace's single
 //! sanctioned wall-clock read (`ihw-lint` rule L003) — so this module
@@ -22,14 +27,17 @@
 
 use crate::runner::report::Stopwatch;
 use gpu_sim::deps::footprints;
-use gpu_sim::isa::{CutoverPolicy, Program, WarpInterpreter, DEFAULT_PARALLEL_OVERHEAD_OPS};
+use gpu_sim::isa::{
+    CutoverPolicy, ExecEngine, Program, WarpInterpreter, DEFAULT_COMPILED_PARALLEL_OVERHEAD_OPS,
+    DEFAULT_PARALLEL_OVERHEAD_OPS,
+};
 use ihw_core::config::IhwConfig;
 
 /// Default output filename (workspace root, committed as a perf record).
 pub const BENCH_FILE: &str = "BENCH_kernel_throughput.json";
 
 /// Schema tag of the benchmark JSON document.
-pub const SCHEMA: &str = "ihw-racebench/2";
+pub const SCHEMA: &str = "ihw-racebench/3";
 
 /// Default worker budget before clamping to the host.
 pub const DEFAULT_WORKERS: usize = 8;
@@ -41,27 +49,45 @@ pub struct ThroughputRow {
     pub kernel: String,
     /// Config label (as in `ihw_analyze::stock_configs`).
     pub config: String,
-    /// Best-of-N sequential launch seconds.
+    /// Engine label (`interpreted` / `compiled`) the sequential and
+    /// parallel measurements ran on.
+    pub engine: String,
+    /// One-time `(Program, IhwConfig)` plan-lowering seconds (0 for
+    /// the interpreted engine, which has no lowering step).
+    pub compile_seconds: f64,
+    /// Best-of-N **interpreted**-sequential launch seconds — the
+    /// engine-independent reference everything is compared against.
+    pub interp_seconds: f64,
+    /// Best-of-N engine-sequential launch seconds.
     pub sequential_seconds: f64,
-    /// Best-of-N parallel launch seconds (same thread count).
+    /// Best-of-N engine-parallel launch seconds (same thread count).
     pub parallel_seconds: f64,
-    /// `sequential_seconds / parallel_seconds`.
+    /// `sequential_seconds / parallel_seconds` — what fanning out buys
+    /// on this engine.
     pub speedup: f64,
-    /// Whether the interpreter actually took the parallel path (it
-    /// falls back to sequential unless racecheck proves independence
-    /// and the cutover estimate favours fanning out).
+    /// `interp_seconds / sequential_seconds` — what the engine itself
+    /// buys over per-thread re-interpretation (~1.0 on the
+    /// interpreted engine, the headline gain on the compiled one).
+    pub speedup_vs_interp: f64,
+    /// Whether the engine-parallel launch actually took a parallel
+    /// path (it falls back to sequential unless the proof holds and
+    /// the cutover estimate favours fanning out).
     pub parallel_used: bool,
     /// Launch-path label from [`gpu_sim::isa::LaunchDecision::label`]:
     /// `direct` / `journal` when parallel, `cutover` / `unproven` /
     /// `sequential` when the launch stayed on one thread.
     pub path: String,
-    /// Whether outputs and op counters matched bit-for-bit.
+    /// Whether all three runs (interpreted-sequential,
+    /// engine-sequential, engine-parallel) matched bit-for-bit in
+    /// buffers and count-for-count in op counters.
     pub bit_identical: bool,
 }
 
 /// The full benchmark result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputReport {
+    /// Engine label every row ran on.
+    pub engine: String,
     /// Threads per launch.
     pub threads: u32,
     /// Worker budget of the parallel runs.
@@ -73,8 +99,8 @@ pub struct ThroughputReport {
     /// Repetitions per measurement (best-of).
     pub repeats: u32,
     /// `std::thread::available_parallelism()` of the measuring host —
-    /// speedup is bounded above by this, so a 1-core CI box recording
-    /// ~1.0× is expected, not a regression.
+    /// parallel speedup is bounded above by this, so a 1-core CI box
+    /// recording ~1.0× is expected, not a regression.
     pub host_parallelism: usize,
     /// Adaptive-cutover threshold (estimated launch ops below which
     /// the interpreter stays sequential) used for every measurement.
@@ -97,6 +123,8 @@ pub struct MeasureOpts {
     pub cutover: CutoverPolicy,
     /// Adaptive-cutover threshold in estimated ops.
     pub overhead_ops: u64,
+    /// Engine serving the sequential and parallel measurements.
+    pub engine: ExecEngine,
 }
 
 impl Default for MeasureOpts {
@@ -106,7 +134,8 @@ impl Default for MeasureOpts {
             workers: DEFAULT_WORKERS,
             repeats: 3,
             cutover: CutoverPolicy::Adaptive,
-            overhead_ops: DEFAULT_PARALLEL_OVERHEAD_OPS,
+            overhead_ops: DEFAULT_COMPILED_PARALLEL_OVERHEAD_OPS,
+            engine: ExecEngine::Compiled,
         }
     }
 }
@@ -139,24 +168,34 @@ fn best_of<F: FnMut()>(repeats: u32, mut f: F) -> f64 {
     best
 }
 
-/// Estimates the adaptive-cutover threshold for this host: the number
-/// of interpreter ops whose sequential execution costs about as much
-/// as one parallel fan-out.
+/// The engine's compile-time default cutover threshold.
+fn default_overhead_ops(engine: ExecEngine) -> u64 {
+    match engine {
+        ExecEngine::Interpreted => DEFAULT_PARALLEL_OVERHEAD_OPS,
+        ExecEngine::Compiled => DEFAULT_COMPILED_PARALLEL_OVERHEAD_OPS,
+    }
+}
+
+/// Estimates the adaptive-cutover threshold for this host and engine:
+/// the number of launch ops whose sequential execution costs about as
+/// much as one parallel fan-out.
 ///
 /// Method: measure sequential ops/second on a large saxpy launch, then
 /// measure how much longer a *tiny* forced-parallel launch takes than
 /// the same launch run sequentially — at 64 threads the work is
-/// negligible, so the difference is almost pure pool/snapshot/merge
-/// overhead. The product converts that overhead into the op-count
-/// denomination `gpu-sim` uses (it may not read the clock itself,
-/// `ihw-lint` rule L003 — so the calibration lives here and the result
-/// is handed over via `set_parallel_overhead_ops`).
+/// negligible, so the difference is almost pure pool/merge overhead.
+/// The product converts that overhead into the op-count denomination
+/// `gpu-sim` uses (it may not read the clock itself, `ihw-lint` rule
+/// L003 — so the calibration lives here and the result is handed over
+/// via `set_parallel_overhead_ops`). Calibration is per engine: a
+/// compiled op is several times cheaper than an interpreted one, so
+/// the same wall-clock overhead costs proportionally more ops.
 ///
-/// Falls back to [`DEFAULT_PARALLEL_OVERHEAD_OPS`] when `workers <= 1`
+/// Falls back to the engine's default constant when `workers <= 1`
 /// (nothing to calibrate) or the timings are degenerate.
-pub fn calibrate_overhead_ops(workers: usize, repeats: u32) -> u64 {
+pub fn calibrate_overhead_ops(workers: usize, repeats: u32, engine: ExecEngine) -> u64 {
     if workers <= 1 {
-        return DEFAULT_PARALLEL_OVERHEAD_OPS;
+        return default_overhead_ops(engine);
     }
     let prog = gpu_sim::programs::saxpy(2.0);
     let cfg = IhwConfig::default();
@@ -165,12 +204,10 @@ pub fn calibrate_overhead_ops(workers: usize, repeats: u32) -> u64 {
     // Sequential ops/second at a size large enough to swamp timer noise.
     let big: u32 = 1 << 14;
     let big_base = seed_buffers(&prog, big);
-    let mut seq_big = WarpInterpreter::new(cfg);
+    let mut seq_big = WarpInterpreter::new(cfg).with_engine(engine);
     let seq_big_seconds = best_of(reps, || {
         let mut bufs = big_base.clone();
-        seq_big
-            .launch_sequential(&prog, big, &mut bufs)
-            .expect("saxpy runs");
+        seq_big.launch(&prog, big, &mut bufs).expect("saxpy runs");
     });
     let ops = prog.instrs().len() as f64 * f64::from(big);
     let ops_per_second = ops / seq_big_seconds.max(1e-9);
@@ -179,18 +216,17 @@ pub fn calibrate_overhead_ops(workers: usize, repeats: u32) -> u64 {
     let tiny: u32 = 64;
     let tiny_base = seed_buffers(&prog, tiny);
     let mut par = WarpInterpreter::new(cfg)
+        .with_engine(engine)
         .with_workers(workers)
         .with_cutover(CutoverPolicy::ForceParallel);
     let par_tiny_seconds = best_of(reps, || {
         let mut bufs = tiny_base.clone();
         par.launch(&prog, tiny, &mut bufs).expect("saxpy runs");
     });
-    let mut seq_tiny = WarpInterpreter::new(cfg);
+    let mut seq_tiny = WarpInterpreter::new(cfg).with_engine(engine);
     let seq_tiny_seconds = best_of(reps, || {
         let mut bufs = tiny_base.clone();
-        seq_tiny
-            .launch_sequential(&prog, tiny, &mut bufs)
-            .expect("saxpy runs");
+        seq_tiny.launch(&prog, tiny, &mut bufs).expect("saxpy runs");
     });
 
     let overhead_seconds = (par_tiny_seconds - seq_tiny_seconds).max(0.0);
@@ -198,14 +234,15 @@ pub fn calibrate_overhead_ops(workers: usize, repeats: u32) -> u64 {
     if estimate.is_finite() {
         estimate.max(1.0) as u64
     } else {
-        DEFAULT_PARALLEL_OVERHEAD_OPS
+        default_overhead_ops(engine)
     }
 }
 
-/// Measures one kernel under one config: sequential vs `workers`-way
-/// parallel launch over `threads` threads, asserting nothing — the
-/// bit-identity verdict is recorded in the row (the differential test
-/// suite is the enforcing gate; the benchmark only reports).
+/// Measures one kernel under one config: the interpreted-sequential
+/// reference, then engine-sequential and engine-parallel launches over
+/// the same inputs, asserting nothing — the three-way bit-identity
+/// verdict is recorded in the row (the differential test suite is the
+/// enforcing gate; the benchmark only reports).
 pub fn measure(prog: &Program, cfg: &IhwConfig, label: &str, opts: MeasureOpts) -> ThroughputRow {
     let MeasureOpts {
         threads,
@@ -213,25 +250,70 @@ pub fn measure(prog: &Program, cfg: &IhwConfig, label: &str, opts: MeasureOpts) 
         repeats,
         cutover,
         overhead_ops,
+        engine,
     } = opts;
     let base = seed_buffers(prog, threads);
 
+    // Interpreted-sequential reference (engine-independent semantics).
+    let mut ref_bufs = Vec::new();
+    let mut ref_interp = WarpInterpreter::new(*cfg).with_engine(ExecEngine::Interpreted);
+    let interp_seconds = best_of(repeats, || {
+        let mut bufs = base.clone();
+        ref_interp.reset_counters();
+        ref_interp
+            .launch_sequential(prog, threads, &mut bufs)
+            .expect("stock kernels run");
+        ref_bufs = bufs;
+    });
+
+    // One-time lowering cost (the plan cache amortizes this away; it
+    // is timed separately so the record keeps it honest).
+    let compile_seconds = match engine {
+        ExecEngine::Interpreted => 0.0,
+        ExecEngine::Compiled => {
+            let sw = Stopwatch::start();
+            let plan = gpu_sim::plan::compile(prog, cfg);
+            let elapsed = sw.elapsed_seconds();
+            assert_eq!(plan.len(), prog.instrs().len());
+            elapsed
+        }
+    };
+
+    // Engine-sequential: worker budget 1 keeps `launch` on the
+    // sequential body of the selected engine. One warm-up launch
+    // populates the plan cache so the timed loop measures steady state.
     let mut seq_bufs = Vec::new();
-    let mut seq_interp = WarpInterpreter::new(*cfg);
+    let mut seq_interp = WarpInterpreter::new(*cfg).with_engine(engine);
+    {
+        let mut bufs = base.clone();
+        seq_interp
+            .launch(prog, threads, &mut bufs)
+            .expect("stock kernels run");
+        seq_interp.reset_counters();
+    }
     let sequential_seconds = best_of(repeats, || {
         let mut bufs = base.clone();
         seq_interp.reset_counters();
         seq_interp
-            .launch_sequential(prog, threads, &mut bufs)
+            .launch(prog, threads, &mut bufs)
             .expect("stock kernels run");
         seq_bufs = bufs;
     });
 
+    // Engine-parallel: same engine, full worker budget.
     let mut par_bufs = Vec::new();
     let mut par_interp = WarpInterpreter::new(*cfg)
+        .with_engine(engine)
         .with_workers(workers)
         .with_cutover(cutover);
     par_interp.set_parallel_overhead_ops(overhead_ops);
+    {
+        let mut bufs = base.clone();
+        par_interp
+            .launch(prog, threads, &mut bufs)
+            .expect("stock kernels run");
+        par_interp.reset_counters();
+    }
     let parallel_seconds = best_of(repeats, || {
         let mut bufs = base.clone();
         par_interp.reset_counters();
@@ -246,19 +328,29 @@ pub fn measure(prog: &Program, cfg: &IhwConfig, label: &str, opts: MeasureOpts) 
             .map(|b| b.iter().map(|x| x.to_bits()).collect())
             .collect()
     };
-    let bit_identical = bits(&seq_bufs) == bits(&par_bufs)
-        && seq_interp.ctx().counts() == par_interp.ctx().counts()
-        && seq_interp.ctx().int_ops() == par_interp.ctx().int_ops()
-        && seq_interp.ctx().mem_ops() == par_interp.ctx().mem_ops()
-        && seq_interp.ctx().precise_mul_ops() == par_interp.ctx().precise_mul_ops();
+    let ctx_equal = |a: &WarpInterpreter, b: &WarpInterpreter| {
+        a.ctx().counts() == b.ctx().counts()
+            && a.ctx().int_ops() == b.ctx().int_ops()
+            && a.ctx().mem_ops() == b.ctx().mem_ops()
+            && a.ctx().precise_mul_ops() == b.ctx().precise_mul_ops()
+    };
+    let ref_bits = bits(&ref_bufs);
+    let bit_identical = ref_bits == bits(&seq_bufs)
+        && ref_bits == bits(&par_bufs)
+        && ctx_equal(&ref_interp, &seq_interp)
+        && ctx_equal(&ref_interp, &par_interp);
 
     let stats = par_interp.last_launch_stats();
     ThroughputRow {
         kernel: prog.name().to_string(),
         config: label.to_string(),
+        engine: engine.label().to_string(),
+        compile_seconds,
+        interp_seconds,
         sequential_seconds,
         parallel_seconds,
         speedup: sequential_seconds / parallel_seconds.max(1e-12),
+        speedup_vs_interp: interp_seconds / sequential_seconds.max(1e-12),
         parallel_used: stats.decision.is_parallel(),
         path: stats.decision.label().to_string(),
         bit_identical,
@@ -268,8 +360,13 @@ pub fn measure(prog: &Program, cfg: &IhwConfig, label: &str, opts: MeasureOpts) 
 /// Runs the benchmark over every stock kernel × stock config under the
 /// production `Adaptive` cutover, calibrating the overhead threshold
 /// once up front.
-pub fn run_stock(threads: u32, workers: usize, repeats: u32) -> ThroughputReport {
-    let overhead_ops = calibrate_overhead_ops(workers, repeats);
+pub fn run_stock(
+    threads: u32,
+    workers: usize,
+    repeats: u32,
+    engine: ExecEngine,
+) -> ThroughputReport {
+    let overhead_ops = calibrate_overhead_ops(workers, repeats, engine);
     let mut rows = Vec::new();
     for prog in ihw_analyze::stock_kernels() {
         for (label, cfg) in ihw_analyze::stock_configs() {
@@ -283,11 +380,13 @@ pub fn run_stock(threads: u32, workers: usize, repeats: u32) -> ThroughputReport
                     repeats,
                     cutover: CutoverPolicy::Adaptive,
                     overhead_ops,
+                    engine,
                 },
             ));
         }
     }
     ThroughputReport {
+        engine: engine.label().to_string(),
         threads,
         workers,
         workers_clamped: false,
@@ -304,12 +403,27 @@ pub fn host_parallelism() -> usize {
 }
 
 impl ThroughputReport {
+    /// Geometric mean of `speedup_vs_interp` across the rows — the
+    /// headline engine-vs-interpreter number the CI floor gates.
+    pub fn geomean_speedup_vs_interp(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self
+            .rows
+            .iter()
+            .map(|r| r.speedup_vs_interp.max(1e-12).ln())
+            .sum();
+        (log_sum / self.rows.len() as f64).exp()
+    }
+
     /// Aligned human-readable table.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "== kernel throughput: {} threads, {} workers{}, best of {}, \
+            "== kernel throughput: {} engine, {} threads, {} workers{}, best of {}, \
              host parallelism {}, cutover {} ops ==\n",
+            self.engine,
             self.threads,
             self.workers,
             if self.workers_clamped {
@@ -322,21 +436,36 @@ impl ThroughputReport {
             self.overhead_ops,
         ));
         out.push_str(&format!(
-            "{:<12} {:<16} {:>12} {:>12} {:>8} {:>10} {:>9}\n",
-            "kernel", "config", "seq (s)", "par (s)", "speedup", "path", "bitexact"
+            "{:<12} {:<16} {:>12} {:>12} {:>12} {:>9} {:>8} {:>10} {:>9}\n",
+            "kernel",
+            "config",
+            "interp (s)",
+            "seq (s)",
+            "par (s)",
+            "vs-interp",
+            "speedup",
+            "path",
+            "bitexact"
         ));
         for r in &self.rows {
             out.push_str(&format!(
-                "{:<12} {:<16} {:>12.6} {:>12.6} {:>7.2}x {:>10} {:>9}\n",
+                "{:<12} {:<16} {:>12.6} {:>12.6} {:>12.6} {:>8.2}x {:>7.2}x {:>10} {:>9}\n",
                 r.kernel,
                 r.config,
+                r.interp_seconds,
                 r.sequential_seconds,
                 r.parallel_seconds,
+                r.speedup_vs_interp,
                 r.speedup,
                 r.path,
                 if r.bit_identical { "yes" } else { "NO" },
             ));
         }
+        out.push_str(&format!(
+            "geomean {} speedup vs interpreted-sequential: {:.2}x\n",
+            self.engine,
+            self.geomean_speedup_vs_interp()
+        ));
         out
     }
 
@@ -353,6 +482,7 @@ impl ThroughputReport {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"engine\": \"{}\",\n", self.engine));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"workers\": {},\n", self.workers));
         out.push_str(&format!(
@@ -365,19 +495,29 @@ impl ThroughputReport {
             self.host_parallelism
         ));
         out.push_str(&format!("  \"overhead_ops\": {},\n", self.overhead_ops));
+        out.push_str(&format!(
+            "  \"geomean_speedup_vs_interp\": {},\n",
+            f(self.geomean_speedup_vs_interp())
+        ));
         out.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
             let comma = if i + 1 < self.rows.len() { "," } else { "" };
             out.push_str(&format!(
-                "    {{ \"kernel\": \"{}\", \"config\": \"{}\", \
+                "    {{ \"kernel\": \"{}\", \"config\": \"{}\", \"engine\": \"{}\", \
+                 \"compile_seconds\": {}, \"interp_seconds\": {}, \
                  \"sequential_seconds\": {}, \"parallel_seconds\": {}, \
-                 \"speedup\": {}, \"parallel_used\": {}, \"path\": \"{}\", \
+                 \"speedup\": {}, \"speedup_vs_interp\": {}, \
+                 \"parallel_used\": {}, \"path\": \"{}\", \
                  \"bit_identical\": {} }}{comma}\n",
                 r.kernel,
                 r.config,
+                r.engine,
+                f(r.compile_seconds),
+                f(r.interp_seconds),
                 f(r.sequential_seconds),
                 f(r.parallel_seconds),
                 f(r.speedup),
+                f(r.speedup_vs_interp),
                 r.parallel_used,
                 r.path,
                 r.bit_identical,
@@ -390,20 +530,29 @@ impl ThroughputReport {
 
 /// CLI for `repro racecheck --bench`: runs the benchmark, prints the
 /// table and writes the JSON record. Returns the process exit code
-/// (non-zero when any row is not bit-identical, or — with
-/// `--min-speedup` — when any row that fanned out failed to pay for
-/// itself).
+/// (non-zero when any row is not bit-identical; with `--min-speedup`,
+/// when any row that fanned out failed to pay for itself; with
+/// `--min-compiled-speedup`, when the geomean engine-vs-interpreted
+/// speedup falls below the recorded floor).
 pub fn run_cli(args: &[String]) -> i32 {
     let mut threads: u32 = 1 << 15;
     let mut workers: Option<usize> = None;
     let mut repeats: u32 = 3;
     let mut min_speedup: Option<f64> = None;
+    let mut min_compiled_speedup: Option<f64> = None;
+    let mut engine = ExecEngine::Compiled;
     let mut out_path = std::path::PathBuf::from(BENCH_FILE);
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--bench" => {}
-            "--threads" | "--workers" | "--repeats" | "--min-speedup" | "--out" => {
+            "--threads"
+            | "--workers"
+            | "--repeats"
+            | "--min-speedup"
+            | "--min-compiled-speedup"
+            | "--engine"
+            | "--out" => {
                 let Some(value) = it.next() else {
                     eprintln!("{arg} expects a value");
                     return 2;
@@ -419,6 +568,24 @@ pub fn run_cli(args: &[String]) -> i32 {
                         .parse()
                         .map(|v: f64| min_speedup = Some(v.max(0.0)))
                         .is_ok(),
+                    "--min-compiled-speedup" => value
+                        .parse()
+                        .map(|v: f64| min_compiled_speedup = Some(v.max(0.0)))
+                        .is_ok(),
+                    "--engine" => match value.as_str() {
+                        "interpreted" => {
+                            engine = ExecEngine::Interpreted;
+                            true
+                        }
+                        "compiled" => {
+                            engine = ExecEngine::Compiled;
+                            true
+                        }
+                        _ => {
+                            eprintln!("--engine expects 'interpreted' or 'compiled'");
+                            return 2;
+                        }
+                    },
                     _ => {
                         out_path = std::path::PathBuf::from(value);
                         true
@@ -432,12 +599,17 @@ pub fn run_cli(args: &[String]) -> i32 {
             "--help" | "-h" => {
                 println!(
                     "usage: repro racecheck --bench [--threads N] [--workers N] \
-                     [--repeats N] [--min-speedup X] [--out FILE]\n\
+                     [--repeats N] [--engine interpreted|compiled] [--min-speedup X] \
+                     [--min-compiled-speedup X] [--out FILE]\n\
                      \n\
                      The default worker budget ({DEFAULT_WORKERS}) is clamped to the host's\n\
                      available parallelism; pass --workers to override the clamp.\n\
+                     --engine selects the execution engine measured against the\n\
+                     interpreted-sequential reference (default: compiled).\n\
                      --min-speedup X fails the run (exit 1) when any row that took a\n\
-                     parallel path recorded a speedup below X."
+                     parallel path recorded a speedup below X.\n\
+                     --min-compiled-speedup X fails the run (exit 1) when the geomean\n\
+                     engine-vs-interpreted sequential speedup falls below X."
                 );
                 return 0;
             }
@@ -452,7 +624,7 @@ pub fn run_cli(args: &[String]) -> i32 {
         Some(w) => (w, false),
         None => (DEFAULT_WORKERS.min(host).max(1), host < DEFAULT_WORKERS),
     };
-    let mut report = run_stock(threads, workers, repeats);
+    let mut report = run_stock(threads, workers, repeats, engine);
     report.workers_clamped = workers_clamped;
     print!("{}", report.render());
     if let Err(e) = std::fs::write(&out_path, report.to_json()) {
@@ -461,7 +633,7 @@ pub fn run_cli(args: &[String]) -> i32 {
     }
     println!("throughput record written to {}", out_path.display());
     if !report.rows.iter().all(|r| r.bit_identical) {
-        eprintln!("parallel launch diverged from sequential — see table above");
+        eprintln!("engine run diverged from the interpreted reference — see table above");
         return 1;
     }
     if let Some(min) = min_speedup {
@@ -482,6 +654,18 @@ pub fn run_cli(args: &[String]) -> i32 {
                 "bench-sanity: {} parallel row(s) below --min-speedup {min:.2} — \
                  the proof-gated launch is not paying for itself",
                 losers.len()
+            );
+            return 1;
+        }
+    }
+    if let Some(min) = min_compiled_speedup {
+        let geomean = report.geomean_speedup_vs_interp();
+        if geomean < min {
+            eprintln!(
+                "bench-compiled: geomean {} speedup vs interpreted-sequential is \
+                 {geomean:.2}x, below the recorded floor {min:.2}x — the \
+                 config-compiled execution path has regressed",
+                report.engine
             );
             return 1;
         }
@@ -517,12 +701,36 @@ mod tests {
                 repeats: 1,
                 cutover: CutoverPolicy::ForceParallel,
                 overhead_ops: 1,
+                engine: ExecEngine::Compiled,
             },
         );
-        assert!(row.bit_identical, "parallel run must match sequential");
+        assert!(row.bit_identical, "all three runs must match");
         assert!(row.parallel_used, "saxpy is thread-independent");
         assert_eq!(row.path, "direct", "saxpy stores are affine own-slot");
+        assert_eq!(row.engine, "compiled");
+        assert!(row.compile_seconds >= 0.0);
         assert!(row.sequential_seconds >= 0.0 && row.parallel_seconds >= 0.0);
+    }
+
+    #[test]
+    fn interpreted_engine_rows_have_no_compile_cost() {
+        let prog = programs::saxpy(2.0);
+        let row = measure(
+            &prog,
+            &IhwConfig::precise(),
+            "precise",
+            MeasureOpts {
+                threads: 128,
+                workers: 2,
+                repeats: 1,
+                cutover: CutoverPolicy::ForceParallel,
+                overhead_ops: 1,
+                engine: ExecEngine::Interpreted,
+            },
+        );
+        assert_eq!(row.engine, "interpreted");
+        assert_eq!(row.compile_seconds, 0.0);
+        assert!(row.bit_identical);
     }
 
     #[test]
@@ -538,6 +746,7 @@ mod tests {
                 repeats: 1,
                 cutover: CutoverPolicy::ForceSequential,
                 overhead_ops: 1,
+                engine: ExecEngine::Compiled,
             },
         );
         assert!(!row.parallel_used);
@@ -547,11 +756,17 @@ mod tests {
 
     #[test]
     fn json_record_shape() {
-        let report = run_stock(64, 2, 1);
+        let report = run_stock(64, 2, 1, ExecEngine::Compiled);
         assert_eq!(report.rows.len(), 4 * 5, "kernels × configs");
         assert!(report.rows.iter().all(|r| r.bit_identical));
+        assert!(report.geomean_speedup_vs_interp() > 0.0);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"ihw-racebench/2\""));
+        assert!(json.contains("\"schema\": \"ihw-racebench/3\""));
+        assert!(json.contains("\"engine\": \"compiled\""));
+        assert!(json.contains("\"compile_seconds\""));
+        assert!(json.contains("\"interp_seconds\""));
+        assert!(json.contains("\"speedup_vs_interp\""));
+        assert!(json.contains("\"geomean_speedup_vs_interp\""));
         assert!(json.contains("\"host_parallelism\""));
         assert!(json.contains("\"workers_clamped\": false"));
         assert!(json.contains("\"overhead_ops\""));

@@ -27,12 +27,12 @@
 //! assert!((y - 2.24f32).abs() / 2.24 < 0.0204 + 1e-6);
 //! ```
 
-use crate::format::{flush_subnormal, Format, RoundedClass};
+use crate::format::{flush_subnormal, Format};
 use crate::mitchell::mitchell_mul;
 use serde::{Deserialize, Serialize};
 
 /// Which datapath of Figure 7 the multiplier is configured to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MulPath {
     /// MA on the whole mantissa multiplication (11.11% max error, lowest power).
     Log,
@@ -42,7 +42,7 @@ pub enum MulPath {
 }
 
 /// A complete accuracy configuration: datapath plus operand truncation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AcMulConfig {
     /// Selected datapath.
     pub path: MulPath,
@@ -71,30 +71,44 @@ impl AcMulConfig {
     }
 
     /// Multiplies raw bit patterns of the given format.
+    #[inline(always)]
     pub fn mul_bits(&self, fmt: Format, a: u64, b: u64) -> u64 {
         let a = flush_subnormal(fmt, a);
         let b = flush_subnormal(fmt, b);
-        let pa = fmt.decompose(a);
-        let pb = fmt.decompose(b);
-        let sign = pa.sign ^ pb.sign;
-        match (fmt.classify(&pa), fmt.classify(&pb)) {
-            (RoundedClass::Nan, _) | (_, RoundedClass::Nan) => fmt.nan(),
-            (RoundedClass::Infinite, RoundedClass::Zero)
-            | (RoundedClass::Zero, RoundedClass::Infinite) => fmt.nan(),
-            (RoundedClass::Infinite, _) | (_, RoundedClass::Infinite) => fmt.infinity(sign),
-            (RoundedClass::Zero, _) | (_, RoundedClass::Zero) => fmt.zero(sign),
-            (RoundedClass::Normal, RoundedClass::Normal) => {
-                let exp = fmt.unbiased_exp(&pa) + fmt.unbiased_exp(&pb);
-                let t = self.truncation.min(fmt.frac_bits);
-                let keep_mask = fmt.frac_mask() & !((1u64 << t) - 1);
-                let fa = pa.frac & keep_mask;
-                let fb = pb.frac & keep_mask;
-                match self.path {
-                    MulPath::Log => log_path(fmt, sign, exp, fa, fb),
-                    MulPath::Full => full_path(fmt, sign, exp, fa, fb),
-                }
-            }
-        }
+
+        // Straight-line select cascade (reverse priority order) over an
+        // unconditionally evaluated normal x normal datapath; the only
+        // remaining branch is the loop-invariant path choice, which loop
+        // unswitching hoists out of the SIMT lane loops.
+        let frac_bits = fmt.frac_bits;
+        let emax = fmt.exp_max();
+        let ea = (a >> frac_bits) & emax;
+        let eb = (b >> frac_bits) & emax;
+        let fra = a & fmt.frac_mask();
+        let frb = b & fmt.frac_mask();
+        let sign = ((a ^ b) >> (fmt.exp_bits + frac_bits)) & 1;
+        let a_nan = ea == emax && fra != 0;
+        let b_nan = eb == emax && frb != 0;
+        let a_inf = ea == emax && fra == 0;
+        let b_inf = eb == emax && frb == 0;
+        let a_zero = ea == 0; // frac already flushed
+        let b_zero = eb == 0;
+
+        let exp = ea as i64 + eb as i64 - 2 * fmt.bias();
+        let t = self.truncation.min(frac_bits);
+        let keep_mask = fmt.frac_mask() & !((1u64 << t) - 1);
+        let fa = fra & keep_mask;
+        let fb = frb & keep_mask;
+        let normal = match self.path {
+            MulPath::Log => log_path(fmt, sign, exp, fa, fb),
+            MulPath::Full => full_path(fmt, sign, exp, fa, fb),
+        };
+
+        let mut r = normal;
+        r = sel(a_zero || b_zero, fmt.zero(sign), r);
+        r = sel(a_inf || b_inf, fmt.infinity(sign), r);
+        r = sel((a_inf && b_zero) || (a_zero && b_inf), fmt.nan(), r);
+        sel(a_nan || b_nan, fmt.nan(), r)
     }
 
     /// Multiplies two single precision values under this configuration.
@@ -104,40 +118,54 @@ impl AcMulConfig {
     /// let log = AcMulConfig::new(MulPath::Log, 0);
     /// assert_eq!(log.mul32(2.0, 8.0), 16.0); // powers of two exact
     /// ```
+    #[inline(always)]
     pub fn mul32(&self, a: f32, b: f32) -> f32 {
         f32::from_bits(self.mul_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64) as u32)
     }
 
     /// Multiplies two double precision values under this configuration.
+    #[inline(always)]
     pub fn mul64(&self, a: f64, b: f64) -> f64 {
         f64::from_bits(self.mul_bits(Format::DOUBLE, a.to_bits(), b.to_bits()))
     }
 }
 
+/// Branch-free select on raw bit patterns.
+#[inline(always)]
+fn sel(cond: bool, t: u64, f: u64) -> u64 {
+    if cond {
+        t
+    } else {
+        f
+    }
+}
+
 /// Log path (paper eq. 12 with x = M): `frac = Ma + Mb`, carrying into the
 /// exponent when the fraction sum reaches 1.
-fn log_path(fmt: Format, sign: u64, mut exp: i64, fa: u64, fb: u64) -> u64 {
+#[inline(always)]
+fn log_path(fmt: Format, sign: u64, exp: i64, fa: u64, fb: u64) -> u64 {
+    // Both fractions sit below the hidden bit, so the carry into the
+    // exponent is exactly bit F of the sum and the wrapped fraction is the
+    // masked sum — no data-dependent branch.
     let sum = fa + fb;
-    let frac = if sum >= fmt.hidden_bit() {
-        exp += 1;
-        sum - fmt.hidden_bit()
-    } else {
-        sum
-    };
-    fmt.encode_normal(sign, exp, frac)
+    let cin = sum >> fmt.frac_bits;
+    fmt.encode_normal(sign, exp + cin as i64, sum & fmt.frac_mask())
 }
 
 /// Full path: `mant = 1 + Ma + Mb + MA(Ma, Mb)` (§4.1.2), normalised.
+#[inline(always)]
 fn full_path(fmt: Format, sign: u64, mut exp: i64, fa: u64, fb: u64) -> u64 {
     let f = fmt.frac_bits;
     // MA(Ma, Mb) where Ma·Mb = fa·fb / 2^(2F); rescale the MA product into
     // 2^-F fixed point (truncating, as the Add3 datapath does).
     let ma_term = (mitchell_mul(fa, fb) >> f) as u64;
     let mut mant = fmt.hidden_bit() + fa + fb + ma_term; // [1, 4) in 2^-F units
-    while mant >= fmt.hidden_bit() << 1 {
-        mant >>= 1;
-        exp += 1;
-    }
+                                                         // Normalize right so the hidden bit lands at position F; mant < 4 means
+                                                         // the shift is 0..=2, computed from the MSB index instead of a loop.
+    let shift = (63 - i64::from(mant.leading_zeros())) - f as i64;
+    let shift = shift.max(0);
+    mant >>= shift;
+    exp += shift;
     fmt.encode_normal(sign, exp, mant - fmt.hidden_bit())
 }
 
@@ -163,6 +191,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn full_path_bound_2_04_percent() {
         let cfg = AcMulConfig::new(MulPath::Full, 0);
         let mut worst = 0.0f64;
@@ -181,6 +210,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn log_path_bound_11_11_percent() {
         let cfg = AcMulConfig::new(MulPath::Log, 0);
         let mut worst = 0.0f64;
@@ -196,6 +226,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn log_path_beats_original_imprecise_multiplier() {
         // At Ma = Mb → 1 the original unit errs 25%, the log path 11%.
         let cfg = AcMulConfig::new(MulPath::Log, 0);
@@ -208,6 +239,7 @@ mod tests {
     }
 
     #[test]
+    #[inline]
     fn full_path_more_accurate_than_log_path() {
         let log = AcMulConfig::new(MulPath::Log, 0);
         let full = AcMulConfig::new(MulPath::Full, 0);

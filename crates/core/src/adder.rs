@@ -26,7 +26,7 @@
 //! assert!((s - 2.75).abs() / 2.75 < 0.01);
 //! ```
 
-use crate::format::{flush_subnormal, Format, RoundedClass};
+use crate::format::{flush_subnormal, Format};
 
 /// Inclusive range of valid `TH` values (Table 1: `TH ∈ [1, 27]`).
 pub const TH_RANGE: std::ops::RangeInclusive<u32> = 1..=27;
@@ -39,95 +39,117 @@ pub const TH_RANGE: std::ops::RangeInclusive<u32> = 1..=27;
 /// # Panics
 ///
 /// Panics if `th` is outside [`TH_RANGE`].
+#[inline(always)]
 pub fn imprecise_add_bits(fmt: Format, a: u64, b: u64, th: u32) -> u64 {
     assert!(TH_RANGE.contains(&th), "TH must lie in [1, 27], got {th}");
     let a = flush_subnormal(fmt, a);
     let b = flush_subnormal(fmt, b);
-    let pa = fmt.decompose(a);
-    let pb = fmt.decompose(b);
-    match (fmt.classify(&pa), fmt.classify(&pb)) {
-        (RoundedClass::Nan, _) | (_, RoundedClass::Nan) => fmt.nan(),
-        (RoundedClass::Infinite, RoundedClass::Infinite) => {
-            if pa.sign == pb.sign {
-                a
-            } else {
-                fmt.nan() // +inf + -inf
-            }
-        }
-        (RoundedClass::Infinite, _) => a,
-        (_, RoundedClass::Infinite) => b,
-        (RoundedClass::Zero, RoundedClass::Zero) => {
-            // +0 + -0 = +0; equal signs keep the sign.
-            if pa.sign == pb.sign {
-                a
-            } else {
-                fmt.zero(0)
-            }
-        }
-        (RoundedClass::Zero, _) => b,
-        (_, RoundedClass::Zero) => a,
-        (RoundedClass::Normal, RoundedClass::Normal) => add_normals(fmt, a, b, th),
+
+    // The body is deliberately straight-line: the normal x normal datapath is
+    // evaluated unconditionally (with clamped shifts so off-path operands
+    // cannot overflow) and the IEEE special cases are layered on top as a
+    // select cascade in reverse priority order. With no data-dependent
+    // branches the SIMT lane loops that inline this auto-vectorize.
+    let frac_bits = fmt.frac_bits;
+    let emax = fmt.exp_max();
+    let sign_shift = fmt.exp_bits + frac_bits;
+    let ea = (a >> frac_bits) & emax;
+    let eb = (b >> frac_bits) & emax;
+    let fa = a & fmt.frac_mask();
+    let fb = b & fmt.frac_mask();
+    let same_sign = (a >> sign_shift) == (b >> sign_shift);
+    let a_nan = ea == emax && fa != 0;
+    let b_nan = eb == emax && fb != 0;
+    let a_inf = ea == emax && fa == 0;
+    let b_inf = eb == emax && fb == 0;
+    let a_zero = ea == 0; // frac already flushed
+    let b_zero = eb == 0;
+
+    let normal = add_normals(fmt, a, b, th);
+    let mut r = normal;
+    r = sel(b_zero && !a_zero, a, r);
+    r = sel(a_zero && !b_zero, b, r);
+    // +0 + -0 = +0; equal signs keep the sign.
+    r = sel(a_zero && b_zero, sel(same_sign, a, fmt.zero(0)), r);
+    r = sel(b_inf && !a_inf, b, r);
+    r = sel(a_inf && !b_inf, a, r);
+    // +inf + -inf = NaN; equal signs keep the infinity.
+    r = sel(a_inf && b_inf, sel(same_sign, a, fmt.nan()), r);
+    sel(a_nan || b_nan, fmt.nan(), r)
+}
+
+/// Branch-free select on raw bit patterns.
+#[inline(always)]
+fn sel(cond: bool, t: u64, f: u64) -> u64 {
+    if cond {
+        t
+    } else {
+        f
     }
 }
 
 /// Imprecise subtraction: `a - b` via sign inversion of `b`.
+#[inline(always)]
 pub fn imprecise_sub_bits(fmt: Format, a: u64, b: u64, th: u32) -> u64 {
     let sign_bit = 1u64 << (fmt.exp_bits + fmt.frac_bits);
     imprecise_add_bits(fmt, a, b ^ sign_bit, th)
 }
 
+/// The normal x normal datapath, evaluated unconditionally: every shift is
+/// clamped so arbitrary (flushed) operand bits cannot overflow a shifter,
+/// and both the effective-add and effective-subtract results are computed
+/// and selected, keeping the whole function branch-free.
+#[inline(always)]
 fn add_normals(fmt: Format, a: u64, b: u64, th: u32) -> u64 {
     let frac_bits = fmt.frac_bits;
-    let pa = fmt.decompose(a);
-    let pb = fmt.decompose(b);
 
-    // Compare-and-swap so that |big| >= |small| (compare exponent then frac).
-    let a_mag = (pa.biased_exp, pa.frac);
-    let b_mag = (pb.biased_exp, pb.frac);
-    let (big_bits, small_bits) = if a_mag >= b_mag { (a, b) } else { (b, a) };
-    let big = fmt.decompose(big_bits);
-    let small = fmt.decompose(small_bits);
+    // Compare-and-swap so that |big| >= |small|. Magnitude order for normals
+    // equals integer order of the sign-masked bits (exponent field sits above
+    // the fraction), which keeps this a branch-free select in codegen.
+    let sign_shift = fmt.exp_bits + frac_bits;
+    let mag_mask = (1u64 << sign_shift) - 1;
+    let swap = (a & mag_mask) < (b & mag_mask);
+    let (big_bits, small_bits) = if swap { (b, a) } else { (a, b) };
+    let e_big = (big_bits >> frac_bits) & fmt.exp_max();
+    let e_small = (small_bits >> frac_bits) & fmt.exp_max();
+    let sign = big_bits >> sign_shift;
 
-    let d = (big.biased_exp - small.biased_exp) as u32;
-    if d >= th {
-        // Smaller operand's mantissa zeroes out after the TH-bit shifter.
-        return big_bits;
-    }
-
-    let effective_sub = big.sign != small.sign;
-    let m_big = fmt.significand(&big);
+    // d >= th zeroes the smaller mantissa in the TH-bit shifter and the sum
+    // degenerates to the larger operand; the shift clamp keeps the off-path
+    // value well defined (it is deselected below).
+    let d = (e_big - e_small) as u32;
+    let hidden = fmt.hidden_bit();
+    let m_big = hidden | (big_bits & fmt.frac_mask());
     // Shift-and-align, then truncate to TH fraction bits (eq. 7).
-    let mut m_small = fmt.significand(&small) >> d;
+    let mut m_small = (hidden | (small_bits & fmt.frac_mask())) >> d.min(63);
     if th < frac_bits {
         let dropped = frac_bits - th;
         m_small = (m_small >> dropped) << dropped;
     }
+    let exp = e_big as i64 - fmt.bias();
 
-    let exp = fmt.unbiased_exp(&big);
-    let sign = big.sign;
-    if effective_sub {
-        let diff = m_big - m_small; // m_big >= m_small by ordering+truncation
-        if diff == 0 {
-            return fmt.zero(0);
-        }
-        // Normalize left; shifted-in bits are zeros (no rounding hardware).
-        let lead = 63 - diff.leading_zeros() as i64;
-        let shift = frac_bits as i64 - lead;
-        let (mant, exp) = if shift > 0 {
-            (diff << shift, exp - shift)
-        } else {
-            (diff, exp)
-        };
-        fmt.encode_normal(sign, exp, mant & fmt.frac_mask())
-    } else {
-        let sum = m_big + m_small;
-        if sum >= fmt.hidden_bit() << 1 {
-            // Carry out: renormalize right, truncating the dropped LSB.
-            fmt.encode_normal(sign, exp + 1, (sum >> 1) & fmt.frac_mask())
-        } else {
-            fmt.encode_normal(sign, exp, sum & fmt.frac_mask())
-        }
-    }
+    // Effective add: the carry (sum >= 2·hidden) is exactly bit F+1.
+    let sum = m_big + m_small;
+    let carry = (sum >> (frac_bits + 1)) & 1;
+    let add_res = fmt.encode_normal(sign, exp + carry as i64, (sum >> carry) & fmt.frac_mask());
+
+    // Effective subtract: m_big >= m_small by ordering + truncation, so the
+    // difference never underflows. Normalize left; shifted-in bits are zeros
+    // (no rounding hardware). `diff | 1` keeps the lzcnt well defined at
+    // diff == 0, whose garbage result is deselected by the zero select.
+    let diff = m_big - m_small;
+    let lead = 63 - i64::from((diff | 1).leading_zeros());
+    let shift = (frac_bits as i64 - lead).max(0);
+    let mant = diff << shift;
+    let sub_res = sel(
+        diff == 0,
+        fmt.zero(0),
+        fmt.encode_normal(sign, exp - shift, mant & fmt.frac_mask()),
+    );
+
+    let effective_sub = ((big_bits ^ small_bits) >> sign_shift) == 1;
+    let r = sel(effective_sub, sub_res, add_res);
+    sel(d >= th, big_bits, r)
 }
 
 /// Imprecise single precision addition with threshold `th`.
@@ -141,6 +163,7 @@ fn add_normals(fmt: Format, a: u64, b: u64, th: u32) -> u64 {
 /// let y = iadd32(3.0, 5.0, 8);
 /// assert_eq!(y, 8.0); // exact: no alignment loss at d = 0..1
 /// ```
+#[inline(always)]
 pub fn iadd32(a: f32, b: f32, th: u32) -> f32 {
     f32::from_bits(
         imprecise_add_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64, th) as u32,
@@ -152,6 +175,7 @@ pub fn iadd32(a: f32, b: f32, th: u32) -> f32 {
 /// # Panics
 ///
 /// Panics if `th` is outside [`TH_RANGE`].
+#[inline(always)]
 pub fn isub32(a: f32, b: f32, th: u32) -> f32 {
     f32::from_bits(
         imprecise_sub_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64, th) as u32,
@@ -163,6 +187,7 @@ pub fn isub32(a: f32, b: f32, th: u32) -> f32 {
 /// # Panics
 ///
 /// Panics if `th` is outside [`TH_RANGE`].
+#[inline(always)]
 pub fn iadd64(a: f64, b: f64, th: u32) -> f64 {
     f64::from_bits(imprecise_add_bits(
         Format::DOUBLE,
@@ -177,6 +202,7 @@ pub fn iadd64(a: f64, b: f64, th: u32) -> f64 {
 /// # Panics
 ///
 /// Panics if `th` is outside [`TH_RANGE`].
+#[inline(always)]
 pub fn isub64(a: f64, b: f64, th: u32) -> f64 {
     f64::from_bits(imprecise_sub_bits(
         Format::DOUBLE,

@@ -99,7 +99,7 @@ impl std::fmt::Display for FpOp {
 }
 
 /// Adder implementation selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AddUnit {
     /// IEEE-754 host addition.
     Precise,
@@ -111,7 +111,7 @@ pub enum AddUnit {
 }
 
 /// Multiplier implementation selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MulUnit {
     /// IEEE-754 host multiplication.
     Precise,
@@ -124,7 +124,7 @@ pub enum MulUnit {
 }
 
 /// Selector for units that are either fully precise or fully imprecise.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum UnitMode {
     /// IEEE-754 / libm host implementation.
     Precise,
@@ -144,7 +144,12 @@ impl UnitMode {
 /// One value of this type corresponds to one point in the paper's
 /// power-quality design space (one row of Table 5, one image of
 /// Figures 15–18, …).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// The full derive set (`Eq`/`Ord`/`Hash` — every field is a plain
+/// integer-backed enum) lets a configuration serve directly as a typed
+/// map key, e.g. in the kernel plan cache of `gpu-sim`, instead of
+/// being folded through a stringly label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct IhwConfig {
     /// Adder/subtractor implementation.
     pub add: AddUnit,

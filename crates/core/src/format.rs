@@ -118,7 +118,7 @@ impl Format {
     }
 
     /// Splits a raw bit pattern into sign, biased exponent and fraction.
-    #[inline]
+    #[inline(always)]
     pub fn decompose(&self, bits: u64) -> Parts {
         Parts {
             sign: (bits >> (self.exp_bits + self.frac_bits)) & 1,
@@ -132,7 +132,7 @@ impl Format {
     /// # Panics
     ///
     /// Panics in debug builds if any field exceeds its width.
-    #[inline]
+    #[inline(always)]
     pub fn assemble(&self, parts: Parts) -> u64 {
         debug_assert!(parts.sign <= 1);
         debug_assert!(parts.biased_exp <= self.exp_max());
@@ -143,7 +143,7 @@ impl Format {
     }
 
     /// Classifies a decomposed value, flushing subnormals to zero.
-    #[inline]
+    #[inline(always)]
     pub fn classify(&self, parts: &Parts) -> RoundedClass {
         if parts.biased_exp == 0 {
             // Zero and subnormals collapse together (flush-to-zero).
@@ -160,25 +160,25 @@ impl Format {
     }
 
     /// Unbiased exponent of a normal value.
-    #[inline]
+    #[inline(always)]
     pub fn unbiased_exp(&self, parts: &Parts) -> i64 {
         parts.biased_exp as i64 - self.bias()
     }
 
     /// Full significand (hidden bit included) of a normal value.
-    #[inline]
+    #[inline(always)]
     pub fn significand(&self, parts: &Parts) -> u64 {
         self.hidden_bit() | parts.frac
     }
 
     /// Bit pattern of a signed zero.
-    #[inline]
+    #[inline(always)]
     pub fn zero(&self, sign: u64) -> u64 {
         sign << (self.exp_bits + self.frac_bits)
     }
 
     /// Bit pattern of a signed infinity.
-    #[inline]
+    #[inline(always)]
     pub fn infinity(&self, sign: u64) -> u64 {
         self.assemble(Parts {
             sign,
@@ -188,7 +188,7 @@ impl Format {
     }
 
     /// Bit pattern of the canonical quiet NaN.
-    #[inline]
+    #[inline(always)]
     pub fn nan(&self) -> u64 {
         self.assemble(Parts {
             sign: 0,
@@ -199,18 +199,21 @@ impl Format {
 
     /// Encodes an unbiased exponent and fraction, saturating to infinity on
     /// overflow and flushing to zero on underflow (no subnormal outputs).
-    #[inline]
+    #[inline(always)]
     pub fn encode_normal(&self, sign: u64, exp: i64, frac: u64) -> u64 {
-        if exp > self.max_normal_exp() {
+        // Expressed as straight-line selects (no data-dependent branches) so
+        // the SIMT lane loops that inline this can auto-vectorize.
+        let over = exp > self.max_normal_exp();
+        let under = exp < self.min_normal_exp();
+        let clamped = exp.clamp(self.min_normal_exp(), self.max_normal_exp());
+        let body = (sign << (self.exp_bits + self.frac_bits))
+            | (((clamped + self.bias()) as u64) << self.frac_bits)
+            | frac;
+        let encoded = if under { self.zero(sign) } else { body };
+        if over {
             self.infinity(sign)
-        } else if exp < self.min_normal_exp() {
-            self.zero(sign)
         } else {
-            self.assemble(Parts {
-                sign,
-                biased_exp: (exp + self.bias()) as u64,
-                frac,
-            })
+            encoded
         }
     }
 
@@ -220,6 +223,7 @@ impl Format {
     /// Used by the SFU models to re-encode the result of a linear
     /// approximation that was evaluated in double precision. Zero, negative,
     /// and non-finite inputs must be handled by the caller.
+    #[inline]
     pub fn encode_truncating(&self, sign: u64, value: f64) -> u64 {
         debug_assert!(value.is_finite() && value > 0.0);
         let bits = value.to_bits();
@@ -237,6 +241,7 @@ impl Format {
     /// `f64` (exact for both supported formats; used only for reference
     /// computations and diagnostics, never on the imprecise datapath).
     // ihw-lint: allow(float-arith, lossy-cast) reason=exact decode of a stored value into f64; every field fits the f64 significand
+    #[inline]
     pub fn to_f64(&self, bits: u64) -> f64 {
         let parts = self.decompose(bits);
         match self.classify(&parts) {
@@ -270,7 +275,7 @@ impl Format {
 
 /// Flushes a subnormal bit pattern to a same-signed zero, leaving all other
 /// values untouched. All imprecise units call this on their inputs.
-#[inline]
+#[inline(always)]
 pub fn flush_subnormal(fmt: Format, bits: u64) -> u64 {
     let parts = fmt.decompose(bits);
     if parts.biased_exp == 0 && parts.frac != 0 {

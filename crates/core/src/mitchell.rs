@@ -32,7 +32,7 @@ const LOG_FRAC_BITS: u32 = 63;
 /// Decomposes a non-zero integer into its Mitchell characteristic `k`
 /// (position of the leading one) and fraction `x` scaled to
 /// [`LOG_FRAC_BITS`] fixed point bits.
-#[inline]
+#[inline(always)]
 fn log_approx(n: u64) -> (u32, u128) {
     debug_assert!(n != 0);
     let k = 63 - n.leading_zeros();
@@ -53,6 +53,7 @@ fn log_approx(n: u64) -> (u32, u128) {
 /// // 12 = 2^3·1.5, 10 = 2^3·1.25 → log-domain sum decodes to 112 (true 120)
 /// assert_eq!(mitchell_mul(12, 10), 112);
 /// ```
+#[inline(always)]
 pub fn mitchell_mul(a: u64, b: u64) -> u128 {
     if a == 0 || b == 0 {
         return 0;
@@ -89,6 +90,7 @@ pub fn mitchell_mul(a: u64, b: u64) -> u128 {
 /// assert_eq!(mitchell_div(64, 8), Some(8)); // powers of two exact
 /// assert_eq!(mitchell_div(1, 0), None);
 /// ```
+#[inline]
 pub fn mitchell_div(a: u64, b: u64) -> Option<u64> {
     if b == 0 {
         return None;

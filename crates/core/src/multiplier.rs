@@ -23,35 +23,56 @@
 //! assert_eq!(imul32(4.0, 8.0), 32.0);
 //! ```
 
-use crate::format::{flush_subnormal, Format, RoundedClass};
+use crate::format::{flush_subnormal, Format};
 
 /// Imprecise multiplication on raw bit patterns of the given format.
 ///
 /// This is the format-generic core used by [`imul32`] / [`imul64`].
+#[inline(always)]
 pub fn imprecise_mul_bits(fmt: Format, a: u64, b: u64) -> u64 {
     let a = flush_subnormal(fmt, a);
     let b = flush_subnormal(fmt, b);
-    let pa = fmt.decompose(a);
-    let pb = fmt.decompose(b);
-    let sign = pa.sign ^ pb.sign;
-    match (fmt.classify(&pa), fmt.classify(&pb)) {
-        (RoundedClass::Nan, _) | (_, RoundedClass::Nan) => fmt.nan(),
-        (RoundedClass::Infinite, RoundedClass::Zero)
-        | (RoundedClass::Zero, RoundedClass::Infinite) => fmt.nan(),
-        (RoundedClass::Infinite, _) | (_, RoundedClass::Infinite) => fmt.infinity(sign),
-        (RoundedClass::Zero, _) | (_, RoundedClass::Zero) => fmt.zero(sign),
-        (RoundedClass::Normal, RoundedClass::Normal) => {
-            let mut exp = fmt.unbiased_exp(&pa) + fmt.unbiased_exp(&pb);
-            let sum = pa.frac + pb.frac; // Ma + Mb in units of 2^-F
-            let frac = if sum >= fmt.hidden_bit() {
-                // Ma + Mb >= 1: Mz = (1 + Ma + Mb)/2, cin = 1 (eq. 6).
-                exp += 1;
-                (fmt.hidden_bit() + sum) >> 1
-            } else {
-                sum
-            } & fmt.frac_mask();
-            fmt.encode_normal(sign, exp, frac)
-        }
+
+    // Straight-line form: the normal x normal datapath runs unconditionally
+    // and the special cases are layered as a select cascade in reverse
+    // priority order, so the SIMT lane loops that inline this can
+    // auto-vectorize (no data-dependent branches).
+    let frac_bits = fmt.frac_bits;
+    let emax = fmt.exp_max();
+    let ea = (a >> frac_bits) & emax;
+    let eb = (b >> frac_bits) & emax;
+    let fa = a & fmt.frac_mask();
+    let fb = b & fmt.frac_mask();
+    let sign = ((a ^ b) >> (fmt.exp_bits + frac_bits)) & 1;
+    let a_nan = ea == emax && fa != 0;
+    let b_nan = eb == emax && fb != 0;
+    let a_inf = ea == emax && fa == 0;
+    let b_inf = eb == emax && fb == 0;
+    let a_zero = ea == 0; // frac already flushed
+    let b_zero = eb == 0;
+
+    let exp = ea as i64 + eb as i64 - 2 * fmt.bias();
+    let sum = fa + fb; // Ma + Mb in units of 2^-F
+                       // Ma + Mb >= 1: Mz = (1 + Ma + Mb)/2, cin = 1 (eq. 6). Both fractions
+                       // are below the hidden bit, so the carry is exactly bit F of the sum.
+    let cin = sum >> frac_bits;
+    let frac = ((sum + (cin << frac_bits)) >> cin) & fmt.frac_mask();
+    let normal = fmt.encode_normal(sign, exp + cin as i64, frac);
+
+    let mut r = normal;
+    r = sel(a_zero || b_zero, fmt.zero(sign), r);
+    r = sel(a_inf || b_inf, fmt.infinity(sign), r);
+    r = sel((a_inf && b_zero) || (a_zero && b_inf), fmt.nan(), r);
+    sel(a_nan || b_nan, fmt.nan(), r)
+}
+
+/// Branch-free select on raw bit patterns.
+#[inline(always)]
+fn sel(cond: bool, t: u64, f: u64) -> u64 {
+    if cond {
+        t
+    } else {
+        f
     }
 }
 
@@ -64,6 +85,7 @@ pub fn imprecise_mul_bits(fmt: Format, a: u64, b: u64) -> u64 {
 /// let err = (imul32(a, b) - a * b).abs() / (a * b);
 /// assert!(err <= 0.25);
 /// ```
+#[inline(always)]
 pub fn imul32(a: f32, b: f32) -> f32 {
     f32::from_bits(
         imprecise_mul_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64) as u32,
@@ -71,6 +93,7 @@ pub fn imul32(a: f32, b: f32) -> f32 {
 }
 
 /// Imprecise double precision multiplication.
+#[inline(always)]
 pub fn imul64(a: f64, b: f64) -> f64 {
     f64::from_bits(imprecise_mul_bits(Format::DOUBLE, a.to_bits(), b.to_bits()))
 }

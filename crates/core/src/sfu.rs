@@ -49,6 +49,7 @@ const ONE_OVER_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
 
 /// Encodes `value · 2^extra_exp` (with `value` a positive normal `f64`)
 /// into the target format, truncating excess mantissa bits.
+#[inline]
 fn encode_scaled(fmt: Format, sign: u64, value: f64, extra_exp: i64) -> u64 {
     debug_assert!(value.is_finite() && value > 0.0);
     let bits = value.to_bits();
@@ -64,6 +65,7 @@ fn encode_scaled(fmt: Format, sign: u64, value: f64, extra_exp: i64) -> u64 {
 
 /// Imprecise reciprocal on raw bit patterns.
 // ihw-lint: allow(float-arith) reason=Table 1 linear approximation C0 - C1*r evaluated on the reduced-range significand; coefficients are paper constants and the result is truncated into the target format
+#[inline]
 pub fn imprecise_rcp_bits(fmt: Format, x: u64) -> u64 {
     let x = flush_subnormal(fmt, x);
     let p = fmt.decompose(x);
@@ -84,6 +86,7 @@ pub fn imprecise_rcp_bits(fmt: Format, x: u64) -> u64 {
 
 /// Imprecise inverse square root on raw bit patterns.
 // ihw-lint: allow(float-arith) reason=Table 1 linear approximation for 1/sqrt(x) on the reduced range; odd exponents absorb a 1/sqrt(2) factor before truncating encode
+#[inline]
 pub fn imprecise_rsqrt_bits(fmt: Format, x: u64) -> u64 {
     let x = flush_subnormal(fmt, x);
     let p = fmt.decompose(x);
@@ -112,6 +115,7 @@ pub fn imprecise_rsqrt_bits(fmt: Format, x: u64) -> u64 {
 
 /// Imprecise square root on raw bit patterns.
 // ihw-lint: allow(float-arith) reason=Table 1 linear approximation r*(C0 - C1*r) on the even-exponent reduced range, truncated into the target format
+#[inline]
 pub fn imprecise_sqrt_bits(fmt: Format, x: u64) -> u64 {
     let x = flush_subnormal(fmt, x);
     let p = fmt.decompose(x);
@@ -141,6 +145,7 @@ pub fn imprecise_sqrt_bits(fmt: Format, x: u64) -> u64 {
 /// then approximate `2^f ≈ C0 + f` (range reduction + linear
 /// approximation, the same recipe as the Table 1 units).
 // ihw-lint: allow(float-arith) reason=iexp2 extension unit: integer/fraction split then the linear segment C0 + f; f64 carries the small input value exactly
+#[inline]
 pub fn imprecise_exp2_bits(fmt: Format, x: u64) -> u64 {
     let x = flush_subnormal(fmt, x);
     let p = fmt.decompose(x);
@@ -186,6 +191,7 @@ pub fn imprecise_exp2_bits(fmt: Format, x: u64) -> u64 {
 
 /// Imprecise log₂ on raw bit patterns.
 // ihw-lint: allow(float-arith) reason=Table 1 linear approximation E + C0*m - C1; every term is exact in f64 before the truncating encode
+#[inline]
 pub fn imprecise_log2_bits(fmt: Format, x: u64) -> u64 {
     let x = flush_subnormal(fmt, x);
     let p = fmt.decompose(x);
@@ -212,6 +218,7 @@ pub fn imprecise_log2_bits(fmt: Format, x: u64) -> u64 {
 /// Imprecise division `a / b` on raw bit patterns: the dividend multiplies
 /// the linear reciprocal approximation of the divisor (`a·(C0 − C1·b)`).
 // ihw-lint: allow(float-arith) reason=Table 1 division a*(C0 - C1*b): dividend times the linear reciprocal approximation, truncated into the target format
+#[inline]
 pub fn imprecise_div_bits(fmt: Format, a: u64, b: u64) -> u64 {
     let a = flush_subnormal(fmt, a);
     let b = flush_subnormal(fmt, b);
@@ -240,10 +247,12 @@ pub fn imprecise_div_bits(fmt: Format, a: u64, b: u64) -> u64 {
 macro_rules! sfu_wrappers {
     ($($(#[$doc:meta])* $name32:ident, $name64:ident => $core:ident (unary);)*) => {$(
         $(#[$doc])*
+        #[inline]
         pub fn $name32(x: f32) -> f32 {
             f32::from_bits($core(Format::SINGLE, x.to_bits() as u64) as u32)
         }
         $(#[$doc])*
+        #[inline]
         pub fn $name64(x: f64) -> f64 {
             f64::from_bits($core(Format::DOUBLE, x.to_bits()))
         }
@@ -281,6 +290,7 @@ sfu_wrappers! {
 /// let q = idiv32(7.0, 2.0);
 /// assert!((q - 3.5).abs() / 3.5 < 0.059 + 1e-6);
 /// ```
+#[inline]
 pub fn idiv32(a: f32, b: f32) -> f32 {
     f32::from_bits(
         imprecise_div_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64) as u32,
@@ -288,6 +298,7 @@ pub fn idiv32(a: f32, b: f32) -> f32 {
 }
 
 /// Imprecise double precision division `a/b`.
+#[inline]
 pub fn idiv64(a: f64, b: f64) -> f64 {
     f64::from_bits(imprecise_div_bits(Format::DOUBLE, a.to_bits(), b.to_bits()))
 }

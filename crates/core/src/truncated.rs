@@ -26,7 +26,7 @@ use crate::format::{flush_subnormal, Format, RoundedClass};
 use serde::{Deserialize, Serialize};
 
 /// A bit-width-reduced "precise" multiplier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TruncatedMul {
     /// Number of least significant fraction bits removed from each operand.
     pub truncation: u32,
@@ -40,6 +40,7 @@ impl TruncatedMul {
     }
 
     /// Multiplies raw bit patterns of the given format.
+    #[inline(always)]
     pub fn mul_bits(&self, fmt: Format, a: u64, b: u64) -> u64 {
         let a = flush_subnormal(fmt, a);
         let b = flush_subnormal(fmt, b);
@@ -66,11 +67,9 @@ impl TruncatedMul {
                 // Exact product of the reduced significands (≤ 2·(F+1) bits).
                 let p = (ma as u128) * (mb as u128); // in [2^2F, 2^(2F+2))
                 let two_f = 2 * f;
-                let (p, exp) = if p >= (1u128 << (two_f + 1)) {
-                    (p >> 1, exp + 1)
-                } else {
-                    (p, exp)
-                };
+                // Product carry is exactly bit 2F+1 — fold it branch-free.
+                let cin = (p >> (two_f + 1)) as u32 & 1;
+                let (p, exp) = (p >> cin, exp + i64::from(cin));
                 // Truncate the product fraction back into F bits (no rounding).
                 let frac = ((p >> f) as u64) & fmt.frac_mask();
                 fmt.encode_normal(sign, exp, frac)
@@ -79,11 +78,13 @@ impl TruncatedMul {
     }
 
     /// Multiplies two single precision values.
+    #[inline(always)]
     pub fn mul32(&self, a: f32, b: f32) -> f32 {
         f32::from_bits(self.mul_bits(Format::SINGLE, a.to_bits() as u64, b.to_bits() as u64) as u32)
     }
 
     /// Multiplies two double precision values.
+    #[inline(always)]
     pub fn mul64(&self, a: f64, b: f64) -> f64 {
         f64::from_bits(self.mul_bits(Format::DOUBLE, a.to_bits(), b.to_bits()))
     }
@@ -91,7 +92,7 @@ impl TruncatedMul {
 
 /// Rounds a significand to `t` fewer fraction bits with a half-LSB
 /// correction (round-to-nearest, the "variable correction" constant).
-#[inline]
+#[inline(always)]
 fn round_significand(m: u64, t: u32) -> u64 {
     if t == 0 {
         return m;
@@ -101,13 +102,11 @@ fn round_significand(m: u64, t: u32) -> u64 {
 }
 
 /// Renormalizes a significand that may have carried past 2.0 on rounding.
-#[inline]
+#[inline(always)]
 fn renorm(fmt: Format, m: u64) -> (u64, i64) {
-    if m >= fmt.hidden_bit() << 1 {
-        (m >> 1, 1)
-    } else {
-        (m, 0)
-    }
+    // The carry past 2.0 is exactly bit F+1 (m ≤ 2·hidden after rounding).
+    let c = (m >> (fmt.frac_bits + 1)) & 1;
+    (m >> c, c as i64)
 }
 
 #[cfg(test)]

@@ -135,6 +135,39 @@ impl FpCtx {
         }
     }
 
+    /// Credits a precomputed batch of counters in one shot — the
+    /// compiled engine's replacement for per-instruction recording. A
+    /// straight-line kernel costs the same for every thread, so the
+    /// launch driver multiplies the plan's per-thread table up front
+    /// and lands it here as a merge instead of `threads × instrs`
+    /// individual counter updates.
+    pub(crate) fn record_static(&mut self, counts: &OpCounts, int_ops: u64, mem_ops: u64) {
+        self.counts.merge(counts);
+        self.int_ops += int_ops;
+        self.mem_ops += mem_ops;
+    }
+
+    /// Appends `repeats` full copies of a per-thread `UnitClass`
+    /// pattern plus a `prefix`-length partial copy (the faulting
+    /// thread's truncated trace) to the captured trace, if tracing.
+    /// One thread's pattern is position-identical to what `exec_step`
+    /// would have pushed, so a compiled launch's trace is
+    /// indistinguishable from an interpreted one's.
+    pub(crate) fn extend_trace_pattern(
+        &mut self,
+        pattern: &[UnitClass],
+        repeats: u64,
+        prefix: usize,
+    ) {
+        if let Some(trace) = &mut self.trace {
+            trace.reserve(pattern.len() * repeats as usize + prefix);
+            for _ in 0..repeats {
+                trace.extend_from_slice(pattern);
+            }
+            trace.extend_from_slice(&pattern[..prefix]);
+        }
+    }
+
     /// Records `n` integer ALU operations (address math, loop control).
     #[inline]
     pub fn int_op(&mut self, n: u64) {

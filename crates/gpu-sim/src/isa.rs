@@ -32,7 +32,9 @@
 //! assert_eq!(buffers[1], vec![12.0, 24.0, 36.0]);
 //! ```
 
+use crate::compile::{ChunkMem, RegFile, SeqMem};
 use crate::dispatch::FpCtx;
+use crate::plan::{CompiledKernel, PlanCache};
 use crate::simt::{InstrMix, KernelLaunch};
 use ihw_core::config::IhwConfig;
 use serde::{Deserialize, Serialize};
@@ -664,6 +666,30 @@ pub enum CutoverPolicy {
     ForceSequential,
 }
 
+/// Which execution engine [`WarpInterpreter::launch`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// Per-thread re-interpretation through `exec_step` — the
+    /// reference semantics every other path is compared against.
+    Interpreted,
+    /// Config-compiled plans from [`crate::plan`]: the `(Program,
+    /// IhwConfig)` pair is lowered once, then lanes run as tight loops
+    /// over contiguous slices. Bit-identical to the interpreter in
+    /// buffers, counters and traces; the default.
+    #[default]
+    Compiled,
+}
+
+impl ExecEngine {
+    /// Stable lowercase label used by reports and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecEngine::Interpreted => "interpreted",
+            ExecEngine::Compiled => "compiled",
+        }
+    }
+}
+
 /// Which path the most recent launch took, and why.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LaunchDecision {
@@ -712,6 +738,8 @@ pub struct LaunchStats {
     pub est_ops: u64,
     /// Modeled per-launch parallel overhead, in the same unit.
     pub overhead_ops: u64,
+    /// The engine that served the launch.
+    pub engine: ExecEngine,
     /// The path taken.
     pub decision: LaunchDecision,
 }
@@ -723,6 +751,15 @@ pub struct LaunchStats {
 /// value and install it via
 /// [`WarpInterpreter::set_parallel_overhead_ops`].
 pub const DEFAULT_PARALLEL_OVERHEAD_OPS: u64 = 32_768;
+
+/// Default per-launch parallel overhead estimate for the **compiled**
+/// engine, in instruction executions. A compiled instruction execution
+/// is several times cheaper than an interpreted one, so the same
+/// wall-clock fan-out cost corresponds to proportionally more ops —
+/// launches must be bigger before parallelism pays for itself.
+/// Calibration (`repro racecheck --bench`) can replace this via
+/// [`WarpInterpreter::set_parallel_overhead_ops`].
+pub const DEFAULT_COMPILED_PARALLEL_OVERHEAD_OPS: u64 = 262_144;
 
 /// Cached `available_parallelism`: the cost model never fans out on a
 /// single-core host, where parallelism can only add overhead.
@@ -748,27 +785,61 @@ pub struct WarpInterpreter {
     ctx: FpCtx,
     workers: usize,
     cutover: CutoverPolicy,
-    overhead_ops: u64,
+    /// A calibrated overhead installed via
+    /// [`WarpInterpreter::set_parallel_overhead_ops`]; `None` selects
+    /// the per-engine default.
+    custom_overhead: Option<u64>,
+    engine: ExecEngine,
+    plans: PlanCache,
     last_stats: LaunchStats,
 }
 
 impl WarpInterpreter {
     /// Creates an interpreter over the given datapath configuration
-    /// (sequential: worker budget 1, adaptive cutover).
+    /// (sequential: worker budget 1, adaptive cutover, compiled
+    /// engine).
     pub fn new(cfg: IhwConfig) -> Self {
+        let engine = ExecEngine::default();
         WarpInterpreter {
             ctx: FpCtx::new(cfg),
             workers: 1,
             cutover: CutoverPolicy::Adaptive,
-            overhead_ops: DEFAULT_PARALLEL_OVERHEAD_OPS,
+            custom_overhead: None,
+            engine,
+            plans: PlanCache::default(),
             last_stats: LaunchStats {
                 threads: 0,
                 workers: 1,
                 est_ops: 0,
-                overhead_ops: DEFAULT_PARALLEL_OVERHEAD_OPS,
+                overhead_ops: DEFAULT_COMPILED_PARALLEL_OVERHEAD_OPS,
+                engine,
                 decision: LaunchDecision::SequentialBudget,
             },
         }
+    }
+
+    /// Sets the execution engine and returns `self` (builder style).
+    pub fn with_engine(mut self, engine: ExecEngine) -> Self {
+        self.set_engine(engine);
+        self
+    }
+
+    /// Selects which engine [`WarpInterpreter::launch`] drives. Both
+    /// engines are bit-identical in buffers, counters and traces; the
+    /// choice only moves throughput (and the cutover's default
+    /// overhead constant, unless a calibrated one is installed).
+    pub fn set_engine(&mut self, engine: ExecEngine) {
+        self.engine = engine;
+    }
+
+    /// The engine serving [`WarpInterpreter::launch`].
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
+    }
+
+    /// Number of plans currently held by the compiled engine's cache.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
     }
 
     /// Sets the worker budget and returns `self` (builder style).
@@ -810,12 +881,18 @@ impl WarpInterpreter {
     /// falls below it stay sequential under
     /// [`CutoverPolicy::Adaptive`].
     pub fn set_parallel_overhead_ops(&mut self, ops: u64) {
-        self.overhead_ops = ops.max(1);
+        self.custom_overhead = Some(ops.max(1));
     }
 
-    /// The modeled per-launch parallel overhead.
+    /// The modeled per-launch parallel overhead: the calibrated value
+    /// if one was installed, else the current engine's default
+    /// ([`DEFAULT_PARALLEL_OVERHEAD_OPS`] or
+    /// [`DEFAULT_COMPILED_PARALLEL_OVERHEAD_OPS`]).
     pub fn parallel_overhead_ops(&self) -> u64 {
-        self.overhead_ops
+        self.custom_overhead.unwrap_or(match self.engine {
+            ExecEngine::Interpreted => DEFAULT_PARALLEL_OVERHEAD_OPS,
+            ExecEngine::Compiled => DEFAULT_COMPILED_PARALLEL_OVERHEAD_OPS,
+        })
     }
 
     /// Cost-model inputs and path decision of the most recent
@@ -866,13 +943,29 @@ impl WarpInterpreter {
         threads: u32,
         buffers: &mut [Vec<f32>],
     ) -> Result<(), ExecError> {
+        match self.engine {
+            ExecEngine::Interpreted => self.launch_interpreted(prog, threads, buffers),
+            ExecEngine::Compiled => self.launch_compiled(prog, threads, buffers),
+        }
+    }
+
+    /// [`WarpInterpreter::launch`] on the interpreted engine: race
+    /// analysis per launch, per-thread `exec_step` execution.
+    fn launch_interpreted(
+        &mut self,
+        prog: &Program,
+        threads: u32,
+        buffers: &mut [Vec<f32>],
+    ) -> Result<(), ExecError> {
         let workers = self.workers.min(threads as usize).max(1);
         let est_ops = prog.instrs.len() as u64 * u64::from(threads);
+        let overhead_ops = self.parallel_overhead_ops();
         let mut stats = LaunchStats {
             threads,
             workers,
             est_ops,
-            overhead_ops: self.overhead_ops,
+            overhead_ops,
+            engine: ExecEngine::Interpreted,
             decision: LaunchDecision::SequentialBudget,
         };
         if workers > 1 {
@@ -884,7 +977,7 @@ impl WarpInterpreter {
                         CutoverPolicy::ForceParallel => true,
                         CutoverPolicy::ForceSequential => false,
                         CutoverPolicy::Adaptive => {
-                            workers.min(host_parallelism()) > 1 && est_ops >= self.overhead_ops
+                            workers.min(host_parallelism()) > 1 && est_ops >= overhead_ops
                         }
                     };
                     if fan_out {
@@ -903,6 +996,154 @@ impl WarpInterpreter {
         }
         self.last_stats = stats;
         self.launch_sequential(prog, threads, buffers)
+    }
+
+    /// [`WarpInterpreter::launch`] on the compiled engine: the plan
+    /// cache serves (or lowers) the `(program, config)` plan, whose
+    /// stored racecheck shape replaces the per-launch dependence
+    /// analysis. Decisions mirror the interpreted path exactly; only
+    /// the execution bodies differ. A journal-shaped fan-out routes to
+    /// the interpreted snapshot/journal machinery — the `DirectWrite`
+    /// proof is what licenses the no-snapshot compiled parallel body.
+    fn launch_compiled(
+        &mut self,
+        prog: &Program,
+        threads: u32,
+        buffers: &mut [Vec<f32>],
+    ) -> Result<(), ExecError> {
+        let plan = self.plans.get_or_compile(prog, self.ctx.config());
+        let workers = self.workers.min(threads as usize).max(1);
+        let est_ops = prog.instrs.len() as u64 * u64::from(threads);
+        let overhead_ops = self.parallel_overhead_ops();
+        let mut stats = LaunchStats {
+            threads,
+            workers,
+            est_ops,
+            overhead_ops,
+            engine: ExecEngine::Compiled,
+            decision: LaunchDecision::SequentialBudget,
+        };
+        if workers > 1 {
+            match plan.shape() {
+                None => stats.decision = LaunchDecision::SequentialUnproven,
+                Some(shape) => {
+                    let fan_out = match self.cutover {
+                        CutoverPolicy::ForceParallel => true,
+                        CutoverPolicy::ForceSequential => false,
+                        CutoverPolicy::Adaptive => {
+                            workers.min(host_parallelism()) > 1 && est_ops >= overhead_ops
+                        }
+                    };
+                    if fan_out {
+                        match shape {
+                            crate::deps::StoreShape::DirectWrite { .. } => {
+                                stats.decision = LaunchDecision::ParallelDirect;
+                                self.last_stats = stats;
+                                return self
+                                    .launch_compiled_parallel(workers, &plan, threads, buffers);
+                            }
+                            crate::deps::StoreShape::Journal => {
+                                stats.decision = LaunchDecision::ParallelJournal;
+                                self.last_stats = stats;
+                                return self.launch_parallel(
+                                    workers,
+                                    prog,
+                                    threads,
+                                    buffers,
+                                    &crate::deps::StoreShape::Journal,
+                                );
+                            }
+                        }
+                    }
+                    stats.decision = LaunchDecision::SequentialCutover;
+                }
+            }
+        }
+        self.last_stats = stats;
+        self.run_compiled_sequential(&plan, threads, buffers)
+    }
+
+    /// Compiled sequential body: static fault precheck, lane blocks
+    /// over the clean tid range, scalar replay of the faulting thread's
+    /// instruction prefix, counters credited from the plan's static
+    /// cost table.
+    fn run_compiled_sequential(
+        &mut self,
+        plan: &CompiledKernel,
+        threads: u32,
+        buffers: &mut [Vec<f32>],
+    ) -> Result<(), ExecError> {
+        let fault = plan.first_fault(buffers, threads);
+        let complete = fault.as_ref().map_or(threads, |f| f.tid);
+        let mut rf = RegFile::new(plan.regs());
+        let mut mem = SeqMem { buffers };
+        plan.run_range(&mut rf, &mut mem, 0, complete);
+        if let Some(f) = &fault {
+            plan.run_prefix(&mut rf, &mut mem, f.tid, f.instr);
+        }
+        plan.absorb_into(&mut self.ctx, complete, fault.as_ref().map(|f| f.instr));
+        fault.map_or(Ok(()), |f| Err(f.err))
+    }
+
+    /// Compiled parallel body for the `DirectWrite` shape: no snapshot
+    /// and no journal. The static precheck bounds the clean tid range
+    /// up front, so chunks execute lane blocks against the shared
+    /// launch-entry buffers (moved behind an `Arc`, as in the
+    /// interpreted path) and hand back only their dense disjoint output
+    /// windows. Counters come from the plan's static table — chunk
+    /// workers do no counting at all.
+    fn launch_compiled_parallel(
+        &mut self,
+        workers: usize,
+        plan: &Arc<CompiledKernel>,
+        threads: u32,
+        buffers: &mut [Vec<f32>],
+    ) -> Result<(), ExecError> {
+        let fault = plan.first_fault(buffers, threads);
+        let complete = fault.as_ref().map_or(threads, |f| f.tid);
+        if complete > 0 {
+            let chunk = (complete as usize).div_ceil(workers);
+            let ranges: Vec<(u32, u32)> = (0..workers)
+                .map(|w| {
+                    let lo = (w * chunk).min(complete as usize) as u32;
+                    let hi = ((w + 1) * chunk).min(complete as usize) as u32;
+                    (lo, hi)
+                })
+                .filter(|(lo, hi)| lo < hi)
+                .collect();
+            let base: Arc<Vec<Vec<f32>>> =
+                Arc::new(buffers.iter_mut().map(std::mem::take).collect());
+            let shared = Arc::clone(&base);
+            let plan_shared = Arc::clone(plan);
+            let results = ihw_pool::sweep_with(workers, ranges, move |(lo, hi)| {
+                let mut rf = RegFile::new(plan_shared.regs());
+                let mut mem = ChunkMem::new(&shared, plan_shared.store_offsets(), lo, hi);
+                plan_shared.run_range(&mut rf, &mut mem, lo, hi);
+                mem.into_windows()
+            });
+            let reclaimed = Arc::try_unwrap(base).expect("chunks released the launch snapshot");
+            for (slot, owned) in buffers.iter_mut().zip(reclaimed) {
+                *slot = owned;
+            }
+            for out in results.into_iter().flatten() {
+                let dst = &mut buffers[out.buf];
+                let blen = dst.len() as i64;
+                let from = out.start.clamp(0, blen);
+                let to = (out.start + out.vals.len() as i64).clamp(from, blen);
+                if from < to {
+                    let voff = (from - out.start) as usize;
+                    let n = (to - from) as usize;
+                    dst[from as usize..to as usize].copy_from_slice(&out.vals[voff..voff + n]);
+                }
+            }
+        }
+        if let Some(f) = &fault {
+            let mut rf = RegFile::new(plan.regs());
+            let mut mem = SeqMem { buffers };
+            plan.run_prefix(&mut rf, &mut mem, f.tid, f.instr);
+        }
+        plan.absorb_into(&mut self.ctx, complete, fault.as_ref().map(|f| f.instr));
+        fault.map_or(Ok(()), |f| Err(f.err))
     }
 
     /// Runs the launch on the sequential tid loop unconditionally (the

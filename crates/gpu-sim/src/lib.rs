@@ -44,11 +44,13 @@
 #![forbid(unsafe_code)]
 
 pub mod asm;
+pub mod compile;
 pub mod deps;
 pub mod dispatch;
 pub mod dvfs;
 pub mod isa;
 pub mod memory;
+pub mod plan;
 pub mod programs;
 pub mod shared;
 pub mod simt;
@@ -60,8 +62,9 @@ pub mod prelude {
     pub use crate::deps::{racecheck, RaceReport, Verdict};
     pub use crate::dispatch::FpCtx;
     pub use crate::dvfs::DvfsPoint;
-    pub use crate::isa::{Instr, Program, Reg, WarpInterpreter};
+    pub use crate::isa::{ExecEngine, Instr, Program, Reg, WarpInterpreter};
     pub use crate::memory::MemoryHierarchy;
+    pub use crate::plan::{compile, CompiledKernel, PlanKey};
     pub use crate::shared::SharedFpCtx;
     pub use crate::simt::{GpuConfig, InstrMix, KernelLaunch, SimStats, Simulator, UnitClass};
     pub use crate::tuner::{tune, tune_sites, QualityConstraint, TuningOutcome, TuningStep};

@@ -46,3 +46,12 @@ racecheck *ARGS:
 bench-sanity:
     cargo run --release -p ihw-bench --bin repro -- racecheck --bench \
         --threads 4096 --repeats 2 --min-speedup 0.9 --out target/bench-sanity.json
+
+# Compiled-engine perf gate: fails if the geomean compiled-sequential
+# speedup over the interpreted-sequential reference drops below the
+# recorded 5.0x floor (see BENCH_kernel_throughput.json), or if any
+# row diverges bit-wise from the interpreter.
+bench-compiled:
+    cargo run --release -p ihw-bench --bin repro -- racecheck --bench \
+        --engine compiled --threads 16384 --repeats 2 --min-compiled-speedup 5.0 \
+        --out target/bench-compiled.json

@@ -30,11 +30,12 @@ echo "== ihw-racecheck: memory-dependence audit (deny new findings) =="
 # diagnostics (schema ihw-racecheck/1) are kept as a CI artifact.
 cargo run --release -p ihw-bench --bin repro -- racecheck --json-out target/ihw-racecheck.json
 
-echo "== racebench: sequential vs parallel launch (bit-identity + throughput) =="
-# Fails if any parallel launch diverges from the sequential reference;
-# refreshes the committed BENCH_kernel_throughput.json perf record.
-# The default worker budget self-clamps to the host's cores (schema
-# ihw-racebench/2 records workers_clamped), so no explicit --workers.
+echo "== racebench: interpreted vs compiled vs parallel (bit-identity + throughput) =="
+# Fails if any engine run diverges from the interpreted-sequential
+# reference; refreshes the committed BENCH_kernel_throughput.json perf
+# record. The default worker budget self-clamps to the host's cores
+# (schema ihw-racebench/3 records workers_clamped), so no explicit
+# --workers.
 cargo run --release -p ihw-bench --bin repro -- racecheck --bench
 
 echo "== bench-sanity: every parallel row must pay for itself =="
@@ -44,6 +45,19 @@ echo "== bench-sanity: every parallel row must pay for itself =="
 # are the cost model working, not a regression. JSON kept as artifact.
 cargo run --release -p ihw-bench --bin repro -- racecheck --bench \
     --threads 4096 --repeats 2 --min-speedup 0.9 --out target/bench-sanity.json
+
+echo "== bench-compiled: compiled engine must beat the interpreter =="
+# Fails (exit 1) if the geomean compiled-sequential speedup over the
+# interpreted-sequential reference drops below the recorded floor
+# (5.0x, set by the measurement committed in
+# BENCH_kernel_throughput.json) across the four racebench kernels ×
+# five stock configs, or if any row is not bit-identical. The floor
+# assumes the committed .cargo/config.toml (target-cpu=native): the
+# compiled lane loops rely on auto-vectorization. JSON kept as
+# artifact.
+cargo run --release -p ihw-bench --bin repro -- racecheck --bench \
+    --engine compiled --threads 16384 --repeats 2 --min-compiled-speedup 5.0 \
+    --out target/bench-compiled.json
 
 echo "== smoke: repro --timings table5 fig14 =="
 cargo run --release -p ihw-bench --bin repro -- --timings table5 fig14

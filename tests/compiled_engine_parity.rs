@@ -1,0 +1,163 @@
+//! Counter and trace parity gate for the compiled execution engine:
+//! a compiled launch must be indistinguishable from an interpreted one
+//! through every observable side channel of `FpCtx` — the per-unit
+//! `OpCounts` map, the int/mem/precise-mul counters, and the
+//! `UnitClass` issue-port trace captured by `take_trace` — including
+//! on faulting launches, where the partially-executed prefix must
+//! count and trace identically. Nothing else guards counter drift
+//! against a second execution engine: the power model (§5) and the
+//! tuner both consume these counters, so a silent divergence would
+//! skew every downstream energy number.
+
+use imprecise_gpgpu::analyze::{stock_configs, stock_kernels};
+use imprecise_gpgpu::sim::asm::assemble;
+use imprecise_gpgpu::sim::deps::footprints;
+use imprecise_gpgpu::sim::isa::{ExecEngine, Program, WarpInterpreter};
+
+/// Deterministic well-conditioned inputs sized by the kernel's own
+/// footprint (mirrors `ihw_bench::racebench::seed_buffers`).
+fn seed_buffers(prog: &Program, threads: u32) -> Vec<Vec<f32>> {
+    let fps = footprints(prog);
+    let n_bufs = fps.keys().max().map_or(0, |b| b + 1);
+    (0..n_bufs)
+        .map(|b| {
+            let len = fps.get(&b).map_or(0, |fp| fp.required_len(threads));
+            (0..len)
+                .map(|i| 0.5 + ((i * 37 + b * 11) % 512) as f32 / 1024.0)
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs `prog` on one engine with tracing enabled and returns the
+/// interpreter (counters accumulated) plus its trace and the result.
+fn run_traced(
+    prog: &Program,
+    cfg: &imprecise_gpgpu::core::config::IhwConfig,
+    engine: ExecEngine,
+    threads: u32,
+    buffers: &mut [Vec<f32>],
+) -> (
+    WarpInterpreter,
+    Vec<imprecise_gpgpu::sim::simt::UnitClass>,
+    Result<(), imprecise_gpgpu::sim::isa::ExecError>,
+) {
+    let mut interp = WarpInterpreter::new(cfg.to_owned()).with_engine(engine);
+    interp.enable_trace();
+    let result = interp.launch(prog, threads, buffers);
+    let trace = interp.take_trace();
+    (interp, trace, result)
+}
+
+#[test]
+fn compiled_counts_and_traces_match_interpreted_for_every_stock_pair() {
+    let threads = 193u32;
+    for prog in stock_kernels() {
+        for (label, cfg) in stock_configs() {
+            let base = seed_buffers(&prog, threads);
+            let tag = format!("{}/{label}", prog.name());
+
+            let mut ibufs = base.clone();
+            let (interp, itrace, ires) =
+                run_traced(&prog, &cfg, ExecEngine::Interpreted, threads, &mut ibufs);
+            ires.expect("stock kernels run");
+
+            let mut cbufs = base;
+            let (compiled, ctrace, cres) =
+                run_traced(&prog, &cfg, ExecEngine::Compiled, threads, &mut cbufs);
+            cres.expect("stock kernels run");
+
+            assert_eq!(
+                interp.ctx().counts(),
+                compiled.ctx().counts(),
+                "{tag}: OpCounts diverge between engines"
+            );
+            assert_eq!(interp.ctx().int_ops(), compiled.ctx().int_ops(), "{tag}");
+            assert_eq!(interp.ctx().mem_ops(), compiled.ctx().mem_ops(), "{tag}");
+            assert_eq!(
+                interp.ctx().precise_mul_ops(),
+                compiled.ctx().precise_mul_ops(),
+                "{tag}"
+            );
+            assert!(
+                !itrace.is_empty(),
+                "{tag}: tracing must capture issue ports"
+            );
+            assert_eq!(itrace, ctrace, "{tag}: UnitClass traces diverge");
+        }
+    }
+}
+
+#[test]
+fn faulting_launch_counts_and_traces_match() {
+    // Strided read one past the end: thread `threads-1` faults, and
+    // both engines must have counted and traced exactly the threads
+    // (and the faulting thread's instruction prefix) that ran.
+    let src = "\
+.buffers 2
+ld r0, b0[tid+1]
+fmul r0, r0, r0
+st b1[tid], r0
+";
+    let prog = assemble("parity_oob", src).expect("assembles");
+    let threads = 41u32;
+    let base = vec![
+        (0..threads).map(|i| i as f32 + 0.5).collect::<Vec<f32>>(),
+        vec![0.0f32; threads as usize],
+    ];
+    for (label, cfg) in stock_configs() {
+        let mut ibufs = base.clone();
+        let (interp, itrace, ires) =
+            run_traced(&prog, &cfg, ExecEngine::Interpreted, threads, &mut ibufs);
+        let ierr = ires.expect_err("last thread faults");
+
+        let mut cbufs = base.clone();
+        let (compiled, ctrace, cres) =
+            run_traced(&prog, &cfg, ExecEngine::Compiled, threads, &mut cbufs);
+        let cerr = cres.expect_err("last thread faults");
+
+        assert_eq!(ierr, cerr, "{label}: error values diverge");
+        assert_eq!(
+            interp.ctx().counts(),
+            compiled.ctx().counts(),
+            "{label}: partial-launch OpCounts diverge"
+        );
+        assert_eq!(interp.ctx().mem_ops(), compiled.ctx().mem_ops(), "{label}");
+        assert_eq!(itrace, ctrace, "{label}: partial-launch traces diverge");
+    }
+}
+
+#[test]
+fn parity_survives_plan_cache_reuse() {
+    // A second launch through the same interpreter is served from the
+    // plan cache — the cached plan must count and trace exactly like a
+    // freshly lowered one (and like the interpreter), and the cache
+    // must actually have been hit (one plan, not two).
+    let prog = stock_kernels().remove(0);
+    let (_, cfg) = stock_configs().remove(1);
+    let threads = 67u32;
+    let base = seed_buffers(&prog, threads);
+
+    let mut compiled = WarpInterpreter::new(cfg.to_owned()).with_engine(ExecEngine::Compiled);
+    compiled.enable_trace();
+    for _ in 0..2 {
+        let mut bufs = base.clone();
+        compiled.launch(&prog, threads, &mut bufs).expect("runs");
+    }
+    assert_eq!(
+        compiled.cached_plans(),
+        1,
+        "second launch must hit the cache"
+    );
+    let ctrace = compiled.take_trace();
+
+    let mut interp = WarpInterpreter::new(cfg).with_engine(ExecEngine::Interpreted);
+    interp.enable_trace();
+    for _ in 0..2 {
+        let mut bufs = base.clone();
+        interp.launch(&prog, threads, &mut bufs).expect("runs");
+    }
+
+    assert_eq!(interp.ctx().counts(), compiled.ctx().counts());
+    assert_eq!(interp.take_trace(), ctrace);
+}

@@ -1,17 +1,31 @@
-//! Differential gate for the racecheck-gated parallel launch path:
-//! fanned-out launches must be **bit-for-bit** identical to the
-//! sequential reference — output buffers, per-unit op counts, int/mem
-//! counters and dispatch traces — for every stock kernel × stock
-//! config, at several worker budgets, under both forced cutover
-//! policies. Kernels the analysis cannot prove independent must fall
-//! back to the sequential path, and the error path (partial effects up
-//! to the faulting thread) must match exactly as well — on the
-//! direct-write path *and* the journaled snapshot path.
+//! Three-way differential gate for the launch paths: every launch must
+//! be **bit-for-bit** identical across
+//!
+//! 1. the interpreted-sequential reference (`launch_sequential`, the
+//!    per-thread `exec_step` loop every other path is compared
+//!    against),
+//! 2. the compiled-sequential body (the config-compiled plan of
+//!    `gpu_sim::plan` run on one worker), and
+//! 3. the gated launch under test (either engine, any worker budget
+//!    and cutover policy, including the racecheck-proof-gated parallel
+//!    bodies)
+//!
+//! — output buffers, per-unit op counts, int/mem counters and dispatch
+//! traces — for every stock kernel × stock config, at several worker
+//! budgets, under both forced cutover policies, on both engines.
+//! Kernels the analysis cannot prove independent must fall back to the
+//! sequential path, and the error path (partial effects up to the
+//! faulting thread) must match exactly as well — on the direct-write
+//! path *and* the journaled snapshot path.
 
 use imprecise_gpgpu::analyze::{stock_configs, stock_kernels};
 use imprecise_gpgpu::sim::asm::assemble;
 use imprecise_gpgpu::sim::deps::{footprints, racecheck, store_shape, StoreShape, Verdict};
-use imprecise_gpgpu::sim::isa::{CutoverPolicy, LaunchDecision, Program, WarpInterpreter};
+use imprecise_gpgpu::sim::isa::{
+    CutoverPolicy, ExecEngine, LaunchDecision, Program, WarpInterpreter,
+};
+
+const ENGINES: [ExecEngine; 2] = [ExecEngine::Interpreted, ExecEngine::Compiled];
 
 /// Deterministic well-conditioned inputs sized by the kernel's own
 /// footprint (mirrors `ihw_bench::racebench::seed_buffers`).
@@ -34,9 +48,36 @@ fn bits(bufs: &[Vec<f32>]) -> Vec<Vec<u32>> {
         .collect()
 }
 
-/// Runs `prog` sequentially and under `policy` with `workers`, then
-/// asserts buffers, op counters and dispatch traces are bit-identical.
-/// Returns the decision the gated launch recorded.
+/// Asserts two interpreters agree on every accumulated counter.
+fn assert_ctx_equal(a: &WarpInterpreter, b: &WarpInterpreter, tag: &str) {
+    assert_eq!(
+        a.ctx().counts(),
+        b.ctx().counts(),
+        "{tag}: op counts diverge"
+    );
+    assert_eq!(
+        a.ctx().int_ops(),
+        b.ctx().int_ops(),
+        "{tag}: int ops diverge"
+    );
+    assert_eq!(
+        a.ctx().mem_ops(),
+        b.ctx().mem_ops(),
+        "{tag}: mem ops diverge"
+    );
+    assert_eq!(
+        a.ctx().precise_mul_ops(),
+        b.ctx().precise_mul_ops(),
+        "{tag}: precise-mul ops diverge"
+    );
+}
+
+/// Runs `prog` three ways — interpreted-sequential reference,
+/// compiled-sequential, and the gated launch on `engine` under
+/// `policy` with `workers` — then asserts buffers, op counters and
+/// dispatch traces are bit-identical across all three, and that the
+/// gated launch recorded its engine in `LaunchStats`. Returns the
+/// decision the gated launch recorded.
 fn assert_differential(
     prog: &Program,
     cfg: &imprecise_gpgpu::core::config::IhwConfig,
@@ -44,9 +85,16 @@ fn assert_differential(
     threads: u32,
     workers: usize,
     policy: CutoverPolicy,
+    engine: ExecEngine,
 ) -> LaunchDecision {
     let base = seed_buffers(prog, threads);
+    let tag = format!(
+        "{}/{label} ({policy:?}, {workers} workers, {} engine)",
+        prog.name(),
+        engine.label()
+    );
 
+    // 1. Interpreted-sequential reference.
     let mut seq_bufs = base.clone();
     let mut seq = WarpInterpreter::new(cfg.to_owned());
     seq.enable_trace();
@@ -54,30 +102,50 @@ fn assert_differential(
         .expect("sequential runs");
     let seq_trace = seq.take_trace();
 
+    // 2. Compiled-sequential: worker budget 1 keeps `launch` on the
+    // plan's sequential body.
+    let mut cseq_bufs = base.clone();
+    let mut cseq = WarpInterpreter::new(cfg.to_owned()).with_engine(ExecEngine::Compiled);
+    cseq.enable_trace();
+    cseq.launch(prog, threads, &mut cseq_bufs)
+        .expect("compiled sequential runs");
+    assert_eq!(
+        cseq.last_launch_stats().engine,
+        ExecEngine::Compiled,
+        "{tag}: compiled-sequential run must record its engine"
+    );
+    assert_eq!(
+        bits(&seq_bufs),
+        bits(&cseq_bufs),
+        "{tag}: compiled-sequential buffers diverge"
+    );
+    assert_ctx_equal(&seq, &cseq, &format!("{tag}: compiled-sequential"));
+    assert_eq!(
+        seq_trace,
+        cseq.take_trace(),
+        "{tag}: compiled-sequential traces diverge"
+    );
+
+    // 3. The gated launch under test.
     let mut par_bufs = base;
     let mut par = WarpInterpreter::new(cfg.to_owned())
+        .with_engine(engine)
         .with_workers(workers)
         .with_cutover(policy);
     par.enable_trace();
     par.launch(prog, threads, &mut par_bufs)
         .expect("gated launch runs");
 
-    let tag = format!("{}/{label} ({policy:?}, {workers} workers)", prog.name());
     assert_eq!(bits(&seq_bufs), bits(&par_bufs), "{tag}: buffers diverge");
-    assert_eq!(
-        seq.ctx().counts(),
-        par.ctx().counts(),
-        "{tag}: op counts diverge"
-    );
-    assert_eq!(seq.ctx().int_ops(), par.ctx().int_ops(), "{tag}");
-    assert_eq!(seq.ctx().mem_ops(), par.ctx().mem_ops(), "{tag}");
-    assert_eq!(
-        seq.ctx().precise_mul_ops(),
-        par.ctx().precise_mul_ops(),
-        "{tag}"
-    );
+    assert_ctx_equal(&seq, &par, &tag);
     assert_eq!(seq_trace, par.take_trace(), "{tag}: traces diverge");
-    par.last_launch_stats().decision
+    let stats = par.last_launch_stats();
+    assert_eq!(stats.engine, engine, "{tag}: LaunchStats engine mismatch");
+    assert_eq!(
+        stats.threads, threads,
+        "{tag}: LaunchStats threads mismatch"
+    );
+    stats.decision
 }
 
 #[test]
@@ -97,21 +165,24 @@ fn parallel_is_bit_identical_for_every_stock_pair() {
             prog.name()
         );
         for (label, cfg) in stock_configs() {
-            for workers in [2usize, 3, 8] {
-                let decision = assert_differential(
-                    &prog,
-                    &cfg,
-                    label,
-                    threads,
-                    workers,
-                    CutoverPolicy::ForceParallel,
-                );
-                assert_eq!(
-                    decision,
-                    LaunchDecision::ParallelDirect,
-                    "{}/{label} at {workers} workers should take the direct path",
-                    prog.name()
-                );
+            for engine in ENGINES {
+                for workers in [2usize, 3, 8] {
+                    let decision = assert_differential(
+                        &prog,
+                        &cfg,
+                        label,
+                        threads,
+                        workers,
+                        CutoverPolicy::ForceParallel,
+                        engine,
+                    );
+                    assert_eq!(
+                        decision,
+                        LaunchDecision::ParallelDirect,
+                        "{}/{label} at {workers} workers should take the direct path",
+                        prog.name()
+                    );
+                }
             }
         }
     }
@@ -125,37 +196,44 @@ fn forced_sequential_matches_for_every_stock_pair() {
     let threads = 257u32;
     for prog in stock_kernels() {
         for (label, cfg) in stock_configs() {
-            let decision = assert_differential(
-                &prog,
-                &cfg,
-                label,
-                threads,
-                8,
-                CutoverPolicy::ForceSequential,
-            );
-            assert_eq!(
-                decision,
-                LaunchDecision::SequentialCutover,
-                "{}/{label} under ForceSequential",
-                prog.name()
-            );
+            for engine in ENGINES {
+                let decision = assert_differential(
+                    &prog,
+                    &cfg,
+                    label,
+                    threads,
+                    8,
+                    CutoverPolicy::ForceSequential,
+                    engine,
+                );
+                assert_eq!(
+                    decision,
+                    LaunchDecision::SequentialCutover,
+                    "{}/{label} under ForceSequential",
+                    prog.name()
+                );
+            }
         }
     }
 }
 
 #[test]
 fn adaptive_cutover_keeps_tiny_launches_sequential() {
-    // 64 threads × a handful of instructions is far below the default
-    // overhead threshold, so Adaptive must refuse to fan out on any
-    // host — and still match the reference bit-for-bit.
+    // 64 threads × a handful of instructions is far below either
+    // engine's default overhead threshold, so Adaptive must refuse to
+    // fan out on any host — and still match the reference bit-for-bit.
     for prog in stock_kernels() {
         let (label, cfg) = &stock_configs()[0];
-        let decision = assert_differential(&prog, cfg, label, 64, 8, CutoverPolicy::Adaptive);
-        assert!(
-            !decision.is_parallel(),
-            "{}: tiny launch must not pay the fan-out overhead",
-            prog.name()
-        );
+        for engine in ENGINES {
+            let decision =
+                assert_differential(&prog, cfg, label, 64, 8, CutoverPolicy::Adaptive, engine);
+            assert!(
+                !decision.is_parallel(),
+                "{} ({}): tiny launch must not pay the fan-out overhead",
+                prog.name(),
+                engine.label()
+            );
+        }
     }
 }
 
@@ -185,27 +263,31 @@ st b1[tid+1], r0
     let mut seq = WarpInterpreter::new(cfg.to_owned());
     seq.launch_sequential(&prog, threads, &mut seq_bufs)
         .expect("sequential runs");
-
-    let mut par_bufs = base.clone();
-    let mut par = WarpInterpreter::new(cfg.to_owned())
-        .with_workers(8)
-        .with_cutover(CutoverPolicy::ForceParallel);
-    par.launch(&prog, threads, &mut par_bufs)
-        .expect("falls back and runs");
-
-    assert!(
-        !par.last_launch_was_parallel(),
-        "carried kernel must stay sequential even under ForceParallel"
-    );
-    assert_eq!(
-        par.last_launch_stats().decision,
-        LaunchDecision::SequentialUnproven
-    );
     // The chain really is order-dependent: the last output accumulates
     // every earlier thread's contribution.
     assert!(seq_bufs[1][64] > 1.0);
-    assert_eq!(bits(&seq_bufs), bits(&par_bufs));
-    assert_eq!(seq.ctx().counts(), par.ctx().counts());
+
+    for engine in ENGINES {
+        let mut par_bufs = base.clone();
+        let mut par = WarpInterpreter::new(cfg.to_owned())
+            .with_engine(engine)
+            .with_workers(8)
+            .with_cutover(CutoverPolicy::ForceParallel);
+        par.launch(&prog, threads, &mut par_bufs)
+            .expect("falls back and runs");
+
+        assert!(
+            !par.last_launch_was_parallel(),
+            "carried kernel must stay sequential even under ForceParallel ({})",
+            engine.label()
+        );
+        assert_eq!(
+            par.last_launch_stats().decision,
+            LaunchDecision::SequentialUnproven
+        );
+        assert_eq!(bits(&seq_bufs), bits(&par_bufs));
+        assert_eq!(seq.ctx().counts(), par.ctx().counts());
+    }
 }
 
 #[test]
@@ -214,7 +296,8 @@ fn journal_shape_kernel_is_bit_identical() {
     // Every read belongs to a *different* thread's write slot, so the
     // kernel is proven independent but its footprint overlaps across
     // threads — the launch must take the journaled snapshot path, not
-    // the direct-write path.
+    // the direct-write path (on the compiled engine too, which routes
+    // journal shapes to the interpreted snapshot machinery).
     let src = "\
 .buffers 1
 ld r0, b0[tid+1]
@@ -227,29 +310,34 @@ st b0[tid], r0
 
     let threads = 301u32;
     for (label, cfg) in stock_configs() {
-        for workers in [2usize, 8] {
-            let decision = assert_differential(
-                &prog,
-                &cfg,
-                label,
-                threads,
-                workers,
-                CutoverPolicy::ForceParallel,
-            );
-            assert_eq!(
-                decision,
-                LaunchDecision::ParallelJournal,
-                "fwd_shift/{label} at {workers} workers"
-            );
+        for engine in ENGINES {
+            for workers in [2usize, 8] {
+                let decision = assert_differential(
+                    &prog,
+                    &cfg,
+                    label,
+                    threads,
+                    workers,
+                    CutoverPolicy::ForceParallel,
+                    engine,
+                );
+                assert_eq!(
+                    decision,
+                    LaunchDecision::ParallelJournal,
+                    "fwd_shift/{label} at {workers} workers ({})",
+                    engine.label()
+                );
+            }
         }
     }
 }
 
 #[test]
 fn error_path_partial_state_is_identical() {
-    // Strided read one past the end: the last thread faults. The
-    // parallel path must reproduce the sequential partial state —
-    // every thread before the faulting one applied, nothing after.
+    // Strided read one past the end: the last thread faults. Every
+    // path — compiled-sequential and both engines' parallel bodies —
+    // must reproduce the sequential partial state: every thread before
+    // the faulting one applied, nothing after.
     let src = "\
 .buffers 2
 ld r0, b0[tid+1]
@@ -272,30 +360,53 @@ st b1[tid], r0
             .launch_sequential(&prog, threads, &mut seq_bufs)
             .expect_err("last thread faults");
 
-        let mut par_bufs = base.clone();
-        let mut par = WarpInterpreter::new(cfg.to_owned())
-            .with_workers(8)
-            .with_cutover(CutoverPolicy::ForceParallel);
-        let par_err = par
-            .launch(&prog, threads, &mut par_bufs)
+        // Compiled-sequential fault: precheck + scalar prefix replay.
+        let mut cseq_bufs = base.clone();
+        let mut cseq = WarpInterpreter::new(cfg.to_owned()).with_engine(ExecEngine::Compiled);
+        let cseq_err = cseq
+            .launch(&prog, threads, &mut cseq_bufs)
             .expect_err("last thread faults");
-
-        assert!(par.last_launch_was_parallel(), "{label}");
-        assert_eq!(seq_err, par_err, "{label} error values diverge");
+        assert_eq!(
+            seq_err, cseq_err,
+            "{label} compiled-sequential error diverges"
+        );
         assert_eq!(
             bits(&seq_bufs),
-            bits(&par_bufs),
-            "{label} partial effects diverge"
+            bits(&cseq_bufs),
+            "{label} compiled-sequential partial effects diverge"
         );
-        assert_eq!(seq.ctx().counts(), par.ctx().counts(), "{label}");
-        assert_eq!(seq.ctx().mem_ops(), par.ctx().mem_ops(), "{label}");
+        assert_eq!(seq.ctx().counts(), cseq.ctx().counts(), "{label}");
+
+        for engine in ENGINES {
+            let mut par_bufs = base.clone();
+            let mut par = WarpInterpreter::new(cfg.to_owned())
+                .with_engine(engine)
+                .with_workers(8)
+                .with_cutover(CutoverPolicy::ForceParallel);
+            let par_err = par
+                .launch(&prog, threads, &mut par_bufs)
+                .expect_err("last thread faults");
+
+            let tag = format!("{label} ({})", engine.label());
+            assert!(par.last_launch_was_parallel(), "{tag}");
+            assert_eq!(par.last_launch_stats().engine, engine, "{tag}");
+            assert_eq!(seq_err, par_err, "{tag} error values diverge");
+            assert_eq!(
+                bits(&seq_bufs),
+                bits(&par_bufs),
+                "{tag} partial effects diverge"
+            );
+            assert_eq!(seq.ctx().counts(), par.ctx().counts(), "{tag}");
+            assert_eq!(seq.ctx().mem_ops(), par.ctx().mem_ops(), "{tag}");
+        }
     }
 }
 
 #[test]
 fn journal_error_path_partial_state_is_identical() {
     // Same faulting setup on the journal-shaped forward shift: the
-    // snapshot path must also reproduce the sequential partial state.
+    // snapshot path must also reproduce the sequential partial state,
+    // whichever engine gated the launch.
     let src = "\
 .buffers 1
 ld r0, b0[tid+1]
@@ -316,22 +427,26 @@ st b0[tid], r0
         .launch_sequential(&prog, threads, &mut seq_bufs)
         .expect_err("last thread faults");
 
-    let mut par_bufs = base.clone();
-    let mut par = WarpInterpreter::new(cfg.to_owned())
-        .with_workers(8)
-        .with_cutover(CutoverPolicy::ForceParallel);
-    let par_err = par
-        .launch(&prog, threads, &mut par_bufs)
-        .expect_err("last thread faults");
+    for engine in ENGINES {
+        let mut par_bufs = base.clone();
+        let mut par = WarpInterpreter::new(cfg.to_owned())
+            .with_engine(engine)
+            .with_workers(8)
+            .with_cutover(CutoverPolicy::ForceParallel);
+        let par_err = par
+            .launch(&prog, threads, &mut par_bufs)
+            .expect_err("last thread faults");
 
-    assert_eq!(
-        par.last_launch_stats().decision,
-        LaunchDecision::ParallelJournal,
-        "{label}"
-    );
-    assert_eq!(seq_err, par_err, "{label} error values diverge");
-    assert_eq!(bits(&seq_bufs), bits(&par_bufs), "{label}");
-    assert_eq!(seq.ctx().counts(), par.ctx().counts(), "{label}");
+        let tag = format!("{label} ({})", engine.label());
+        assert_eq!(
+            par.last_launch_stats().decision,
+            LaunchDecision::ParallelJournal,
+            "{tag}"
+        );
+        assert_eq!(seq_err, par_err, "{tag} error values diverge");
+        assert_eq!(bits(&seq_bufs), bits(&par_bufs), "{tag}");
+        assert_eq!(seq.ctx().counts(), par.ctx().counts(), "{tag}");
+    }
 }
 
 #[test]
@@ -340,14 +455,24 @@ fn zero_and_single_thread_launches_match() {
     // involvement) and still be differentially exact.
     let prog = stock_kernels().remove(0);
     let (label, cfg) = &stock_configs()[0];
-    for threads in [0u32, 1] {
-        let decision =
-            assert_differential(&prog, cfg, label, threads, 8, CutoverPolicy::ForceParallel);
-        assert_eq!(
-            decision,
-            LaunchDecision::SequentialBudget,
-            "{threads}-thread launch has no parallelism to spend"
-        );
+    for engine in ENGINES {
+        for threads in [0u32, 1] {
+            let decision = assert_differential(
+                &prog,
+                cfg,
+                label,
+                threads,
+                8,
+                CutoverPolicy::ForceParallel,
+                engine,
+            );
+            assert_eq!(
+                decision,
+                LaunchDecision::SequentialBudget,
+                "{threads}-thread launch has no parallelism to spend ({})",
+                engine.label()
+            );
+        }
     }
 }
 
@@ -362,10 +487,13 @@ fn worker_budget_larger_than_launch_still_matches() {
         .launch_sequential(&prog, 3, &mut seq_bufs)
         .expect("runs");
 
-    let mut par_bufs = base.clone();
-    let mut par = WarpInterpreter::new(cfg)
-        .with_workers(64)
-        .with_cutover(CutoverPolicy::ForceParallel);
-    par.launch(&prog, 3, &mut par_bufs).expect("runs");
-    assert_eq!(bits(&seq_bufs), bits(&par_bufs));
+    for engine in ENGINES {
+        let mut par_bufs = base.clone();
+        let mut par = WarpInterpreter::new(cfg.to_owned())
+            .with_engine(engine)
+            .with_workers(64)
+            .with_cutover(CutoverPolicy::ForceParallel);
+        par.launch(&prog, 3, &mut par_bufs).expect("runs");
+        assert_eq!(bits(&seq_bufs), bits(&par_bufs));
+    }
 }
