@@ -11,6 +11,7 @@
 //! cargo run --release -p ihw-bench --bin repro -- analyze --json
 //! cargo run --release -p ihw-bench --bin repro -- racecheck
 //! cargo run --release -p ihw-bench --bin repro -- racecheck --bench --workers 8
+//! cargo run --release -p ihw-bench --bin repro -- autotune --target 1e-3 --json
 //! ```
 //!
 //! Without `--paper`, experiments run at `Scale::Quick` (seconds each);
@@ -294,6 +295,11 @@ fn main() {
             std::process::exit(ihw_bench::racebench::run_cli(rest));
         }
         std::process::exit(ihw_analyze::races::run(rest));
+    }
+    // `repro autotune ...` — the static-bound-driven precision autotuner
+    // (Pareto front + A008 over-provisioned-precision gate).
+    if args.first().map(String::as_str) == Some("autotune") {
+        std::process::exit(ihw_analyze::autotune::run(&args[1..]));
     }
     if let Some(flag) = args.last().filter(|a| VALUE_FLAGS.contains(&a.as_str())) {
         eprintln!("{flag} expects a value");

@@ -24,8 +24,13 @@ pub enum QualityConstraint {
 }
 
 impl QualityConstraint {
-    /// Whether a measured quality value satisfies the constraint.
+    /// Whether a measured quality value satisfies the constraint. A NaN
+    /// quality never satisfies either direction: an evaluation that
+    /// produced no number is a failed candidate, not an accepted one.
     pub fn satisfied_by(&self, quality: f64) -> bool {
+        if quality.is_nan() {
+            return false;
+        }
         match *self {
             QualityConstraint::AtLeast(t) => quality >= t,
             QualityConstraint::AtMost(t) => quality <= t,
@@ -67,6 +72,12 @@ impl<C> TuningOutcome<C> {
 /// stops at the first configuration whose evaluated quality satisfies
 /// `constraint`. If none does, `selected` is `None` and the caller falls
 /// back to the precise datapath.
+///
+/// The candidate sequence is the caller's pruning opportunity:
+/// `ihw_analyze::autotune` feeds this loop the analyzer-pruned,
+/// energy-ascending admissible configs (and, for ⊤-bound configs, uses
+/// the same loop with a QMC-measured error evaluate), so the Figure 10
+/// search and the static autotuner share one path.
 ///
 /// ```
 /// use gpu_sim::tuner::{tune, QualityConstraint};
@@ -191,6 +202,22 @@ mod tests {
         assert!(!QualityConstraint::AtLeast(0.9).satisfied_by(0.85));
         assert!(QualityConstraint::AtMost(1.25).satisfied_by(0.8));
         assert!(!QualityConstraint::AtMost(1.25).satisfied_by(2.0));
+    }
+
+    #[test]
+    fn nan_quality_fails_both_directions() {
+        // Regression: `NaN <= t` is false, but so is `!(NaN <= t)` — the
+        // constraint must reject NaN explicitly rather than relying on
+        // comparison semantics in each arm.
+        assert!(!QualityConstraint::AtLeast(0.9).satisfied_by(f64::NAN));
+        assert!(!QualityConstraint::AtMost(1.25).satisfied_by(f64::NAN));
+        let outcome = tune(
+            vec![1u32, 2],
+            |&k| if k == 1 { f64::NAN } else { 0.5 },
+            QualityConstraint::AtMost(1.0),
+        );
+        assert_eq!(outcome.selected, Some(2));
+        assert!(!outcome.history[0].accepted, "NaN candidate must not win");
     }
 
     #[test]

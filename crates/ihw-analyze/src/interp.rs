@@ -119,6 +119,30 @@ struct Write {
 
 type WriteMap = BTreeMap<usize, Vec<Write>>;
 
+/// Per-site configuration resolver: a base config, optionally overridden
+/// at individual instruction indices. The sensitivity pass uses this to
+/// relax one instruction site at a time without touching the rest of the
+/// kernel.
+struct SiteCfgs<'a> {
+    base: &'a IhwConfig,
+    overrides: &'a BTreeMap<usize, IhwConfig>,
+}
+
+impl SiteCfgs<'_> {
+    fn at(&self, idx: usize) -> &IhwConfig {
+        self.overrides.get(&idx).unwrap_or(self.base)
+    }
+
+    /// Conservative taint of a widened (unknown) load: every unit class
+    /// imprecise under the base *or any override* — an overridden site's
+    /// error may have flowed into the unstable store.
+    fn widen_taint(&self) -> TaintSet {
+        self.overrides
+            .values()
+            .fold(config_taint(self.base), |t, cfg| t.union(config_taint(cfg)))
+    }
+}
+
 /// Runs the abstract interpreter over `prog` under `cfg`.
 ///
 /// Loads and stores go through a per-buffer abstract store: every buffer
@@ -134,12 +158,31 @@ pub fn analyze_program(
     label: &str,
     s: &AnalysisSettings,
 ) -> KernelAnalysis {
+    let no_overrides = BTreeMap::new();
+    analyze_program_with_sites(prog, cfg, &no_overrides, label, s)
+}
+
+/// [`analyze_program`] with per-instruction config overrides: instruction
+/// `idx` runs under `overrides[idx]` when present, under `cfg` otherwise.
+/// An empty override map is bit-identical to [`analyze_program`]. This is
+/// the primitive behind `crate::sensitivity`'s per-site relaxation sweep.
+pub fn analyze_program_with_sites(
+    prog: &Program,
+    cfg: &IhwConfig,
+    overrides: &BTreeMap<usize, IhwConfig>,
+    label: &str,
+    s: &AnalysisSettings,
+) -> KernelAnalysis {
+    let sites = SiteCfgs {
+        base: cfg,
+        overrides,
+    };
     let input = AbsVal::exact(Interval::new(s.input_lo, s.input_hi));
     let mut prev: WriteMap = WriteMap::new();
     let mut analysis = None;
     for pass in 0..MAX_PASSES {
         let widen = pass + 1 == MAX_PASSES;
-        let (writes, result) = run_pass(prog, cfg, label, s, &input, &prev, widen);
+        let (writes, result) = run_pass(prog, &sites, label, s, &input, &prev, widen);
         let stable = writes_eq(&writes, &prev);
         prev = writes;
         analysis = Some(result);
@@ -164,7 +207,7 @@ fn writes_eq(a: &WriteMap, b: &WriteMap) -> bool {
 
 fn run_pass(
     prog: &Program,
-    cfg: &IhwConfig,
+    sites: &SiteCfgs<'_>,
     label: &str,
     s: &AnalysisSettings,
     input: &AbsVal,
@@ -174,8 +217,10 @@ fn run_pass(
     let mut regs = vec![AbsVal::exact(Interval::point(0.0)); prog.regs() as usize];
     let mut writes = WriteMap::new();
     let mut taint_sites = Vec::new();
+    let widen_taint = sites.widen_taint();
     let r = |regs: &[AbsVal], reg: gpu_sim::isa::Reg| regs[reg.0 as usize];
     for (idx, instr) in prog.instrs().iter().enumerate() {
+        let cfg = sites.at(idx);
         match *instr {
             Instr::Movi(d, imm) => {
                 regs[d.0 as usize] = AbsVal::exact(Interval::point(imm as f64));
@@ -219,7 +264,17 @@ fn run_pass(
                 regs[d.0 as usize] = sel_tf(&pred, &r(&regs, a), &r(&regs, b));
             }
             Instr::Ld(d, buf, mode) => {
-                regs[d.0 as usize] = load(prog, buf, mode, idx, input, prev, &writes, widen, cfg);
+                regs[d.0 as usize] = load(
+                    prog,
+                    buf,
+                    mode,
+                    idx,
+                    input,
+                    prev,
+                    &writes,
+                    widen,
+                    widen_taint,
+                );
             }
             Instr::St(buf, mode, src) => {
                 writes.entry(buf).or_default().push(Write {
@@ -318,11 +373,11 @@ fn load(
     prev: &WriteMap,
     current: &WriteMap,
     widen: bool,
-    cfg: &IhwConfig,
+    widen_taint: TaintSet,
 ) -> AbsVal {
     if widen && load_may_alias_any_store(prog, buf, mode, ridx) {
         // The store never stabilised: give up on precision, stay sound.
-        return AbsVal::top(config_taint(cfg), false);
+        return AbsVal::top(widen_taint, false);
     }
     let mut v = *input;
     if let Some(ws) = prev.get(&buf) {
@@ -838,5 +893,48 @@ mod tests {
         );
         assert_eq!(a.outputs[0].bound, 0.0, "exact inputs through ALU ops");
         assert!(a.taint_sites.is_empty(), "clean predicate");
+    }
+
+    #[test]
+    fn empty_site_overrides_match_whole_config_analysis() {
+        let prog = programs::dot_partial(4);
+        let cfg = IhwConfig::all_imprecise();
+        let whole = analyze_program(&prog, &cfg, "all_imprecise", &settings());
+        let with =
+            analyze_program_with_sites(&prog, &cfg, &BTreeMap::new(), "all_imprecise", &settings());
+        assert_eq!(whole.outputs.len(), with.outputs.len());
+        for (a, b) in whole.outputs.iter().zip(with.outputs.iter()) {
+            assert_eq!(a.buffer, b.buffer);
+            assert_eq!(a.bound.to_bits(), b.bound.to_bits());
+            assert_eq!(a.taint, b.taint);
+        }
+    }
+
+    #[test]
+    fn site_override_relaxes_exactly_one_instruction() {
+        // saxpy's only FP instruction is the Ffma at index 3: overriding
+        // that single site with the all-imprecise config must reproduce
+        // the whole-kernel all-imprecise bound, while overriding a
+        // unit-free site (the Ld at index 1) must stay at the precise
+        // bound.
+        let prog = programs::saxpy(2.0);
+        let base = IhwConfig::precise();
+        let relax = IhwConfig::all_imprecise();
+        let whole = analyze_program(&prog, &relax, "all_imprecise", &settings());
+        let mut overrides = BTreeMap::new();
+        overrides.insert(3usize, relax);
+        let ffma = analyze_program_with_sites(&prog, &base, &overrides, "site3", &settings());
+        assert_eq!(
+            whole.outputs[0].bound.to_bits(),
+            ffma.outputs[0].bound.to_bits()
+        );
+        let mut ld_only = BTreeMap::new();
+        ld_only.insert(1usize, relax);
+        let ld = analyze_program_with_sites(&prog, &base, &ld_only, "site1", &settings());
+        let precise = analyze_program(&prog, &base, "precise", &settings());
+        assert_eq!(
+            precise.outputs[0].bound.to_bits(),
+            ld.outputs[0].bound.to_bits()
+        );
     }
 }

@@ -25,6 +25,15 @@
 //! `carried-dependence`, **A006** `static-out-of-bounds` and **A007**
 //! `register-hygiene` under the `ihw-racecheck/1` schema.
 //!
+//! A third pass — the precision autotuner ([`autotune`], sensitivity
+//! analysis in [`sensitivity`]) — re-runs the interpreter with one
+//! instruction site relaxed at a time to build a per-site sensitivity
+//! table, prunes a branch-and-bound search over the whole-kernel
+//! [`IhwConfig`] space with the resulting static bounds, scores the
+//! admissible configs with `ihw-power`'s energy model, and emits a
+//! deterministic energy-vs-bound Pareto front plus **A008**
+//! `over-provisioned-precision` under the `ihw-autotune/1` schema.
+//!
 //! ```
 //! use ihw_analyze::interp::{analyze_program, AnalysisSettings};
 //! use ihw_core::config::IhwConfig;
@@ -42,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod cli;
 pub mod deps;
 pub mod domain;
@@ -49,12 +59,17 @@ pub mod empirical;
 pub mod interp;
 pub mod races;
 pub mod report;
+pub mod sensitivity;
 
+pub use autotune::{autotune_kernel, AutotuneSettings, KernelAutotune, ParetoPoint};
 pub use deps::{brute_force_conflicts, racecheck, BruteForce, RaceReport, Verdict};
 pub use domain::{AbsVal, Interval, TaintSet};
-pub use interp::{analyze_program, AnalysisSettings, KernelAnalysis, OutputReport};
+pub use interp::{
+    analyze_program, analyze_program_with_sites, AnalysisSettings, KernelAnalysis, OutputReport,
+};
 pub use races::{racecheck_stock, KernelRace};
 pub use report::{collect_findings, SCHEMA};
+pub use sensitivity::{sensitivity_table, Relaxation, SensitivityTable, SiteSensitivity};
 
 use gpu_sim::isa::Program;
 use gpu_sim::programs;

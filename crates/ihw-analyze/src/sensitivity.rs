@@ -1,0 +1,504 @@
+//! Per-instruction precision-sensitivity analysis and the **A008**
+//! `over-provisioned-precision` diagnostic (`ihw-autotune/1` schema).
+//!
+//! For every instruction site that uses a floating point unit, the pass
+//! re-runs the abstract interpreter with *that site alone* relaxed
+//! (through [`crate::interp::analyze_program_with_sites`]) over a sweep
+//! of relaxations — the adder TH ladder, every multiplier variant
+//! (Table 1, AC-mul full/log × truncation, bit-truncation baseline) and
+//! the per-opcode SFU imprecise mode — and records how each output
+//! buffer's static relative-error bound widens.
+//!
+//! The analyzer's taint bitmask makes untouched sites free: when the
+//! *whole-class* relaxation leaves every output's taint clean of the
+//! class, no single site of that class can move any output bound, so
+//! the per-site sweep is skipped and the base bounds are reused.
+//!
+//! **A008** fires for a site whose unit is precise under the base
+//! config and whose *maximal* relaxation (TH = 2 adder, the 25% Table 1
+//! multiplier, the imprecise SFU) provably keeps every output bound
+//! under the quality target — the precision at that site is
+//! over-provisioned. Findings go through the shared `ihw-lint`
+//! diagnostic machinery and are gated on `autotune-baseline.txt`
+//! (which ships empty: at the default `1e-3` target no stock site can
+//! absorb a maximal relaxation).
+
+use crate::interp::{
+    analyze_program, analyze_program_with_sites, AnalysisSettings, KernelAnalysis,
+};
+use gpu_sim::isa::{Instr, Program};
+use ihw_core::ac_multiplier::{AcMulConfig, MulPath};
+use ihw_core::config::{AddUnit, FpOp, IhwConfig, MulUnit, UnitMode};
+use ihw_core::truncated::TruncatedMul;
+use ihw_lint::diag::{Finding, Rule};
+use std::collections::BTreeMap;
+
+/// Smallest adder threshold the sweep visits: `th = 1` makes the far
+/// effective-subtraction bound `1/(2^(th−1)−1)` infinite, so it can
+/// never be *provably* admissible and is excluded by construction.
+pub const MIN_TH: u32 = 2;
+
+/// Largest adder threshold (the full f32 alignment width).
+pub const MAX_TH: u32 = 27;
+
+/// Largest multiplier truncation (all but the implicit mantissa bit).
+pub const MAX_TRUNCATION: u32 = 23;
+
+/// One way of relaxing a single unit class away from precise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Relaxation {
+    /// Imprecise threshold adder with the given `th`.
+    Adder {
+        /// Alignment threshold, [`MIN_TH`]`..=`[`MAX_TH`].
+        th: u32,
+    },
+    /// A non-precise multiplier variant.
+    Mul(MulUnit),
+    /// The imprecise SFU for one elementary-function opcode.
+    Sfu(FpOp),
+}
+
+impl Relaxation {
+    /// The unit class this relaxation touches.
+    pub fn class(&self) -> FpOp {
+        match self {
+            Relaxation::Adder { .. } => FpOp::Add,
+            Relaxation::Mul(_) => FpOp::Mul,
+            Relaxation::Sfu(op) => *op,
+        }
+    }
+
+    /// `base` with this one unit class relaxed.
+    pub fn apply(&self, base: &IhwConfig) -> IhwConfig {
+        match *self {
+            Relaxation::Adder { th } => base.with_add(AddUnit::Imprecise { th }),
+            Relaxation::Mul(m) => base.with_mul(m),
+            Relaxation::Sfu(op) => {
+                let mut c = *base;
+                match op {
+                    FpOp::Div => c.div = UnitMode::Imprecise,
+                    FpOp::Rcp => c.rcp = UnitMode::Imprecise,
+                    FpOp::Rsqrt => c.rsqrt = UnitMode::Imprecise,
+                    FpOp::Sqrt => c.sqrt = UnitMode::Imprecise,
+                    FpOp::Log2 => c.log2 = UnitMode::Imprecise,
+                    FpOp::Exp2 => c.exp2 = UnitMode::Imprecise,
+                    _ => unreachable!("Sfu relaxation carries an SFU opcode"),
+                }
+                c
+            }
+        }
+    }
+
+    /// Compact deterministic rendering (`th=8`, `trunc(11)`,
+    /// `ac(log,19)`, `ihw`, `ircp`, …).
+    pub fn render(&self) -> String {
+        match *self {
+            Relaxation::Adder { th } => format!("th={th}"),
+            Relaxation::Mul(MulUnit::Precise) => "precise".to_string(),
+            Relaxation::Mul(MulUnit::Imprecise) => "ihw".to_string(),
+            Relaxation::Mul(MulUnit::Truncated(tm)) => format!("trunc({})", tm.truncation),
+            Relaxation::Mul(MulUnit::AcMul(ac)) => {
+                let path = match ac.path {
+                    MulPath::Full => "full",
+                    MulPath::Log => "log",
+                };
+                format!("ac({path},{})", ac.truncation)
+            }
+            Relaxation::Sfu(op) => op.mnemonic().to_string(),
+        }
+    }
+
+    /// The *maximal* relaxation of a unit class — the one with the
+    /// loosest finite closed-form bound: the TH = 2 adder (TH = 1 is
+    /// unbounded on far subtractions), the 25% Table 1 multiplier, the
+    /// imprecise SFU. If a site survives this, it survives every
+    /// relaxation in [`class_sweep`].
+    pub fn maximal(class: FpOp) -> Relaxation {
+        match class {
+            FpOp::Add => Relaxation::Adder { th: MIN_TH },
+            FpOp::Mul => Relaxation::Mul(MulUnit::Imprecise),
+            op => Relaxation::Sfu(op),
+        }
+    }
+}
+
+/// The full relaxation ladder of one unit class, in deterministic
+/// sweep order: the adder TH ladder, every multiplier variant, or the
+/// single SFU imprecise mode.
+pub fn class_sweep(class: FpOp) -> Vec<Relaxation> {
+    match class {
+        FpOp::Add => (MIN_TH..=MAX_TH)
+            .map(|th| Relaxation::Adder { th })
+            .collect(),
+        FpOp::Mul => {
+            let mut sweep = vec![Relaxation::Mul(MulUnit::Imprecise)];
+            sweep.extend(
+                (0..=MAX_TRUNCATION)
+                    .map(|t| Relaxation::Mul(MulUnit::Truncated(TruncatedMul::new(t)))),
+            );
+            for path in [MulPath::Full, MulPath::Log] {
+                sweep.extend(
+                    (0..=MAX_TRUNCATION)
+                        .map(|t| Relaxation::Mul(MulUnit::AcMul(AcMulConfig::new(path, t)))),
+                );
+            }
+            sweep
+        }
+        op => vec![Relaxation::Sfu(op)],
+    }
+}
+
+/// Instruction sites that use a floating point unit, as `(index, class)`
+/// pairs in program order. An `Ffma` uses *both* the multiplier and the
+/// adder, so it contributes one site per class.
+pub fn site_classes(prog: &Program) -> Vec<(usize, FpOp)> {
+    let mut sites = Vec::new();
+    for (idx, instr) in prog.instrs().iter().enumerate() {
+        match *instr {
+            Instr::Fadd(..) | Instr::Fsub(..) => sites.push((idx, FpOp::Add)),
+            Instr::Fmul(..) => sites.push((idx, FpOp::Mul)),
+            Instr::Ffma(..) => {
+                sites.push((idx, FpOp::Add));
+                sites.push((idx, FpOp::Mul));
+            }
+            Instr::Fdiv(..) => sites.push((idx, FpOp::Div)),
+            Instr::Rcp(..) => sites.push((idx, FpOp::Rcp)),
+            Instr::Rsqrt(..) => sites.push((idx, FpOp::Rsqrt)),
+            Instr::Sqrt(..) => sites.push((idx, FpOp::Sqrt)),
+            Instr::Log2(..) => sites.push((idx, FpOp::Log2)),
+            _ => {}
+        }
+    }
+    sites
+}
+
+/// How one site responds to one relaxation.
+#[derive(Debug, Clone)]
+pub struct SensitivityEntry {
+    /// The relaxation applied at the site (everything else at base).
+    pub relaxation: Relaxation,
+    /// Per-output `(buffer, bound)` pairs under the relaxed site.
+    pub output_bounds: Vec<(usize, f64)>,
+    /// Worst output bound under the relaxed site (`+∞` = ⊤).
+    pub worst_bound: f64,
+}
+
+/// The sensitivity record of one instruction site.
+#[derive(Debug, Clone)]
+pub struct SiteSensitivity {
+    /// Instruction index of the site.
+    pub instr: usize,
+    /// 1-based source line (instruction index when unknown).
+    pub line: u32,
+    /// The unit class the site uses.
+    pub class: FpOp,
+    /// False when the class's taint provably reaches no output — the
+    /// sweep was skipped for free and every entry reuses the base
+    /// bounds.
+    pub touches_outputs: bool,
+    /// One entry per relaxation in [`class_sweep`] order.
+    pub entries: Vec<SensitivityEntry>,
+}
+
+impl SiteSensitivity {
+    /// Worst output bound under the site's *maximal* relaxation.
+    pub fn max_relax_bound(&self) -> f64 {
+        let maximal = Relaxation::maximal(self.class);
+        self.entries
+            .iter()
+            .find(|e| e.relaxation == maximal)
+            .map(|e| e.worst_bound)
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+/// The per-site sensitivity table of one kernel under one base config.
+#[derive(Debug, Clone)]
+pub struct SensitivityTable {
+    /// Kernel name.
+    pub kernel: String,
+    /// The base configuration every non-relaxed site runs under.
+    pub base: IhwConfig,
+    /// Worst output bound of the unmodified base analysis.
+    pub base_worst: f64,
+    /// One record per `(instruction, class)` site, program order.
+    pub sites: Vec<SiteSensitivity>,
+}
+
+fn worst_bound(a: &KernelAnalysis) -> f64 {
+    a.outputs.iter().map(|o| o.bound).fold(0.0, f64::max)
+}
+
+fn output_bounds(a: &KernelAnalysis) -> Vec<(usize, f64)> {
+    a.outputs.iter().map(|o| (o.buffer, o.bound)).collect()
+}
+
+/// Builds the sensitivity table: per site × per relaxation, the output
+/// bounds of the abstract interpreter with only that site relaxed.
+///
+/// Sites of a class whose error provably cannot reach any output (the
+/// whole-class relaxed analysis leaves every output's taint clean of
+/// the class) are skipped for free — their entries reuse the base
+/// bounds, which is exact: a value that never passes through the
+/// relaxed unit carries none of its error.
+pub fn sensitivity_table(
+    prog: &Program,
+    base: &IhwConfig,
+    s: &AnalysisSettings,
+) -> SensitivityTable {
+    let base_analysis = analyze_program(prog, base, "base", s);
+    let base_worst = worst_bound(&base_analysis);
+    let base_bounds = output_bounds(&base_analysis);
+
+    // Per class: does the maximal whole-class relaxation taint any
+    // output? If not, every site of the class is untouched.
+    let mut class_touches: BTreeMap<FpOp, bool> = BTreeMap::new();
+    let sites = site_classes(prog);
+    for &(_, class) in &sites {
+        class_touches.entry(class).or_insert_with(|| {
+            let relaxed = Relaxation::maximal(class).apply(base);
+            let a = analyze_program(prog, &relaxed, "class-relaxed", s);
+            a.outputs.iter().any(|o| o.taint.contains(class))
+        });
+    }
+
+    let sites = sites
+        .into_iter()
+        .map(|(instr, class)| {
+            let touches = class_touches[&class];
+            let entries = class_sweep(class)
+                .into_iter()
+                .map(|relaxation| {
+                    if !touches {
+                        return SensitivityEntry {
+                            relaxation,
+                            output_bounds: base_bounds.clone(),
+                            worst_bound: base_worst,
+                        };
+                    }
+                    let mut overrides = BTreeMap::new();
+                    overrides.insert(instr, relaxation.apply(base));
+                    let a = analyze_program_with_sites(prog, base, &overrides, "site", s);
+                    SensitivityEntry {
+                        relaxation,
+                        output_bounds: output_bounds(&a),
+                        worst_bound: worst_bound(&a),
+                    }
+                })
+                .collect();
+            SiteSensitivity {
+                instr,
+                line: prog.source_line(instr).unwrap_or(instr as u32),
+                class,
+                touches_outputs: touches,
+                entries,
+            }
+        })
+        .collect();
+
+    SensitivityTable {
+        kernel: prog.name().to_string(),
+        base: *base,
+        base_worst,
+        sites,
+    }
+}
+
+/// Maps a sensitivity table onto **A008** findings for a quality
+/// `target`: one finding per site whose unit is precise under the base
+/// config but whose maximal relaxation provably keeps every output
+/// bound finite and `≤ target`.
+///
+/// Fingerprints embed the class, the instruction index *and the
+/// target* (different targets admit different sites, so their findings
+/// must not collide in one baseline file).
+pub fn findings_for(table: &SensitivityTable, target: f64) -> Vec<Finding> {
+    let path = format!("{}.s", table.kernel);
+    table
+        .sites
+        .iter()
+        .filter(|site| !table.base.is_op_imprecise(site.class))
+        .filter(|site| {
+            let b = site.max_relax_bound();
+            b.is_finite() && b <= target
+        })
+        .map(|site| {
+            let bound = site.max_relax_bound();
+            let maximal = Relaxation::maximal(site.class);
+            Finding {
+                rule: Rule::OverProvisionedPrecision,
+                path: path.clone(),
+                line: site.line,
+                function: Some(format!(
+                    "{}|site#{}|target={:e}",
+                    site.class.mnemonic(),
+                    site.instr,
+                    target
+                )),
+                message: format!(
+                    "precision is over-provisioned: running {} maximally relaxed \
+                     ({}) at {} alone keeps every output bound at {:e} ≤ target {:e}",
+                    site.class.mnemonic(),
+                    maximal.render(),
+                    prog_locate(&table.kernel, site.instr, site.line),
+                    bound,
+                    target
+                ),
+                new: true,
+            }
+        })
+        .collect()
+}
+
+fn prog_locate(kernel: &str, instr: usize, line: u32) -> String {
+    if line as usize == instr {
+        format!("{kernel}[{instr}]")
+    } else {
+        format!("{kernel}.s:{line}")
+    }
+}
+
+/// [`findings_for`] over every stock kernel with the precise base
+/// config, deterministically ordered (path, line, rule, fingerprint
+/// context) — the A008 pass the `repro autotune` CI gate runs.
+pub fn collect_findings(target: f64, s: &AnalysisSettings, filter: &[String]) -> Vec<Finding> {
+    let base = IhwConfig::precise();
+    let mut findings: Vec<Finding> = crate::stock_kernels()
+        .into_iter()
+        .filter(|p| filter.is_empty() || filter.iter().any(|k| k == p.name()))
+        .flat_map(|prog| {
+            let table = sensitivity_table(&prog, &base, s);
+            findings_for(&table, target)
+        })
+        .collect();
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.function).cmp(&(&b.path, b.line, b.rule, &b.function))
+    });
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::programs;
+
+    fn settings() -> AnalysisSettings {
+        AnalysisSettings::default()
+    }
+
+    #[test]
+    fn ffma_contributes_one_site_per_class() {
+        let sites = site_classes(&programs::saxpy(2.0));
+        // saxpy: Movi, Ld, Ld, Ffma, St — one Ffma = Add + Mul sites.
+        assert_eq!(sites, vec![(3, FpOp::Add), (3, FpOp::Mul)]);
+        let dot = site_classes(&programs::dot_partial(4));
+        assert_eq!(dot.iter().filter(|(_, c)| *c == FpOp::Add).count(), 4);
+        assert_eq!(dot.iter().filter(|(_, c)| *c == FpOp::Mul).count(), 4);
+    }
+
+    #[test]
+    fn sweep_covers_the_knob_space() {
+        assert_eq!(class_sweep(FpOp::Add).len(), (MAX_TH - MIN_TH + 1) as usize);
+        // Table 1 + truncation ladder + two AC-mul paths.
+        assert_eq!(
+            class_sweep(FpOp::Mul).len(),
+            1 + 3 * (MAX_TRUNCATION as usize + 1)
+        );
+        assert_eq!(class_sweep(FpOp::Rsqrt), vec![Relaxation::Sfu(FpOp::Rsqrt)]);
+    }
+
+    #[test]
+    fn relaxation_apply_touches_exactly_one_class() {
+        let base = IhwConfig::precise();
+        let r = Relaxation::maximal(FpOp::Sqrt).apply(&base);
+        assert!(r.is_op_imprecise(FpOp::Sqrt));
+        for op in [
+            FpOp::Add,
+            FpOp::Mul,
+            FpOp::Div,
+            FpOp::Rcp,
+            FpOp::Rsqrt,
+            FpOp::Log2,
+        ] {
+            assert!(!r.is_op_imprecise(op), "{op} must stay precise");
+        }
+    }
+
+    #[test]
+    fn sensitivity_bounds_widen_monotonically_with_site_relaxation() {
+        let table = sensitivity_table(&programs::saxpy(2.0), &IhwConfig::precise(), &settings());
+        for site in &table.sites {
+            assert!(site.touches_outputs, "saxpy's Ffma feeds the output");
+            for e in &site.entries {
+                assert!(
+                    e.worst_bound >= table.base_worst,
+                    "relaxing a site must not tighten the bound ({:?})",
+                    e.relaxation
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a008_fires_at_a_loose_target_and_stays_clean_at_the_default() {
+        let s = settings();
+        let loose = collect_findings(0.5, &s, &[]);
+        assert!(
+            !loose.is_empty(),
+            "at a 50% target the maximal relaxations are admissible"
+        );
+        assert!(loose
+            .iter()
+            .all(|f| f.rule == Rule::OverProvisionedPrecision));
+        // UNIT_SLACK alone exceeds no stock site's budget headroom at
+        // 1e-3: the maximal relaxations (≥ 25% mul, TH=2 adder, ≥ 5.9%
+        // SFU) can never promise 0.1%.
+        let strict = collect_findings(1e-3, &s, &[]);
+        assert!(strict.is_empty(), "default target keeps the baseline empty");
+    }
+
+    #[test]
+    fn fingerprints_embed_the_target() {
+        let s = settings();
+        let loose = collect_findings(0.5, &s, &[]);
+        assert!(loose.iter().all(|f| f
+            .function
+            .as_deref()
+            .is_some_and(|ctx| ctx.contains("target=5e-1"))));
+    }
+
+    #[test]
+    fn untouched_class_is_skipped_for_free() {
+        // rsqrt_norm's Rsqrt output: every class feeds the output, so
+        // build a kernel where a class provably cannot reach the store.
+        use gpu_sim::isa::{AddrMode, Instr, Program, Reg};
+        let prog = Program::new(
+            "deadmul",
+            3,
+            vec![
+                Instr::Ld(Reg(0), 0, AddrMode::Tid),
+                Instr::Fmul(Reg(1), Reg(0), Reg(0)), // result never stored
+                Instr::Fadd(Reg(2), Reg(0), Reg(0)),
+                Instr::St(1, AddrMode::Tid, Reg(2)),
+            ],
+        )
+        .expect("valid");
+        let table = sensitivity_table(&prog, &IhwConfig::precise(), &settings());
+        let mul_site = table
+            .sites
+            .iter()
+            .find(|s| s.class == FpOp::Mul)
+            .expect("mul site exists");
+        assert!(!mul_site.touches_outputs);
+        assert!(mul_site
+            .entries
+            .iter()
+            .all(|e| e.worst_bound == table.base_worst));
+        let add_site = table
+            .sites
+            .iter()
+            .find(|s| s.class == FpOp::Add)
+            .expect("add site exists");
+        assert!(add_site.touches_outputs);
+    }
+}

@@ -6,12 +6,14 @@
 //! `serde` shim is marker-only), the same approach as `ihw-bench`'s
 //! timing report.
 //!
-//! The rule catalog carries three families with one shared diagnostic
+//! The rule catalog carries four families with one shared diagnostic
 //! pipeline: `L00x` source-level determinism rules emitted by this
 //! crate's lexer pass, `A001`–`A003` kernel-IR error-bound rules
-//! emitted by `ihw-analyze`'s abstract interpreter, and `A004`–`A007`
+//! emitted by `ihw-analyze`'s abstract interpreter, `A004`–`A007`
 //! memory-dependence/race rules emitted by its racecheck pass
-//! (`"ihw-racecheck/1"` JSON schema).
+//! (`"ihw-racecheck/1"` JSON schema), and the `A008`
+//! precision-sensitivity rule emitted by its autotune pass
+//! (`"ihw-autotune/1"` JSON schema).
 
 /// The catalog of rules, with stable codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -50,6 +52,11 @@ pub enum Rule {
     /// A007 — register hygiene: a read of a never-written register, or
     /// a register store that is never read.
     RegisterHygiene,
+    /// A008 — over-provisioned precision: an instruction site whose
+    /// maximal unit relaxation provably keeps every output bound under
+    /// the quality target (emitted by `ihw-analyze`'s sensitivity pass,
+    /// `"ihw-autotune/1"` JSON schema).
+    OverProvisionedPrecision,
 }
 
 impl Rule {
@@ -68,6 +75,7 @@ impl Rule {
             Rule::CarriedDependence => "A005",
             Rule::StaticOutOfBounds => "A006",
             Rule::RegisterHygiene => "A007",
+            Rule::OverProvisionedPrecision => "A008",
         }
     }
 
@@ -87,6 +95,7 @@ impl Rule {
             Rule::CarriedDependence => "carried-dependence",
             Rule::StaticOutOfBounds => "static-out-of-bounds",
             Rule::RegisterHygiene => "register-hygiene",
+            Rule::OverProvisionedPrecision => "over-provisioned-precision",
         }
     }
 
@@ -105,12 +114,13 @@ impl Rule {
             "carried-dependence" => Rule::CarriedDependence,
             "static-out-of-bounds" => Rule::StaticOutOfBounds,
             "register-hygiene" => Rule::RegisterHygiene,
+            "over-provisioned-precision" => Rule::OverProvisionedPrecision,
             _ => return None,
         })
     }
 
     /// Every rule, in code order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 13] = [
         Rule::FloatArith,
         Rule::HashIter,
         Rule::WallClock,
@@ -123,6 +133,7 @@ impl Rule {
         Rule::CarriedDependence,
         Rule::StaticOutOfBounds,
         Rule::RegisterHygiene,
+        Rule::OverProvisionedPrecision,
     ];
 
     /// The source-level lint rules this crate's lexer pass emits.
@@ -149,6 +160,10 @@ impl Rule {
         Rule::StaticOutOfBounds,
         Rule::RegisterHygiene,
     ];
+
+    /// The precision-sensitivity rules emitted by `ihw-analyze`'s
+    /// autotune pass.
+    pub const AUTOTUNE: [Rule; 1] = [Rule::OverProvisionedPrecision];
 }
 
 /// One diagnostic produced by the auditor.
@@ -217,25 +232,34 @@ pub fn to_json_with_schema(findings: &[Finding], schema: &str) -> String {
     out.push_str("  \"findings\": [\n");
     for (i, f) in findings.iter().enumerate() {
         let comma = if i + 1 < findings.len() { "," } else { "" };
-        let function = f
-            .function
-            .as_deref()
-            .map(|s| format!("\"{}\"", json_escape(s)))
-            .unwrap_or_else(|| "null".to_owned());
-        out.push_str(&format!(
-            "    {{ \"code\": \"{}\", \"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \
-             \"function\": {}, \"new\": {}, \"message\": \"{}\" }}{comma}\n",
-            f.rule.code(),
-            f.rule.marker(),
-            json_escape(&f.path),
-            f.line,
-            function,
-            f.new,
-            json_escape(&f.message),
-        ));
+        out.push_str(&format!("    {}{comma}\n", finding_json_object(f)));
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Renders one finding as a single-line JSON object — the element shape
+/// used inside the `"findings"` array of every schema-pinned document
+/// (`ihw-lint/1`, `ihw-analyze/1`, `ihw-racecheck/1`, `ihw-autotune/1`),
+/// so downstream emitters embedding findings in larger documents stay
+/// byte-compatible with [`to_json_with_schema`].
+pub fn finding_json_object(f: &Finding) -> String {
+    let function = f
+        .function
+        .as_deref()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .unwrap_or_else(|| "null".to_owned());
+    format!(
+        "{{ \"code\": \"{}\", \"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+         \"function\": {}, \"new\": {}, \"message\": \"{}\" }}",
+        f.rule.code(),
+        f.rule.marker(),
+        json_escape(&f.path),
+        f.line,
+        function,
+        f.new,
+        json_escape(&f.message),
+    )
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -285,8 +309,9 @@ mod tests {
         assert_eq!(Rule::CarriedDependence.code(), "A005");
         assert_eq!(Rule::StaticOutOfBounds.code(), "A006");
         assert_eq!(Rule::RegisterHygiene.code(), "A007");
+        assert_eq!(Rule::OverProvisionedPrecision.code(), "A008");
         assert_eq!(
-            Rule::LINT.len() + Rule::ANALYZE.len() + Rule::RACECHECK.len(),
+            Rule::LINT.len() + Rule::ANALYZE.len() + Rule::RACECHECK.len() + Rule::AUTOTUNE.len(),
             Rule::ALL.len()
         );
     }

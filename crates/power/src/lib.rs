@@ -38,7 +38,8 @@ pub mod prelude {
     pub use crate::metrics::{NormalizedMetrics, UnitMetrics};
     pub use crate::mul_power::{mul_power_mw, power_reduction};
     pub use crate::system::{
-        OpCounts, PowerShares, SystemPowerEstimate, SystemPowerModel, CORE_CLOCK_GHZ,
+        EnergyEstimate, OpCounts, PowerShares, SystemPowerEstimate, SystemPowerModel,
+        CORE_CLOCK_GHZ,
     };
 }
 

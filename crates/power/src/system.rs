@@ -133,6 +133,19 @@ pub struct SystemPowerEstimate {
     pub system_savings: f64,
 }
 
+/// Absolute energy/delay/EDP of one kernel launch under one config —
+/// the scoring quantity used by `ihw-analyze`'s autotuner to rank
+/// statically-admissible configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyEstimate {
+    /// Total arithmetic energy in pJ (mW × ns summed over op classes).
+    pub energy_pj: f64,
+    /// Total pipeline delay in ns (sum of per-class pipeline latencies).
+    pub delay_ns: f64,
+    /// Energy-delay product in pJ·ns.
+    pub edp: f64,
+}
+
 /// The Figure 12 estimator bound to a synthesis library and clock.
 #[derive(Debug, Clone)]
 pub struct SystemPowerModel {
@@ -236,6 +249,30 @@ impl SystemPowerModel {
             sfu_improvement,
             arithmetic_savings,
             system_savings,
+        }
+    }
+
+    /// Absolute arithmetic energy, delay and EDP of executing `counts`
+    /// under `cfg`: each op class runs `counts[op]` times on a fully
+    /// pipelined unit (the same Figure 12 pipeline model as
+    /// [`SystemPowerModel::estimate`], but reporting absolute pJ instead
+    /// of relative savings, so configs are mutually comparable).
+    pub fn energy(&self, counts: &OpCounts, cfg: &IhwConfig) -> EnergyEstimate {
+        let mut energy_pj = 0.0;
+        let mut delay_ns = 0.0;
+        for (op, acc) in counts.iter() {
+            if acc == 0 {
+                continue;
+            }
+            let (pwr, lat) = self.unit_metrics(op, cfg);
+            let pipe = self.pipe_latency_ns(acc, lat);
+            energy_pj += pwr * pipe;
+            delay_ns += pipe;
+        }
+        EnergyEstimate {
+            energy_pj,
+            delay_ns,
+            edp: energy_pj * delay_ns,
         }
     }
 
@@ -393,6 +430,40 @@ mod tests {
     #[should_panic(expected = "shares exceed total power")]
     fn share_validation() {
         let _ = PowerShares::new(0.7, 0.5);
+    }
+
+    #[test]
+    fn energy_is_cheaper_for_imprecise_configs() {
+        let model = SystemPowerModel::new();
+        let counts = mixed_counts();
+        let precise = model.energy(&counts, &IhwConfig::precise());
+        let ihw = model.energy(&counts, &IhwConfig::all_imprecise());
+        assert!(precise.energy_pj > 0.0);
+        assert!(ihw.energy_pj < precise.energy_pj);
+        assert!((precise.edp - precise.energy_pj * precise.delay_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_of_empty_counts_is_zero() {
+        let model = SystemPowerModel::new();
+        let e = model.energy(&OpCounts::new(), &IhwConfig::all_imprecise());
+        assert_eq!(e.energy_pj, 0.0);
+        assert_eq!(e.delay_ns, 0.0);
+        assert_eq!(e.edp, 0.0);
+    }
+
+    #[test]
+    fn truncated_mul_energy_decreases_with_truncation() {
+        let model = SystemPowerModel::new();
+        let counts: OpCounts = [(FpOp::Mul, 100_000u64)].into_iter().collect();
+        let mk = |t| {
+            IhwConfig::precise().with_mul(ihw_core::config::MulUnit::Truncated(
+                ihw_core::truncated::TruncatedMul::new(t),
+            ))
+        };
+        let t0 = model.energy(&counts, &mk(0));
+        let t23 = model.energy(&counts, &mk(23));
+        assert!(t23.energy_pj < t0.energy_pj);
     }
 
     #[test]

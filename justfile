@@ -40,6 +40,14 @@ analyze *ARGS:
 racecheck *ARGS:
     cargo run --release -p ihw-bench --bin repro -- racecheck {{ARGS}}
 
+# Static-bound-driven precision autotuner: per-site sensitivity
+# analysis, branch-and-bound config search, energy-vs-bound Pareto
+# fronts (see DESIGN.md §11). Fails on A008 findings not in
+# autotune-baseline.txt. `just autotune --target 1e-3 --json` prints
+# the machine-readable fronts.
+autotune *ARGS:
+    cargo run --release -p ihw-bench --bin repro -- autotune {{ARGS}}
+
 # Bench honesty gate: fails if any kernel×config row that took a
 # parallel launch path recorded a speedup below 0.9x (rows the
 # adaptive cutover kept sequential are exempt).

@@ -30,6 +30,12 @@ echo "== ihw-racecheck: memory-dependence audit (deny new findings) =="
 # diagnostics (schema ihw-racecheck/1) are kept as a CI artifact.
 cargo run --release -p ihw-bench --bin repro -- racecheck --json-out target/ihw-racecheck.json
 
+echo "== ihw-autotune: precision autotuner + A008 gate (deny new findings) =="
+# Exits non-zero on A008 over-provisioned-precision findings not in
+# autotune-baseline.txt; the JSON document (schema ihw-autotune/1,
+# per-kernel Pareto fronts + findings) is kept as a CI artifact.
+cargo run --release -p ihw-bench --bin repro -- autotune --json-out target/ihw-autotune.json
+
 echo "== racebench: interpreted vs compiled vs parallel (bit-identity + throughput) =="
 # Fails if any engine run diverges from the interpreted-sequential
 # reference; refreshes the committed BENCH_kernel_throughput.json perf

@@ -17,7 +17,9 @@
 //!   imprecision-taint analysis over the kernel IR (rules A001–A003),
 //!   plus the [`racecheck`] memory-dependence pass (rules A004–A007)
 //!   whose `ThreadIndependent` proof gates the simulator's parallel
-//!   launch path;
+//!   launch path, and the [`autotune`] static-bound-driven precision
+//!   autotuner (per-site sensitivity analysis, rule A008, energy-vs-bound
+//!   Pareto fronts);
 //! * [`lint`] (`ihw-lint`) — workspace bit-determinism auditor and the
 //!   shared diagnostic/baseline machinery;
 //! * [`workloads`] (`ihw-workloads`) — HotSpot, SRAD, RayTracing, CP, ART,
@@ -50,6 +52,7 @@
 
 pub use gpu_sim as sim;
 pub use ihw_analyze as analyze;
+pub use ihw_analyze::autotune;
 pub use ihw_analyze::races as racecheck;
 pub use ihw_core as core;
 pub use ihw_error as error;

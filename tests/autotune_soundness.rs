@@ -1,0 +1,238 @@
+//! Soundness gate for `ihw-autotune`: every config the autotuner admits
+//! on static evidence must honour its promised target empirically, every
+//! measured-evidence point must carry its ⊤ provenance flag, and the
+//! per-site sensitivity analysis must never report a tighter bound than
+//! the whole-class full re-run it approximates.
+
+use imprecise_gpgpu::analyze::empirical::measure;
+use imprecise_gpgpu::analyze::interp::{
+    analyze_program, analyze_program_with_sites, AnalysisSettings,
+};
+use imprecise_gpgpu::analyze::sensitivity::{class_sweep, site_classes};
+use imprecise_gpgpu::analyze::stock_kernels;
+use imprecise_gpgpu::autotune::{autotune_kernel, AutotuneSettings, Evidence};
+use imprecise_gpgpu::core::config::IhwConfig;
+use imprecise_gpgpu::sim::isa::{AddrMode, Instr, Program, Reg};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Static-evidence honesty: for every stock kernel, every Pareto point
+/// the autotuner admits on static evidence must keep its *measured* QMC
+/// error within the promised target — the static bound is a guarantee,
+/// not an estimate.
+#[test]
+fn static_evidence_points_honour_their_target_empirically() {
+    let settings = AutotuneSettings::default();
+    for prog in stock_kernels() {
+        let result = autotune_kernel(&prog, &settings);
+        assert!(
+            result.pareto.len() >= 2,
+            "{}: degenerate Pareto front",
+            prog.name()
+        );
+        for p in &result.pareto {
+            if p.evidence != Evidence::Static {
+                continue;
+            }
+            assert!(!p.top_static_bound, "static evidence cannot be ⊤");
+            assert!(
+                p.bound <= settings.target,
+                "{}/{}: admitted bound {} over target",
+                prog.name(),
+                p.render,
+                p.bound
+            );
+            let s = settings.analysis;
+            let measured = measure(&prog, &p.config, s.threads, s.input_lo, s.input_hi)
+                .expect("stock kernels run in-bounds");
+            for m in &measured {
+                assert!(
+                    m.max_rel <= settings.target,
+                    "{}/{}/b{}: measured {} breaks the promised target {}",
+                    prog.name(),
+                    p.render,
+                    m.buffer,
+                    m.max_rel,
+                    settings.target
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance shape of the issue: at the default 1e-3 target both
+/// saxpy and dot_partial get a non-trivial front — at least two points,
+/// at least one of them a non-precise config — and the whole run is
+/// deterministic.
+#[test]
+fn stock_fronts_are_nontrivial_and_deterministic() {
+    use imprecise_gpgpu::sim::programs;
+    let settings = AutotuneSettings::default();
+    for prog in [programs::saxpy(2.0), programs::dot_partial(4)] {
+        let a = autotune_kernel(&prog, &settings);
+        let b = autotune_kernel(&prog, &settings);
+        assert!(a.pareto.len() >= 2, "{}", prog.name());
+        assert!(a.pareto.iter().any(|p| p.config.any_imprecise()));
+        assert_eq!(a.pareto.len(), b.pareto.len());
+        for (x, y) in a.pareto.iter().zip(&b.pareto) {
+            assert_eq!(x.config, y.config);
+            assert_eq!(x.bound.to_bits(), y.bound.to_bits());
+            assert_eq!(x.energy_pj.to_bits(), y.energy_pj.to_bits());
+        }
+    }
+}
+
+/// A kernel built so the static analysis *must* give up: `x − 2` on
+/// `x ∈ [0.5, 1]` is an opposite-sign addition whose magnitudes are
+/// never `2^(TH+1)` apart, so every imprecise-adder config is ⊤ — yet
+/// the true error is tiny because the result is bounded away from zero.
+fn sub_shift() -> Program {
+    Program::new(
+        "sub_shift",
+        3,
+        vec![
+            Instr::Ld(Reg(0), 0, AddrMode::Tid),
+            Instr::Movi(Reg(1), 2.0),
+            Instr::Fsub(Reg(2), Reg(0), Reg(1)),
+            Instr::St(1, AddrMode::Tid, Reg(2)),
+        ],
+    )
+    .expect("valid kernel")
+}
+
+/// Measured-evidence provenance: on [`sub_shift`] the cheapest configs
+/// are statically unbounded, so the front's aggressive end can only come
+/// from the QMC fallback — and any such point must carry the
+/// `top_static_bound` flag and measured evidence.
+#[test]
+fn measured_evidence_points_carry_top_provenance() {
+    let settings = AutotuneSettings {
+        target: 1e-3,
+        ..AutotuneSettings::default()
+    };
+    let result = autotune_kernel(&sub_shift(), &settings);
+    assert!(result.measured >= 1, "the ⊤ frontier must be measured");
+    let measured: Vec<_> = result
+        .pareto
+        .iter()
+        .filter(|p| p.evidence == Evidence::Measured)
+        .collect();
+    assert!(
+        !measured.is_empty(),
+        "a ⊤-but-accurate config must reach the front via measurement"
+    );
+    for p in &measured {
+        assert!(
+            p.top_static_bound,
+            "{}: measured evidence must record its ⊤ static bound",
+            p.render
+        );
+        assert!(p.bound <= settings.target);
+        assert!(p.config.any_imprecise());
+    }
+    // The measured point is the cheapest end of the front: it beats the
+    // precise config on energy while measuring within the target.
+    let first = &result.pareto[0];
+    assert_eq!(first.evidence, Evidence::Measured);
+    assert!(first.savings > 0.0, "⊤ fallback must actually save energy");
+}
+
+// ---- sensitivity-vs-full-re-run dominance ----------------------------
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Same straight-line generator family as `analyzer_soundness.rs`.
+fn random_program(seed: u64) -> Program {
+    let mut st = seed;
+    let reg = |st: &mut u64| Reg((splitmix(st) % 4) as u8);
+    let mut instrs = vec![
+        Instr::Ld(Reg(0), 0, AddrMode::Tid),
+        Instr::Ld(Reg(1), 1, AddrMode::Tid),
+    ];
+    let body = 3 + (splitmix(&mut st) % 8) as usize;
+    for _ in 0..body {
+        let d = reg(&mut st);
+        let a = reg(&mut st);
+        let b = reg(&mut st);
+        instrs.push(match splitmix(&mut st) % 9 {
+            0 => Instr::Fadd(d, a, b),
+            1 => Instr::Fsub(d, a, b),
+            2 => Instr::Fmul(d, a, b),
+            3 => Instr::Fdiv(d, a, b),
+            4 => Instr::Ffma(d, a, b, reg(&mut st)),
+            5 => Instr::Sqrt(d, a),
+            6 => Instr::Rsqrt(d, a),
+            7 => Instr::Rcp(d, a),
+            _ => {
+                let imm = 0.5 + (splitmix(&mut st) % 1024) as f32 * (1.5 / 1024.0);
+                Instr::Movi(d, imm)
+            }
+        });
+    }
+    instrs.push(Instr::St(2, AddrMode::Tid, reg(&mut st)));
+    Program::new("random", 4, instrs).expect("generated registers are in range")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    // Property (dominance): relaxing ONE site of a unit class can never
+    // yield a looser bound than relaxing the WHOLE class — the per-site
+    // sensitivity sweep is an optimistic lower envelope of the full
+    // re-run, never tighter in the unsound direction. And overriding
+    // every site of the class at once must agree with the whole-config
+    // re-run bit for bit (the overrides cover exactly the instructions
+    // the config change can reach).
+    #[test]
+    fn site_sensitivity_never_beats_the_full_rerun(seed in any::<u64>()) {
+        let prog = random_program(seed);
+        let s = AnalysisSettings { threads: 16, ..AnalysisSettings::default() };
+        let base = IhwConfig::precise();
+        let sites = site_classes(&prog);
+        prop_assume!(!sites.is_empty());
+        let mut st = seed ^ 0xA076_1D64_78BD_642F;
+        let (_, class) = sites[(splitmix(&mut st) as usize) % sites.len()];
+        let sweep = class_sweep(class);
+        let relax = &sweep[(splitmix(&mut st) as usize) % sweep.len()];
+        let relaxed = relax.apply(&base);
+
+        let full = analyze_program(&prog, &relaxed, "full", &s);
+        let class_sites: Vec<usize> = sites
+            .iter()
+            .filter(|&&(_, c)| c == class)
+            .map(|&(i, _)| i)
+            .collect();
+
+        // (a) single-site relaxation ≤ whole-class relaxation, per output.
+        for &site in &class_sites {
+            let overrides: BTreeMap<usize, IhwConfig> =
+                [(site, relaxed)].into_iter().collect();
+            let one = analyze_program_with_sites(&prog, &base, &overrides, "site", &s);
+            for (o, f) in one.outputs.iter().zip(&full.outputs) {
+                prop_assert_eq!(o.buffer, f.buffer);
+                prop_assert!(
+                    o.bound <= f.bound || (o.bound.is_infinite() && f.bound.is_infinite()),
+                    "seed {}: site {} bound {} beats full re-run {} ({:?})",
+                    seed, site, o.bound, f.bound, prog
+                );
+            }
+        }
+
+        // (b) overriding every site of the class == whole-config re-run.
+        let all: BTreeMap<usize, IhwConfig> =
+            class_sites.iter().map(|&i| (i, relaxed)).collect();
+        let every = analyze_program_with_sites(&prog, &base, &all, "all-sites", &s);
+        for (e, f) in every.outputs.iter().zip(&full.outputs) {
+            prop_assert_eq!(
+                e.bound.to_bits(), f.bound.to_bits(),
+                "seed {}: all-sites {} ≠ whole-config {}", seed, e.bound, f.bound
+            );
+        }
+    }
+}
