@@ -66,6 +66,37 @@ pub fn adder_sub_far_bound(th: u32) -> f64 {
     1.0 / (2f64.powi(th as i32 - 1) - 1.0)
 }
 
+/// Maximum **absolute** error of the imprecise adder as a fraction of
+/// the larger operand magnitude, valid in *every* §4.1.1 case — including
+/// case (d), where the *relative* error is unbounded.
+///
+/// From the `adder` implementation (`add_normals`), with
+/// `M = max(|a|, |b|)` and `e = exponent(M)` (so `2^e ≤ M`):
+///
+/// * `d ≥ TH`: the small operand is dropped entirely —
+///   loss `< 2^(e−d+1) ≤ 2^(e−TH+1) ≤ 2^(1−TH)·M`;
+/// * `d < TH`, effective addition: the aligned small significand is
+///   truncated to `TH` fraction bits (loss `< 2^(e−TH) ≤ 2^(−TH)·M`) and
+///   a carry normalisation may drop one ULP (loss `≤ 2^(e−23) ≤ 2^(−23)·M`);
+/// * `d < TH`, effective subtraction: only the alignment truncation
+///   (loss `< 2^(e−TH) ≤ 2^(−TH)·M`) — the wide difference is exact.
+///
+/// `2^(1−TH)` covers every case; the `2^(2−23)` term adds the carry-drop
+/// ULP with headroom. This is the coefficient the affine error domain
+/// attaches to each adder noise symbol: `|computed − exact| ≤
+/// adder_abs_factor(TH) · max(|a|, |b|)`, finite even for overlapping
+/// effective subtractions.
+///
+/// ```
+/// use ihw_core::bounds;
+/// assert!(bounds::adder_abs_factor(8) < 0.0079);
+/// // Monotone: a wider TH window truncates less.
+/// assert!(bounds::adder_abs_factor(17) < bounds::adder_abs_factor(16));
+/// ```
+pub fn adder_abs_factor(th: u32) -> f64 {
+    2f64.powi(1 - th as i32) + 2f64.powi(2 - 23)
+}
+
 /// Numerically computed CDF of the Table 1 multiplier's relative error
 /// under independent uniform mantissas `Ma, Mb ~ U[0,1)`:
 /// `P[ error ≤ e ]` where `error = Ma·Mb / (1+Ma)(1+Mb)`.
@@ -363,6 +394,57 @@ mod tests {
         }
         assert!(worst <= bound, "measured {worst} vs bound {bound}");
         assert!(worst > bound - 0.04, "bound should be near-attained");
+    }
+
+    #[test]
+    fn adder_abs_factor_dominates_measured_absolute_error() {
+        // Differential sweep against the real adder: the absolute error of
+        // iadd32/isub32 must stay within adder_abs_factor(th)·max(|a|,|b|)
+        // for every case — same sign, opposite sign, overlapping and far
+        // magnitudes — which is exactly the invariant the affine error
+        // domain leans on.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64
+        };
+        for th in [2u32, 4, 8, 12, 17, 23, 27] {
+            let factor = adder_abs_factor(th);
+            for _ in 0..4000 {
+                // Magnitudes spread over ~2^24 so d sweeps both sides of th.
+                let a = ((next() - 0.5) * 2.0 * 2f64.powf(next() * 24.0 - 12.0)) as f32;
+                let b = ((next() - 0.5) * 2.0 * 2f64.powf(next() * 24.0 - 12.0)) as f32;
+                let got = crate::adder::iadd32(a, b, th) as f64;
+                let exact = a as f64 + b as f64;
+                let m = (a as f64).abs().max((b as f64).abs());
+                assert!(
+                    (got - exact).abs() <= factor * m,
+                    "th={th} a={a:e} b={b:e}: |{got:e} - {exact:e}| > {factor:e}·{m:e}"
+                );
+                let got_sub = crate::adder::isub32(a, b, th) as f64;
+                let exact_sub = a as f64 - b as f64;
+                assert!(
+                    (got_sub - exact_sub).abs() <= factor * m,
+                    "sub th={th} a={a:e} b={b:e}"
+                );
+            }
+        }
+        // Near-attained: overlapping subtraction at th=8 loses ~2^(−8)·M.
+        let worst = (0..2000)
+            .map(|i| {
+                let a = 1.0f32 + i as f32 * 4.8e-4;
+                let b = -(1.0f32 + (1999 - i) as f32 * 4.9e-4);
+                (crate::adder::iadd32(a, b, 8) as f64 - (a as f64 + b as f64)).abs()
+                    / (a as f64).abs().max((b as f64).abs())
+            })
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst > adder_abs_factor(8) / 8.0,
+            "factor far from tight: {worst:e}"
+        );
     }
 
     #[test]

@@ -53,6 +53,96 @@ pub fn dot_partial(chunk: usize) -> Program {
     Program::new("dot_partial", 3, instrs).expect("dot_partial is a valid program")
 }
 
+/// Error-free transformation of a sum (Knuth TwoSum, 6 flops): stores
+/// the raw sum `s = a ⊕ b` to buffer `2` and the *compensated* sum
+/// `s ⊕ e` — where `e = (a ⊖ (s ⊖ (s ⊖ a))) ⊕ (b ⊖ (s ⊖ a))` recovers
+/// the rounding residual — to buffer `3`.
+///
+/// The correction chain subtracts highly correlated intermediates, so
+/// the interval domain of `ihw-analyze` reports ⊤ on buffer `3` under
+/// *any* config (the ideal ranges of `s ⊖ a` etc. straddle zero) while
+/// the affine domain cancels the shared noise symbols and proves a
+/// finite bound — the motivating case for the relational pass
+/// (ROADMAP item 4, "Recycled Error Bits" / float-float operators).
+pub fn two_sum() -> Program {
+    crate::asm::assemble(
+        "two_sum",
+        "
+        .buffers 4
+        ld   r0, b0[tid]   # a
+        ld   r1, b1[tid]   # b
+        fadd r2, r0, r1    # s  = a (+) b
+        fsub r3, r2, r0    # bb = s (-) a
+        fsub r4, r2, r3    # aa = s (-) bb
+        fsub r5, r0, r4    # da = a (-) aa
+        fsub r6, r1, r3    # db = b (-) bb
+        fadd r7, r5, r6    # e  = da (+) db
+        st   b2[tid], r2   # raw sum
+        fadd r8, r2, r7    # compensated sum s (+) e
+        st   b3[tid], r8
+        ",
+    )
+    .expect("two_sum is a valid program")
+}
+
+/// Error-free transformation of a product: stores `p = a ⊗ b` to buffer
+/// `2` and the FMA residual `fma(a, b, −p)` to buffer `3`.
+///
+/// The residual's *ideal* value is exactly zero, so no relative bound
+/// exists for buffer `3` in any domain — the kernel exercises the
+/// negate-and-fma idiom (and the analyzer's far-magnitude `0 ⊖ p`
+/// case) rather than the affine recovery path, which [`two_sum`] and
+/// [`dot_compensated`] cover.
+pub fn two_prod() -> Program {
+    crate::asm::assemble(
+        "two_prod",
+        "
+        .buffers 4
+        ld   r0, b0[tid]     # a
+        ld   r1, b1[tid]     # b
+        fmul r2, r0, r1      # p = a (x) b
+        movi r3, 0.0
+        fsub r3, r3, r2      # -p
+        ffma r4, r0, r1, r3  # residual a*b (+) (-p)
+        st   b2[tid], r2
+        st   b3[tid], r4
+        ",
+    )
+    .expect("two_prod is a valid program")
+}
+
+/// Per-thread *compensated* (Kahan) partial dot product of a
+/// `chunk`-element strip: `out[i] = Σ_j x[i+j]·y[i+j]` over buffers
+/// `0`, `1` → `2`, with a running compensation term `c` correcting each
+/// accumulation step.
+///
+/// The compensation chain `c = (t ⊖ sum) ⊖ y` cancels catastrophically
+/// in the interval domain (⊤ from the first iteration on, even under
+/// the precise config) while the affine domain tracks the correlation
+/// and keeps the bound finite whenever only the adder is imprecise.
+pub fn dot_compensated(chunk: usize) -> Program {
+    let mut text = String::from(".buffers 3\nmovi r3, 0.0   # sum\nmovi r4, 0.0   # c\n");
+    let (mut sum, mut t) = (3u8, 6u8);
+    for j in 0..chunk {
+        let idx = if j == 0 {
+            "tid".to_string()
+        } else {
+            format!("tid+{j}")
+        };
+        text.push_str(&format!("ld   r0, b0[{idx}]\nld   r1, b1[{idx}]\n"));
+        text.push_str("fmul r2, r0, r1      # p = x*y\n");
+        text.push_str("fsub r5, r2, r4      # y = p (-) c\n");
+        text.push_str(&format!("fadd r{t}, r{sum}, r5  # t = sum (+) y\n"));
+        if j + 1 < chunk {
+            text.push_str(&format!("fsub r7, r{t}, r{sum}  # t (-) sum\n"));
+            text.push_str("fsub r4, r7, r5      # c = (t (-) sum) (-) y\n");
+        }
+        std::mem::swap(&mut sum, &mut t);
+    }
+    text.push_str(&format!("st   b2[tid], r{sum}\n"));
+    crate::asm::assemble("dot_compensated", &text).expect("dot_compensated is a valid program")
+}
+
 /// A distance-to-origin kernel: `out[i] = √(x[i]² + y[i]²)` — the
 /// mul/add/sqrt profile of the RayTracing intersection math.
 pub fn distance() -> Program {
@@ -127,7 +217,15 @@ mod tests {
         // dependence — so none needs an allow marker and the parallel
         // launch path applies to all of them.
         use crate::deps::{racecheck, Verdict};
-        for prog in [saxpy(2.0), rsqrt_norm(), dot_partial(4), distance()] {
+        for prog in [
+            saxpy(2.0),
+            rsqrt_norm(),
+            dot_partial(4),
+            distance(),
+            two_sum(),
+            two_prod(),
+            dot_compensated(4),
+        ] {
             let report = racecheck(&prog);
             assert_eq!(
                 report.verdict,
@@ -151,6 +249,78 @@ mod tests {
                 "{} should not need suppressions",
                 prog.name()
             );
+        }
+    }
+
+    #[test]
+    fn two_sum_recovers_the_exact_rounding_residual() {
+        // Knuth's invariant under precise f32: s + e == a + b *exactly*,
+        // so the compensated sum fl(s + e) rounds back to s, and e
+        // matches the host TwoSum residual bit for bit.
+        let a = [0.1f32, 1.0e-8, 3.25, 0.7];
+        let b = [0.2f32, 1.0, -3.0, 0.55];
+        let n = a.len();
+        let mut bufs = vec![a.to_vec(), b.to_vec(), vec![0.0f32; n], vec![0.0f32; n]];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        interp
+            .launch(&two_sum(), n as u32, &mut bufs)
+            .expect("runs");
+        for i in 0..n {
+            let s = a[i] + b[i];
+            let bb = s - a[i];
+            let e = (a[i] - (s - bb)) + (b[i] - bb);
+            assert_eq!(bufs[2][i], s, "raw sum {i}");
+            assert_eq!(bufs[3][i], s + e, "compensated sum {i}");
+            assert_eq!(s + e, s, "|e| ≤ ulp(s)/2 rounds away");
+        }
+    }
+
+    #[test]
+    fn two_prod_residual_is_zero_for_decomposed_fma() {
+        // The simulator's ffma is mul-then-add through the same units,
+        // so fma(a, b, −(a⊗b)) reproduces the same product in both
+        // stages and cancels bit-exactly — even under the imprecise
+        // multiplier, as long as the *adder* stays precise (an imprecise
+        // adder truncates the final p ⊕ (−p) instead of zeroing it).
+        use ihw_core::config::MulUnit;
+        for cfg in [
+            IhwConfig::precise(),
+            IhwConfig::precise().with_mul(MulUnit::Imprecise),
+        ] {
+            let a = [0.6f32, 0.9, 0.51];
+            let b = [0.7f32, 0.52, 0.99];
+            let n = a.len();
+            let mut bufs = vec![a.to_vec(), b.to_vec(), vec![0.0f32; n], vec![0.0f32; n]];
+            let mut interp = WarpInterpreter::new(cfg);
+            interp
+                .launch(&two_prod(), n as u32, &mut bufs)
+                .expect("runs");
+            for (i, r) in bufs[3].iter().enumerate() {
+                assert_eq!(*r, 0.0, "residual {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_compensated_matches_host_kahan() {
+        let n = 8;
+        let chunk = 4;
+        let x: Vec<f32> = (0..n + chunk).map(|i| 0.5 + (i as f32) * 0.031).collect();
+        let y: Vec<f32> = (0..n + chunk).map(|i| 1.0 - (i as f32) * 0.017).collect();
+        let mut bufs = vec![x.clone(), y.clone(), vec![0.0f32; n]];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        interp
+            .launch(&dot_compensated(chunk), n as u32, &mut bufs)
+            .expect("runs");
+        for (i, got) in bufs[2].iter().enumerate() {
+            let (mut sum, mut c) = (0.0f32, 0.0f32);
+            for j in i..i + chunk {
+                let yk = x[j] * y[j] - c;
+                let t = sum + yk;
+                c = (t - sum) - yk;
+                sum = t;
+            }
+            assert_eq!(*got, sum, "thread {i}");
         }
     }
 

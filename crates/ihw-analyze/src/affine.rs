@@ -1,0 +1,915 @@
+//! The affine-form (zonotope) relational error domain — the second pass
+//! behind the interval domain of [`crate::interp`].
+//!
+//! Each abstract value is a **pair of affine forms** over a shared
+//! namespace of noise symbols `ε_i ∈ [−1, 1]`:
+//!
+//! * `ideal` — encloses the infinitely precise value:
+//!   `x = c + Σ aᵢ·εᵢ`, one symbol per input element (memoized per
+//!   `(buffer, address)`, so two loads of the same element share a
+//!   symbol) plus linearization-remainder symbols;
+//! * `err` — encloses `computed − ideal` **absolutely**: one fresh
+//!   symbol per op whose coefficient is the unit's worst absolute error
+//!   (adder: [`ihw_core::bounds::adder_abs_factor`]`·max(|â|,|b̂|)`,
+//!   valid in *every* §4.1.1 case including overlapping effective
+//!   subtraction; multiplier/SFU: the per-unit relative bound times the
+//!   computed-operand magnitude range).
+//!
+//! Because `err` is carried *relationally*, subtracting correlated
+//! values cancels shared symbols symbolically: in TwoSum's `bb = s ⊖ a;
+//! aa = s ⊖ bb` the `s`-error symbol cancels exactly, so compensated
+//! kernels get finite bounds where the interval domain reports ⊤.
+//! Nonlinear ops linearize around a chord of the *ideal* range (keeping
+//! every center and slope config-independent, which preserves the bound
+//! monotonicity the autotuner's branch-and-bound prunes by) with a
+//! rigorously bounded remainder: the ideal form gains a `±δ` Chebyshev
+//! remainder symbol, the err form gains `sup_X|f′−α| · |err|` — second
+//! order in the accumulated error. Anything the domain cannot express
+//! (aliased loads, undecided selects, domains crossing zero) degrades to
+//! an uncorrelated form rebuilt from the interval pass's result for the
+//! same instruction, so the combined `min(interval, affine)` bound never
+//! loses the interval pass's case analysis.
+//!
+//! A configurable symbol budget keeps forms linear in program size:
+//! when a form exceeds the budget, the smallest coefficients fold —
+//! soundly, since dropping correlation only widens — into one fresh
+//! "garbage" symbol per condensation event (never shared across forms).
+//! Symbol ids are allocated in strict program order, never from
+//! iteration order, so reports are byte-identical across runs.
+
+use crate::domain::{AbsVal, Interval};
+use crate::interp::{unit_err, AnalysisSettings, ROUND_EPS};
+use gpu_sim::isa::{AddrMode, Instr, Program};
+use ihw_core::bounds;
+use ihw_core::config::{AddUnit, FpOp, IhwConfig};
+use std::collections::BTreeMap;
+
+/// Default symbol budget per affine form ([`AnalysisSettings::affine_budget`]).
+pub const DEFAULT_SYMBOL_BUDGET: usize = 64;
+
+/// Absolute allowance per op for subnormal flush-to-zero: any f32 value
+/// the units flush is below `2^−126 ≈ 1.2e−38`, so adding `1e−37` to
+/// every unit-error coefficient covers the flush exactly and costs
+/// nothing at the magnitudes the analyses run at.
+const SUBNORMAL_EPS: f64 = 1e-37;
+
+/// An affine form `center + Σ coeffᵢ·ε_i`, `ε_i ∈ [−1, 1]`; terms are
+/// kept sorted by symbol id with nonzero coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineForm {
+    center: f64,
+    terms: Vec<(u32, f64)>,
+}
+
+impl AffineForm {
+    fn point(c: f64) -> AffineForm {
+        AffineForm {
+            center: c,
+            terms: Vec::new(),
+        }
+    }
+
+    fn zero() -> AffineForm {
+        AffineForm::point(0.0)
+    }
+
+    /// The constant term.
+    pub fn center(&self) -> f64 {
+        self.center
+    }
+
+    /// Number of noise symbols with nonzero coefficient.
+    pub fn symbols(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total deviation `Σ |coeffᵢ|`.
+    pub fn rad(&self) -> f64 {
+        self.terms.iter().map(|(_, c)| c.abs()).sum()
+    }
+
+    /// `max |value|` over the form: `|center| + rad`.
+    pub fn max_abs(&self) -> f64 {
+        self.center.abs() + self.rad()
+    }
+
+    /// The enclosing interval `[center − rad, center + rad]`.
+    pub fn range(&self) -> Interval {
+        let r = self.rad();
+        Interval::new(self.center - r, self.center + r)
+    }
+
+    /// Every center and coefficient is a finite number.
+    fn is_finite(&self) -> bool {
+        self.center.is_finite() && self.terms.iter().all(|(_, c)| c.is_finite())
+    }
+
+    /// Adds `coeff·ε_id` (skipping a zero coefficient). `id` must be
+    /// fresher than every existing term — true for allocator-issued ids.
+    fn push(&mut self, id: u32, coeff: f64) {
+        if coeff != 0.0 {
+            debug_assert!(self.terms.last().is_none_or(|&(i, _)| i < id));
+            self.terms.push((id, coeff));
+        }
+    }
+
+    /// Merges term lists with `combine` on shared symbols.
+    fn zip(&self, o: &AffineForm, center: f64, combine: impl Fn(f64, f64) -> f64) -> AffineForm {
+        let mut terms = Vec::with_capacity(self.terms.len() + o.terms.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.terms.len() || j < o.terms.len() {
+            let c = match (self.terms.get(i), o.terms.get(j)) {
+                (Some(&(ia, ca)), Some(&(ib, cb))) if ia == ib => {
+                    i += 1;
+                    j += 1;
+                    (ia, combine(ca, cb))
+                }
+                (Some(&(ia, ca)), Some(&(ib, _))) if ia < ib => {
+                    i += 1;
+                    (ia, combine(ca, 0.0))
+                }
+                (Some(&(ia, ca)), None) => {
+                    i += 1;
+                    (ia, combine(ca, 0.0))
+                }
+                (_, Some(&(ib, cb))) => {
+                    j += 1;
+                    (ib, combine(0.0, cb))
+                }
+                (None, None) => unreachable!(),
+            };
+            if c.1 != 0.0 {
+                terms.push(c);
+            }
+        }
+        AffineForm { center, terms }
+    }
+
+    fn add(&self, o: &AffineForm) -> AffineForm {
+        self.zip(o, self.center + o.center, |a, b| a + b)
+    }
+
+    fn sub(&self, o: &AffineForm) -> AffineForm {
+        self.zip(o, self.center - o.center, |a, b| a - b)
+    }
+
+    /// `k · self` (center and every coefficient).
+    fn scale(&self, k: f64) -> AffineForm {
+        AffineForm {
+            center: self.center * k,
+            terms: self
+                .terms
+                .iter()
+                .filter(|(_, c)| c * k != 0.0)
+                .map(|&(i, c)| (i, c * k))
+                .collect(),
+        }
+    }
+
+    /// `k · (self − center)`: the noise part only, scaled.
+    fn scale_noise(&self, k: f64) -> AffineForm {
+        AffineForm {
+            center: 0.0,
+            ..self.scale(k)
+        }
+    }
+
+    /// Shifts the center by `b`.
+    fn offset(&self, b: f64) -> AffineForm {
+        AffineForm {
+            center: self.center + b,
+            terms: self.terms.clone(),
+        }
+    }
+}
+
+/// An abstract value of the relational domain: the ideal value and the
+/// absolute error `computed − ideal`, as affine forms over one symbol
+/// namespace — or ⊤ when unrepresentable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AffVal {
+    /// `ideal` encloses the infinitely precise value, `err` encloses
+    /// `computed − ideal` (center 0 by construction).
+    Val {
+        /// Affine enclosure of the ideal value.
+        ideal: AffineForm,
+        /// Affine enclosure of the absolute error.
+        err: AffineForm,
+    },
+    /// Nothing is representable about the value.
+    Top,
+}
+
+impl AffVal {
+    /// The reported relative-error bound of this value: worst absolute
+    /// error over the smallest ideal magnitude, with the denominator
+    /// shrunk by the error itself so the bound also covers a measured
+    /// comparison against the (rounded) precise reference run. `0` for
+    /// exact values, `∞` when the ideal range comes within the absolute
+    /// error of zero.
+    pub fn rel_bound(&self) -> f64 {
+        match self {
+            AffVal::Top => f64::INFINITY,
+            AffVal::Val { ideal, err } => {
+                let a = err.max_abs();
+                if a == 0.0 {
+                    return 0.0;
+                }
+                let m = ideal.range().min_abs();
+                if !a.is_finite() || m <= a {
+                    f64::INFINITY
+                } else {
+                    a / (m - a)
+                }
+            }
+        }
+    }
+}
+
+/// A Chebyshev-style chord linearization `f(x) ≈ α·x + β ± δ` over an
+/// interval.
+struct Chord {
+    alpha: f64,
+    beta: f64,
+    delta: f64,
+}
+
+/// The four concave/convex SFU curves the domain linearizes. Each has a
+/// monotone derivative on its (positive or sign-definite) domain, so
+/// `f − αx` attains its extrema at the interval endpoints or the single
+/// stationary point `f′(x) = α`.
+#[derive(Clone, Copy)]
+enum Curve {
+    Recip,
+    Sqrt,
+    Rsqrt,
+    Log2,
+}
+
+impl Curve {
+    fn f(self, x: f64) -> f64 {
+        match self {
+            Curve::Recip => 1.0 / x,
+            Curve::Sqrt => x.sqrt(),
+            Curve::Rsqrt => 1.0 / x.sqrt(),
+            Curve::Log2 => x.log2(),
+        }
+    }
+
+    fn fprime(self, x: f64) -> f64 {
+        match self {
+            Curve::Recip => -1.0 / (x * x),
+            Curve::Sqrt => 0.5 / x.sqrt(),
+            Curve::Rsqrt => -0.5 / (x * x.sqrt()),
+            Curve::Log2 => 1.0 / (x * std::f64::consts::LN_2),
+        }
+    }
+
+    /// Solves `f′(x) = α` (stationary points of `f − αx`). `Recip` has
+    /// one root per sign branch; the caller keeps whichever lands inside
+    /// its interval.
+    fn stationary(self, alpha: f64) -> [Option<f64>; 2] {
+        match self {
+            Curve::Recip if alpha < 0.0 => {
+                let r = (-1.0 / alpha).sqrt();
+                [Some(r), Some(-r)]
+            }
+            Curve::Sqrt if alpha > 0.0 => [Some(1.0 / (4.0 * alpha * alpha)), None],
+            Curve::Rsqrt if alpha < 0.0 => [Some((-0.5 / alpha).powf(2.0 / 3.0)), None],
+            Curve::Log2 if alpha > 0.0 => [Some(1.0 / (alpha * std::f64::consts::LN_2)), None],
+            _ => [None, None],
+        }
+    }
+
+    /// Is the whole (closed) interval inside the curve's domain, with
+    /// finite derivative? `Recip` additionally accepts negative-definite
+    /// intervals.
+    fn admits(self, iv: Interval) -> bool {
+        match self {
+            Curve::Recip => iv.lo > 0.0 || iv.hi < 0.0,
+            Curve::Sqrt | Curve::Rsqrt | Curve::Log2 => iv.lo > 0.0,
+        }
+    }
+
+    /// Chord linearization over `iv` (caller checked [`Curve::admits`]).
+    fn chord(self, iv: Interval) -> Chord {
+        let (lo, hi) = (iv.lo, iv.hi);
+        let alpha = if hi - lo > 0.0 {
+            (self.f(hi) - self.f(lo)) / (hi - lo)
+        } else {
+            self.fprime(lo)
+        };
+        let g = |x: f64| self.f(x) - alpha * x;
+        let mut g_lo = g(lo).min(g(hi));
+        let mut g_hi = g(lo).max(g(hi));
+        for x in self.stationary(alpha).into_iter().flatten() {
+            if x > lo && x < hi {
+                g_lo = g_lo.min(g(x));
+                g_hi = g_hi.max(g(x));
+            }
+        }
+        Chord {
+            alpha,
+            beta: (g_lo + g_hi) / 2.0,
+            delta: (g_hi - g_lo) / 2.0,
+        }
+    }
+
+    /// `sup |f′(ξ) − α|` over `iv` — the derivative is monotone, so the
+    /// supremum sits at an endpoint.
+    fn slope_dev(self, iv: Interval, alpha: f64) -> f64 {
+        (self.fprime(iv.lo) - alpha)
+            .abs()
+            .max((self.fprime(iv.hi) - alpha).abs())
+    }
+}
+
+/// Per-pass affine interpreter state, advanced instruction by
+/// instruction in lockstep with the interval pass of
+/// [`crate::interp::analyze_program_with_sites`].
+pub(crate) struct PassState {
+    next_sym: u32,
+    budget: usize,
+    /// `(buffer, tag, k)` → input-element symbol: `Tid`/`TidPlus(k)` map
+    /// to `(0, k)` (thread-relative element `k`), `Abs(i)` to `(1, i)`.
+    input_syms: BTreeMap<(usize, i64, i64), u32>,
+    tid_sym: Option<u32>,
+    regs: Vec<AffVal>,
+    /// Per-buffer stored values, in program store order (aligned with
+    /// the interval pass's `WriteMap` entries).
+    pub writes: BTreeMap<usize, Vec<AffVal>>,
+}
+
+impl PassState {
+    pub fn new(nregs: usize, s: &AnalysisSettings) -> PassState {
+        PassState {
+            next_sym: 0,
+            budget: s.affine_budget.max(1),
+            input_syms: BTreeMap::new(),
+            tid_sym: None,
+            regs: vec![
+                AffVal::Val {
+                    ideal: AffineForm::zero(),
+                    err: AffineForm::zero(),
+                };
+                nregs
+            ],
+            writes: BTreeMap::new(),
+        }
+    }
+
+    fn fresh(&mut self) -> u32 {
+        let id = self.next_sym;
+        self.next_sym += 1;
+        id
+    }
+
+    /// Folds the smallest coefficients into one fresh garbage symbol
+    /// when a form exceeds the budget. Sound: treating correlated terms
+    /// as one independent symbol only widens every downstream
+    /// combination. Deterministic: ties break on symbol id.
+    fn condense(&mut self, f: &mut AffineForm) {
+        if f.terms.len() <= self.budget {
+            return;
+        }
+        let keep = self.budget - 1;
+        let mut order: Vec<usize> = (0..f.terms.len()).collect();
+        order.sort_by(|&a, &b| {
+            f.terms[b]
+                .1
+                .abs()
+                .total_cmp(&f.terms[a].1.abs())
+                .then(f.terms[a].0.cmp(&f.terms[b].0))
+        });
+        let kept: std::collections::BTreeSet<usize> = order[..keep].iter().copied().collect();
+        let folded: f64 = order[keep..].iter().map(|&i| f.terms[i].1.abs()).sum();
+        let mut terms: Vec<(u32, f64)> = f
+            .terms
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| kept.contains(i))
+            .map(|(_, &t)| t)
+            .collect();
+        terms.push((self.fresh(), folded));
+        f.terms = terms;
+    }
+
+    /// Seals a freshly built pair: ⊤ on any non-finite coefficient,
+    /// budget condensation otherwise.
+    fn seal(&mut self, ideal: AffineForm, err: AffineForm) -> AffVal {
+        if !ideal.is_finite() || !err.is_finite() {
+            return AffVal::Top;
+        }
+        let mut ideal = ideal;
+        let mut err = err;
+        self.condense(&mut ideal);
+        self.condense(&mut err);
+        AffVal::Val { ideal, err }
+    }
+
+    /// Rebuilds an uncorrelated pair from an interval-pass value: the
+    /// ideal range becomes `center ± rad·ε`, the relative bound becomes
+    /// one absolute error symbol `rel·max|ideal|·ε′`. This is the sound
+    /// degrade path for anything the relational domain cannot track.
+    fn widen_interval(&mut self, v: &AbsVal) -> AffVal {
+        if !v.range.lo.is_finite() || !v.range.hi.is_finite() {
+            return AffVal::Top;
+        }
+        let c = v.range.lo / 2.0 + v.range.hi / 2.0;
+        let r = (v.range.hi - v.range.lo) / 2.0;
+        let mut ideal = AffineForm::point(c);
+        if r > 0.0 {
+            let s = self.fresh();
+            ideal.push(s, r);
+        }
+        let mut err = AffineForm::zero();
+        if v.rel_err != 0.0 {
+            let a = v.rel_err * v.range.max_abs();
+            if !a.is_finite() {
+                return AffVal::Top;
+            }
+            let s = self.fresh();
+            err.push(s, a);
+        }
+        self.seal(ideal, err)
+    }
+
+    /// Worst computed-value magnitude of a pair.
+    fn mag(ideal: &AffineForm, err: &AffineForm) -> f64 {
+        ideal.max_abs() + err.max_abs()
+    }
+
+    /// Exact affine product `x·y` with its quadratic remainder:
+    /// `cx·cy + cx·ỹ + cy·x̃ + rad(x̃)·rad(ỹ)·ε_fresh`.
+    fn affine_mul(&mut self, x: &AffineForm, y: &AffineForm) -> AffineForm {
+        let mut f = y.scale(x.center).add(&x.scale_noise(y.center));
+        let q = x.rad() * y.rad();
+        if q != 0.0 {
+            let s = self.fresh();
+            f.push(s, q);
+        }
+        f
+    }
+
+    /// Product of two pairs with *no* unit error — the algebraic core of
+    /// `Fmul`/`Ffma`/`Fdiv`. The error of the product decomposes exactly
+    /// as `x̂·ŷ − x·y = x·ey + y·ex + ex·ey`, so every cross term is
+    /// first-order in an operand's accumulated error.
+    fn pure_mul(
+        &mut self,
+        (xi, xe): (&AffineForm, &AffineForm),
+        (yi, ye): (&AffineForm, &AffineForm),
+    ) -> (AffineForm, AffineForm) {
+        let ideal = self.affine_mul(xi, yi);
+        let mut err = ye.scale(xi.center).add(&xe.scale(yi.center));
+        let cross = xi.rad() * ye.max_abs() + yi.rad() * xe.max_abs() + xe.max_abs() * ye.max_abs();
+        if cross != 0.0 {
+            let s = self.fresh();
+            err.push(s, cross);
+        }
+        (ideal, err)
+    }
+
+    /// `Fadd`/`Fsub` and the add stage of `Ffma`: the single place the
+    /// relational domain beats intervals — correlated error symbols in
+    /// `ea ± eb` cancel *before* the magnitude conversion, and the unit
+    /// error is the absolute [`bounds::adder_abs_factor`] bound, finite
+    /// in every §4.1.1 case.
+    fn add_like(&mut self, cfg: &IhwConfig, a: &AffVal, b: &AffVal, sub: bool) -> Option<AffVal> {
+        let (AffVal::Val { ideal: ia, err: ea }, AffVal::Val { ideal: ib, err: eb }) = (a, b)
+        else {
+            return None;
+        };
+        let ideal = if sub { ia.sub(ib) } else { ia.add(ib) };
+        let mut err = if sub { ea.sub(eb) } else { ea.add(eb) };
+        let (ma, mb) = (Self::mag(ia, ea), Self::mag(ib, eb));
+        let u = match cfg.add {
+            AddUnit::Precise => ROUND_EPS * (ma + mb),
+            AddUnit::Imprecise { th } => {
+                bounds::adder_abs_factor(th) * ma.max(mb) + ROUND_EPS * (ma + mb)
+            }
+        } + SUBNORMAL_EPS;
+        let s = self.fresh();
+        err.push(s, u);
+        Some(self.seal(ideal, err))
+    }
+
+    /// `Fmul` and the mul stage of `Ffma`.
+    fn mul(&mut self, cfg: &IhwConfig, a: &AffVal, b: &AffVal) -> Option<AffVal> {
+        let (AffVal::Val { ideal: ia, err: ea }, AffVal::Val { ideal: ib, err: eb }) = (a, b)
+        else {
+            return None;
+        };
+        let (ia, ea, ib, eb) = (ia.clone(), ea.clone(), ib.clone(), eb.clone());
+        let (ideal, mut err) = self.pure_mul((&ia, &ea), (&ib, &eb));
+        let u =
+            unit_err(cfg, FpOp::Mul) * Self::mag(&ia, &ea) * Self::mag(&ib, &eb) + SUBNORMAL_EPS;
+        let s = self.fresh();
+        err.push(s, u);
+        Some(self.seal(ideal, err))
+    }
+
+    /// Pure-math curve application `f(pair)` with *no* unit error:
+    /// chord over the ideal range (config-independent slope), slope
+    /// deviation over the error-widened range for the err form. Returns
+    /// the pair plus the computed-operand enclosure `X` (for unit-error
+    /// scaling). `None` when the operand leaves the curve's domain.
+    fn apply_curve(
+        &mut self,
+        curve: Curve,
+        ideal: &AffineForm,
+        err: &AffineForm,
+    ) -> Option<(AffineForm, AffineForm, Interval)> {
+        let iv = ideal.range();
+        let a = err.max_abs();
+        if !iv.lo.is_finite() || !iv.hi.is_finite() || !a.is_finite() {
+            return None;
+        }
+        let x = Interval::new(iv.lo - a, iv.hi + a);
+        if !curve.admits(iv) || !curve.admits(x) {
+            return None;
+        }
+        let ch = curve.chord(iv);
+        let mut out_ideal = ideal.scale(ch.alpha).offset(ch.beta);
+        if ch.delta != 0.0 {
+            let s = self.fresh();
+            out_ideal.push(s, ch.delta);
+        }
+        let mut out_err = err.scale(ch.alpha);
+        let dev = curve.slope_dev(x, ch.alpha) * a;
+        if dev != 0.0 {
+            let s = self.fresh();
+            out_err.push(s, dev);
+        }
+        Some((out_ideal, out_err, x))
+    }
+
+    /// SFU transfer: curve linearization plus one unit-error symbol
+    /// scaled by the worst `|f|` over the computed-operand enclosure.
+    fn sfu(&mut self, cfg: &IhwConfig, op: FpOp, curve: Curve, v: &AffVal) -> Option<AffVal> {
+        let AffVal::Val { ideal, err } = v else {
+            return None;
+        };
+        let (ideal, err) = (ideal.clone(), err.clone());
+        let (oi, mut oe, x) = self.apply_curve(curve, &ideal, &err)?;
+        let fmag = curve.f(x.lo).abs().max(curve.f(x.hi).abs());
+        let u = match op {
+            // Table 1 quotes ilog2's error absolutely; the relative
+            // ROUND_EPS share covers the precise reference evaluation.
+            FpOp::Log2 => {
+                let abs = if cfg.is_op_imprecise(FpOp::Log2) {
+                    bounds::log2_abs_bound()
+                } else {
+                    0.0
+                };
+                abs + ROUND_EPS * fmag
+            }
+            _ => unit_err(cfg, op) * fmag,
+        } + SUBNORMAL_EPS;
+        let s = self.fresh();
+        oe.push(s, u);
+        Some(self.seal(oi, oe))
+    }
+
+    /// `Fdiv`: pure reciprocal chord of the divisor, pure affine
+    /// product, then a single division unit error on the quotient.
+    fn div(&mut self, cfg: &IhwConfig, a: &AffVal, b: &AffVal) -> Option<AffVal> {
+        let (AffVal::Val { ideal: ia, err: ea }, AffVal::Val { ideal: ib, err: eb }) = (a, b)
+        else {
+            return None;
+        };
+        let (ia, ea) = (ia.clone(), ea.clone());
+        let (ib, eb) = (ib.clone(), eb.clone());
+        let (ri, re, _) = self.apply_curve(Curve::Recip, &ib, &eb)?;
+        let (ideal, mut err) = self.pure_mul((&ia, &ea), (&ri, &re));
+        let u =
+            unit_err(cfg, FpOp::Div) * Self::mag(&ia, &ea) * Self::mag(&ri, &re) + SUBNORMAL_EPS;
+        let s = self.fresh();
+        err.push(s, u);
+        Some(self.seal(ideal, err))
+    }
+
+    /// The memoized input-element form for a pure (never-stored-to
+    /// aliasing) load.
+    fn input_form(&mut self, buf: usize, mode: AddrMode, s: &AnalysisSettings) -> AffVal {
+        let key = match mode {
+            AddrMode::Tid => (buf, 0, 0),
+            AddrMode::TidPlus(k) => (buf, 0, k),
+            AddrMode::Abs(i) => (buf, 1, i as i64),
+        };
+        let sym = match self.input_syms.get(&key) {
+            Some(&sym) => sym,
+            None => {
+                let sym = self.fresh();
+                self.input_syms.insert(key, sym);
+                sym
+            }
+        };
+        let c = s.input_lo / 2.0 + s.input_hi / 2.0;
+        let r = (s.input_hi - s.input_lo) / 2.0;
+        let mut ideal = AffineForm::point(c);
+        if r > 0.0 {
+            ideal.push(sym, r);
+        }
+        AffVal::Val {
+            ideal,
+            err: AffineForm::zero(),
+        }
+    }
+
+    /// Advances the affine state over one instruction. `pre` are the
+    /// interval registers before the instruction, `post` after — the
+    /// fallback paths rebuild from `post[dest]`, the already-computed
+    /// interval result for this same instruction under this same site
+    /// config, so the degrade is exactly interval-quality.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step(
+        &mut self,
+        prog: &Program,
+        idx: usize,
+        instr: &Instr,
+        cfg: &IhwConfig,
+        pre: &[AbsVal],
+        post: &[AbsVal],
+        s: &AnalysisSettings,
+    ) {
+        let rg = |st: &PassState, r: gpu_sim::isa::Reg| st.regs[r.0 as usize].clone();
+        match *instr {
+            Instr::Movi(d, imm) => {
+                self.regs[d.0 as usize] = AffVal::Val {
+                    ideal: AffineForm::point(imm as f64),
+                    err: AffineForm::zero(),
+                };
+            }
+            Instr::Tid(d) => {
+                let hi = s.threads.saturating_sub(1) as f64;
+                let sym = match self.tid_sym {
+                    Some(sym) => sym,
+                    None => {
+                        let sym = self.fresh();
+                        self.tid_sym = Some(sym);
+                        sym
+                    }
+                };
+                let mut ideal = AffineForm::point(hi / 2.0);
+                if hi > 0.0 {
+                    ideal.push(sym, hi / 2.0);
+                }
+                self.regs[d.0 as usize] = AffVal::Val {
+                    ideal,
+                    err: AffineForm::zero(),
+                };
+            }
+            Instr::Fadd(d, a, b) | Instr::Fsub(d, a, b) => {
+                let sub = matches!(instr, Instr::Fsub(..));
+                let (va, vb) = (rg(self, a), rg(self, b));
+                let r = self.add_like(cfg, &va, &vb, sub);
+                self.assign(d, r, &post[d.0 as usize]);
+            }
+            Instr::Fmul(d, a, b) => {
+                let (va, vb) = (rg(self, a), rg(self, b));
+                let r = self.mul(cfg, &va, &vb);
+                self.assign(d, r, &post[d.0 as usize]);
+            }
+            Instr::Fdiv(d, a, b) => {
+                let (va, vb) = (rg(self, a), rg(self, b));
+                let r = self.div(cfg, &va, &vb);
+                self.assign(d, r, &post[d.0 as usize]);
+            }
+            Instr::Ffma(d, a, b, c) => {
+                let (va, vb, vc) = (rg(self, a), rg(self, b), rg(self, c));
+                let r = self
+                    .mul(cfg, &va, &vb)
+                    .and_then(|prod| self.add_like(cfg, &prod, &vc, false));
+                self.assign(d, r, &post[d.0 as usize]);
+            }
+            Instr::Rcp(d, a) => {
+                let va = rg(self, a);
+                let r = self.sfu(cfg, FpOp::Rcp, Curve::Recip, &va);
+                self.assign(d, r, &post[d.0 as usize]);
+            }
+            Instr::Rsqrt(d, a) => {
+                let va = rg(self, a);
+                let r = self.sfu(cfg, FpOp::Rsqrt, Curve::Rsqrt, &va);
+                self.assign(d, r, &post[d.0 as usize]);
+            }
+            Instr::Sqrt(d, a) => {
+                let va = rg(self, a);
+                let r = self.sfu(cfg, FpOp::Sqrt, Curve::Sqrt, &va);
+                self.assign(d, r, &post[d.0 as usize]);
+            }
+            Instr::Log2(d, a) => {
+                let va = rg(self, a);
+                let r = self.sfu(cfg, FpOp::Log2, Curve::Log2, &va);
+                self.assign(d, r, &post[d.0 as usize]);
+            }
+            Instr::Fmax(d, _, _) => {
+                // Which operand the computed max picks can differ from
+                // the ideal pick: stay with the interval join.
+                self.assign(d, None, &post[d.0 as usize]);
+            }
+            Instr::Sel(d, c, a, b) => {
+                // The interval invariant `rel_err < 1` pins the computed
+                // predicate's sign to the ideal sign, so a sign-definite
+                // predicate range selects the same branch in both runs.
+                let pred = &pre[c.0 as usize];
+                let r = if pred.rel_err < 1.0 && pred.range.lo > 0.0 {
+                    Some(rg(self, a))
+                } else if pred.rel_err < 1.0 && pred.range.hi <= 0.0 {
+                    Some(rg(self, b))
+                } else {
+                    None
+                };
+                self.assign(d, r, &post[d.0 as usize]);
+            }
+            Instr::Ld(d, buf, mode) => {
+                let r = if crate::interp::load_may_alias_any_store(prog, buf, mode, idx) {
+                    None
+                } else {
+                    Some(self.input_form(buf, mode, s))
+                };
+                self.assign(d, r, &post[d.0 as usize]);
+            }
+            Instr::St(buf, _, src) => {
+                let v = rg(self, src);
+                self.writes.entry(buf).or_default().push(v);
+            }
+        }
+    }
+
+    /// Writes a transfer result, degrading to the interval-derived form
+    /// when the relational transfer bailed.
+    fn assign(&mut self, d: gpu_sim::isa::Reg, r: Option<AffVal>, interval_result: &AbsVal) {
+        self.regs[d.0 as usize] = match r {
+            Some(v) => v,
+            None => self.widen_interval(interval_result),
+        };
+    }
+
+    /// Worst affine relative bound over a buffer's stores (`∞` with no
+    /// stores — callers only query stored-to buffers).
+    pub fn buffer_bound(&self, buf: usize) -> f64 {
+        self.writes.get(&buf).map_or(f64::INFINITY, |ws| {
+            ws.iter().map(AffVal::rel_bound).fold(0.0, f64::max)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settings() -> AnalysisSettings {
+        AnalysisSettings::default()
+    }
+
+    fn pair(st: &mut PassState, c: f64, syms: &[(u32, f64)], err: &[(u32, f64)]) -> AffVal {
+        let mut ideal = AffineForm::point(c);
+        for &(i, v) in syms {
+            ideal.terms.push((i, v));
+        }
+        let mut e = AffineForm::zero();
+        for &(i, v) in err {
+            e.terms.push((i, v));
+        }
+        st.next_sym = st.next_sym.max(
+            syms.iter()
+                .chain(err)
+                .map(|&(i, _)| i + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        AffVal::Val { ideal, err: e }
+    }
+
+    #[test]
+    fn correlated_subtraction_cancels_exactly() {
+        let s = settings();
+        let mut st = PassState::new(4, &s);
+        // x = 0.75 ± 0.25·ε0 with error 0.01·ε1; x − x must cancel both.
+        let x = pair(&mut st, 0.75, &[(0, 0.25)], &[(1, 0.01)]);
+        let r = st
+            .add_like(&IhwConfig::precise(), &x, &x, true)
+            .expect("representable");
+        let AffVal::Val { ideal, err } = &r else {
+            panic!("⊤");
+        };
+        assert_eq!(ideal.center(), 0.0);
+        assert_eq!(ideal.rad(), 0.0, "shared input symbol cancels");
+        // Only the fresh rounding symbol survives.
+        assert!(err.max_abs() < 1e-6, "err {}", err.max_abs());
+    }
+
+    #[test]
+    fn uncorrelated_subtraction_does_not_cancel() {
+        let s = settings();
+        let mut st = PassState::new(4, &s);
+        let x = pair(&mut st, 0.75, &[(0, 0.25)], &[]);
+        let y = pair(&mut st, 0.75, &[(1, 0.25)], &[]);
+        let r = st.add_like(&IhwConfig::precise(), &x, &y, true).unwrap();
+        let AffVal::Val { ideal, .. } = &r else {
+            panic!("⊤");
+        };
+        assert_eq!(ideal.rad(), 0.5, "distinct symbols add radii");
+    }
+
+    #[test]
+    fn imprecise_adder_error_symbol_uses_absolute_factor() {
+        let s = settings();
+        let mut st = PassState::new(4, &s);
+        let x = pair(&mut st, 0.75, &[(0, 0.25)], &[]);
+        let cfg = IhwConfig::precise().with_add(AddUnit::Imprecise { th: 8 });
+        let r = st.add_like(&cfg, &x, &x, true).unwrap();
+        let AffVal::Val { err, .. } = &r else {
+            panic!("⊤");
+        };
+        let expect = bounds::adder_abs_factor(8) * 1.0;
+        assert!(err.max_abs() >= expect, "{} < {expect}", err.max_abs());
+        assert!(err.max_abs() < expect * 1.5);
+        // The relative bound is ∞ only because the ideal hits zero; a
+        // shifted ideal is finite where the interval domain reports ⊤.
+        assert!(r.rel_bound().is_infinite(), "x − x has ideal 0");
+        let shifted = pair(&mut st, 2.0, &[(0, 0.25)], &[]);
+        let r2 = st.add_like(&cfg, &shifted, &x, true).unwrap();
+        assert!(r2.rel_bound().is_finite());
+        assert!(r2.rel_bound() < 0.02, "got {}", r2.rel_bound());
+    }
+
+    #[test]
+    fn chord_remainders_enclose_the_curves() {
+        for curve in [Curve::Recip, Curve::Sqrt, Curve::Rsqrt, Curve::Log2] {
+            for (lo, hi) in [(0.5, 1.0), (0.25, 4.0), (1.0, 1.0), (3.0, 9.0)] {
+                let iv = Interval::new(lo, hi);
+                let ch = curve.chord(iv);
+                for k in 0..=100 {
+                    let x = lo + (hi - lo) * k as f64 / 100.0;
+                    let approx = ch.alpha * x + ch.beta;
+                    assert!(
+                        (curve.f(x) - approx).abs() <= ch.delta * (1.0 + 1e-12) + 1e-15,
+                        "curve point {x} escapes the chord band"
+                    );
+                    let dev = curve.slope_dev(iv, ch.alpha);
+                    assert!((curve.fprime(x) - ch.alpha).abs() <= dev * (1.0 + 1e-12));
+                }
+            }
+        }
+        // Negative-definite reciprocal domain.
+        let iv = Interval::new(-2.0, -0.5);
+        let ch = Curve::Recip.chord(iv);
+        for k in 0..=50 {
+            let x = -2.0 + 1.5 * k as f64 / 50.0;
+            assert!((Curve::Recip.f(x) - (ch.alpha * x + ch.beta)).abs() <= ch.delta + 1e-15);
+        }
+    }
+
+    #[test]
+    fn condensation_folds_smallest_and_preserves_rad_bound() {
+        let mut s = settings();
+        s.affine_budget = 3;
+        let mut st = PassState::new(2, &s);
+        let mut f = AffineForm::point(1.0);
+        for i in 0..10 {
+            f.terms.push((i, 0.1 * (i + 1) as f64));
+        }
+        st.next_sym = 10;
+        let rad_before = f.rad();
+        st.condense(&mut f);
+        assert_eq!(f.terms.len(), 3);
+        assert!(f.rad() >= rad_before - 1e-12, "condensation never tightens");
+        assert!(
+            (f.rad() - rad_before).abs() < 1e-12,
+            "folding preserves Σ|c|"
+        );
+        // The two largest originals survive; the rest folded into a
+        // fresh garbage symbol.
+        assert!(f.terms.iter().any(|&(i, _)| i == 9));
+        assert!(f.terms.iter().any(|&(i, _)| i == 8));
+        assert!(
+            f.terms.iter().any(|&(i, _)| i == 10),
+            "garbage symbol is fresh"
+        );
+    }
+
+    #[test]
+    fn widen_interval_matches_the_interval_invariant() {
+        let s = settings();
+        let mut st = PassState::new(2, &s);
+        let v = AbsVal {
+            range: Interval::new(0.5, 1.0),
+            rel_err: 0.1,
+            taint: crate::domain::TaintSet::CLEAN,
+            cancelled: false,
+        };
+        let AffVal::Val { ideal, err } = st.widen_interval(&v) else {
+            panic!("⊤");
+        };
+        assert_eq!(ideal.range(), Interval::new(0.5, 1.0));
+        // |comp − ideal| ≤ rel·max|ideal| = 0.1.
+        assert!((err.max_abs() - 0.1).abs() < 1e-12);
+        // ⊤ in, ⊤ out.
+        assert_eq!(
+            st.widen_interval(&AbsVal::top(crate::domain::TaintSet::CLEAN, false)),
+            AffVal::Top
+        );
+    }
+}

@@ -3,21 +3,33 @@
 //!
 //! ```text
 //! repro analyze                       # analyze stock kernels × configs
-//! repro analyze --json                # machine-readable (ihw-analyze/1)
+//! repro analyze --json                # machine-readable (ihw-analyze/2)
 //! repro analyze --json-out f.json     # human output + JSON artifact
 //! repro analyze --write-baseline      # grandfather current findings
 //! repro analyze --max-rel-err 0.25    # tighten the A001 budget to 25%
+//! repro analyze --domain interval     # report one domain only
 //! repro analyze saxpy distance        # restrict to named kernels
+//! repro analyze two_sum               # EFT kernels, on demand
 //! ```
 //!
 //! Exit status mirrors `ihw-lint`: 0 when no *new* (non-baselined)
-//! findings, 1 when new findings exist, 2 on usage errors.
+//! findings, 1 when new findings exist, 2 on usage errors. The advisory
+//! **A009** `cancellation-recovered` diagnostic is reported but never
+//! gates the exit code.
 
-use crate::interp::AnalysisSettings;
+use crate::interp::{AnalysisSettings, DomainMode};
 use crate::report::{self, ANALYZE_BASELINE_FILE, BASELINE_HEADER};
-use crate::{analyze_stock, stock_kernel_names};
+use crate::{analyze_stock, eft_kernel_names, stock_kernel_names};
 use ihw_lint::baseline::Baseline;
+use ihw_lint::diag::Rule;
 use std::path::PathBuf;
+
+/// Stock + EFT kernel names, the CLI's full positional vocabulary.
+fn known_kernel_names() -> Vec<&'static str> {
+    let mut names = stock_kernel_names();
+    names.extend(eft_kernel_names());
+    names
+}
 
 /// Runs the analyzer CLI over `args` (everything after `analyze`);
 /// returns the process exit code.
@@ -33,7 +45,7 @@ pub fn run(args: &[String]) -> i32 {
         match arg.as_str() {
             "--json" => json = true,
             "--write-baseline" => write_baseline = true,
-            "--json-out" | "--baseline" | "--max-rel-err" | "--threads" => {
+            "--json-out" | "--baseline" | "--max-rel-err" | "--threads" | "--domain" => {
                 let Some(value) = it.next() else {
                     eprintln!("{arg} expects a value");
                     return 2;
@@ -45,6 +57,13 @@ pub fn run(args: &[String]) -> i32 {
                         Ok(v) if v >= 0.0 => settings.max_rel_err = v,
                         _ => {
                             eprintln!("--max-rel-err expects a non-negative number, got '{value}'");
+                            return 2;
+                        }
+                    },
+                    "--domain" => match DomainMode::parse(value) {
+                        Some(mode) => settings.domain = mode,
+                        None => {
+                            eprintln!("--domain expects interval, affine or both, got '{value}'");
                             return 2;
                         }
                     },
@@ -60,9 +79,12 @@ pub fn run(args: &[String]) -> i32 {
             "--help" | "-h" => {
                 println!(
                     "usage: repro analyze [--json] [--json-out FILE] [--baseline FILE] \
-                     [--write-baseline] [--max-rel-err X] [--threads N] [KERNELS...]\n\
-                     kernels: {}",
-                    stock_kernel_names().join(" ")
+                     [--write-baseline] [--max-rel-err X] [--threads N] \
+                     [--domain interval|affine|both] [KERNELS...]\n\
+                     stock kernels: {}\n\
+                     eft kernels (on demand): {}",
+                    stock_kernel_names().join(" "),
+                    eft_kernel_names().join(" ")
                 );
                 return 0;
             }
@@ -74,10 +96,10 @@ pub fn run(args: &[String]) -> i32 {
         }
     }
     for k in &kernels {
-        if !stock_kernel_names().contains(&k.as_str()) {
+        if !known_kernel_names().contains(&k.as_str()) {
             eprintln!(
                 "unknown kernel '{k}'. Available: {}",
-                stock_kernel_names().join(" ")
+                known_kernel_names().join(" ")
             );
             return 2;
         }
@@ -108,15 +130,16 @@ pub fn run(args: &[String]) -> i32 {
         print!("{}", report::to_json(&findings));
     } else {
         println!(
-            "{:<12} {:<16} {:>6} {:>12} {:>12}",
-            "kernel", "config", "output", "static", "measured"
+            "{:<16} {:<16} {:>6} {:>12} {:>10} {:>12}",
+            "kernel", "config", "output", "static", "domain", "measured"
         );
         for a in &analyses {
             let measured = crate::empirical::measure(
                 &crate::stock_kernels()
                     .into_iter()
+                    .chain(crate::eft_kernels())
                     .find(|p| p.name() == a.kernel)
-                    .expect("stock analysis"),
+                    .expect("analyzed kernels are stock or eft"),
                 &crate::stock_configs()
                     .iter()
                     .find(|(l, _)| *l == a.config)
@@ -133,11 +156,12 @@ pub fn run(args: &[String]) -> i32 {
                     .and_then(|ms| ms.iter().find(|m| m.buffer == out.buffer))
                     .map_or("n/a".to_string(), |m| report::fmt_bound(m.max_rel));
                 println!(
-                    "{:<12} {:<16} {:>6} {:>12} {:>12}",
+                    "{:<16} {:<16} {:>6} {:>12} {:>10} {:>12}",
                     a.kernel,
                     a.config,
                     format!("b{}", out.buffer),
                     report::fmt_bound(out.bound),
+                    out.domain.label(),
                     obs
                 );
             }
@@ -169,7 +193,13 @@ pub fn run(args: &[String]) -> i32 {
             println!("JSON diagnostics written to {}", path.display());
         }
     }
-    if new > 0 {
+    // A009 is advisory (good news about compensated algorithms) — only
+    // new findings of the *defect* rules fail the run.
+    let gating = findings
+        .iter()
+        .filter(|f| f.new && f.rule != Rule::CancellationRecovered)
+        .count();
+    if gating > 0 {
         1
     } else {
         0
@@ -191,6 +221,35 @@ mod tests {
         assert_eq!(run(&s(&["--max-rel-err", "-1"])), 2);
         assert_eq!(run(&s(&["--threads", "0"])), 2);
         assert_eq!(run(&s(&["no_such_kernel"])), 2);
+        assert_eq!(run(&s(&["--domain"])), 2);
+        assert_eq!(run(&s(&["--domain", "zonotope"])), 2);
+    }
+
+    #[test]
+    fn domain_flag_selects_the_reported_domain() {
+        // Interval-only reporting reproduces the pre-affine behaviour on
+        // the stock kernels: clean against the empty baseline.
+        assert_eq!(run(&s(&["--domain", "interval"])), 0);
+        assert_eq!(run(&s(&["--domain", "both"])), 0);
+    }
+
+    #[test]
+    fn eft_kernels_are_analyzable_by_name_and_a009_never_gates() {
+        // two_sum's correction chain is ⊤ in the interval domain under
+        // every config; the affine domain recovers it, so the run emits
+        // only advisory A009 findings — exit 0 even with no baseline.
+        assert_eq!(run(&s(&["two_sum", "--baseline", "/nonexistent"])), 0);
+        // Interval-only on the same kernel reports genuine A002s.
+        assert_eq!(
+            run(&s(&[
+                "two_sum",
+                "--domain",
+                "interval",
+                "--baseline",
+                "/nonexistent"
+            ])),
+            1
+        );
     }
 
     #[test]

@@ -38,6 +38,53 @@ pub const UNIT_SLACK: f64 = 5.0e-4;
 /// Buffer-store fixpoint passes before widening aliased loads to ⊤.
 const MAX_PASSES: usize = 5;
 
+/// Which abstract domain's bound `OutputReport::bound` reports. Both
+/// passes always run (the affine pass reuses the interval pass's
+/// per-instruction results as its degrade path); the mode only selects
+/// what is *reported*, so `Interval` reproduces the pre-affine analyzer
+/// byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DomainMode {
+    /// Report the interval-domain bound only.
+    Interval,
+    /// Report the affine-domain bound only.
+    Affine,
+    /// Report `min(interval, affine)` per output (the default).
+    #[default]
+    Both,
+}
+
+impl DomainMode {
+    /// Parses a `--domain` CLI value.
+    pub fn parse(s: &str) -> Option<DomainMode> {
+        match s {
+            "interval" => Some(DomainMode::Interval),
+            "affine" => Some(DomainMode::Affine),
+            "both" => Some(DomainMode::Both),
+            _ => None,
+        }
+    }
+}
+
+/// The domain whose bound won for one output (ties go to `Interval`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundDomain {
+    /// The interval bound was reported.
+    Interval,
+    /// The affine bound was strictly tighter and was reported.
+    Affine,
+}
+
+impl BoundDomain {
+    /// Stable lowercase label for tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            BoundDomain::Interval => "interval",
+            BoundDomain::Affine => "affine",
+        }
+    }
+}
+
 /// Analysis parameters: launch shape, assumed input range, error budget.
 #[derive(Debug, Clone, Copy)]
 pub struct AnalysisSettings {
@@ -50,17 +97,24 @@ pub struct AnalysisSettings {
     /// A001 budget: maximum tolerated static relative-error bound for
     /// any output buffer (1.0 = 100%).
     pub max_rel_err: f64,
+    /// Which domain's bound is reported (see [`DomainMode`]).
+    pub domain: DomainMode,
+    /// Noise-symbol budget per affine form before sound condensation
+    /// (minimum 1; see `crate::affine`).
+    pub affine_budget: usize,
 }
 
 impl Default for AnalysisSettings {
     /// 64 threads, inputs in `[0.5, 1]` (the characterization sweep's
-    /// positive-unit range), 100% error budget.
+    /// positive-unit range), 100% error budget, combined domain.
     fn default() -> Self {
         AnalysisSettings {
             threads: 64,
             input_lo: 0.5,
             input_hi: 1.0,
             max_rel_err: 1.0,
+            domain: DomainMode::Both,
+            affine_budget: crate::affine::DEFAULT_SYMBOL_BUDGET,
         }
     }
 }
@@ -75,14 +129,24 @@ pub struct OutputReport {
     /// 1-based source line of that store (0 when unknown).
     pub line: u32,
     /// Sound bound on the relative error of every stored element
-    /// (`+∞` = unbounded).
+    /// (`+∞` = unbounded), selected per [`AnalysisSettings::domain`].
     pub bound: f64,
+    /// The interval domain's bound for this output (always computed).
+    pub interval_bound: f64,
+    /// The affine domain's bound for this output (always computed).
+    pub affine_bound: f64,
+    /// Which domain produced [`OutputReport::bound`].
+    pub domain: BoundDomain,
     /// Ideal-value interval of the stored elements.
     pub range: Interval,
     /// Imprecise units whose error can reach the buffer.
     pub taint: TaintSet,
-    /// The bound is ⊤ *because of* imprecise-subtraction cancellation.
+    /// The *reported* bound is ⊤ because of imprecise-subtraction
+    /// cancellation.
     pub cancelled: bool,
+    /// The interval domain lost the output to cancellation (⊤) but the
+    /// reported bound is finite — the affine pass recovered it (A009).
+    pub recovered: bool,
 }
 
 /// A control construct steered by an imprecise-derived value (A003).
@@ -217,10 +281,12 @@ fn run_pass(
     let mut regs = vec![AbsVal::exact(Interval::point(0.0)); prog.regs() as usize];
     let mut writes = WriteMap::new();
     let mut taint_sites = Vec::new();
+    let mut aff = crate::affine::PassState::new(prog.regs() as usize, s);
     let widen_taint = sites.widen_taint();
     let r = |regs: &[AbsVal], reg: gpu_sim::isa::Reg| regs[reg.0 as usize];
     for (idx, instr) in prog.instrs().iter().enumerate() {
         let cfg = sites.at(idx);
+        let iregs_pre = regs.clone();
         match *instr {
             Instr::Movi(d, imm) => {
                 regs[d.0 as usize] = AbsVal::exact(Interval::point(imm as f64));
@@ -284,6 +350,10 @@ fn run_pass(
                 });
             }
         }
+        // The affine pass shadows the interval pass instruction by
+        // instruction: it reads the pre-state for `Sel` predicates and
+        // the post-state as its interval-quality degrade path.
+        aff.step(prog, idx, instr, cfg, &iregs_pre, &regs, s);
     }
 
     let outputs = writes
@@ -303,14 +373,31 @@ fn run_pass(
                 .map(|w| w.val)
                 .reduce(AbsVal::join)
                 .expect("non-empty");
+            let interval_bound = joined.rel_err;
+            let affine_bound = aff.buffer_bound(buffer);
+            let (bound, domain) = match s.domain {
+                DomainMode::Interval => (interval_bound, BoundDomain::Interval),
+                DomainMode::Affine => (affine_bound, BoundDomain::Affine),
+                DomainMode::Both => {
+                    if affine_bound < interval_bound {
+                        (affine_bound, BoundDomain::Affine)
+                    } else {
+                        (interval_bound, BoundDomain::Interval)
+                    }
+                }
+            };
             OutputReport {
                 buffer,
                 instr: worst.instr,
                 line: prog.source_line(worst.instr).unwrap_or(0),
-                bound: joined.rel_err,
+                bound,
+                interval_bound,
+                affine_bound,
+                domain,
                 range: joined.range,
                 taint: joined.taint,
-                cancelled: joined.cancelled && joined.rel_err.is_infinite(),
+                cancelled: joined.cancelled && bound.is_infinite(),
+                recovered: joined.cancelled && interval_bound.is_infinite() && bound.is_finite(),
             }
         })
         .collect();
@@ -399,7 +486,12 @@ fn load(
 
 /// Static check against *every* store in the program (stores later in
 /// program order are cross-thread visible), used by the widening pass.
-fn load_may_alias_any_store(prog: &Program, buf: usize, mode: AddrMode, ridx: usize) -> bool {
+pub(crate) fn load_may_alias_any_store(
+    prog: &Program,
+    buf: usize,
+    mode: AddrMode,
+    ridx: usize,
+) -> bool {
     prog.instrs().iter().enumerate().any(|(widx, i)| match *i {
         Instr::St(wbuf, wmode, _) if wbuf == buf => {
             cross_thread_visible(mode, wmode) || (widx < ridx && same_thread_visible(mode, wmode))
@@ -420,7 +512,7 @@ fn config_taint(cfg: &IhwConfig) -> TaintSet {
 /// Worst-case relative error of the unit serving `op`, widened by
 /// [`UNIT_SLACK`] when imprecise, plus the [`ROUND_EPS`] encode/reference
 /// rounding allowance.
-fn unit_err(cfg: &IhwConfig, op: FpOp) -> f64 {
+pub(crate) fn unit_err(cfg: &IhwConfig, op: FpOp) -> f64 {
     if cfg.is_op_imprecise(op) {
         bounds::unit_bound(cfg, op) + UNIT_SLACK + ROUND_EPS
     } else {

@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod affine;
 pub mod autotune;
 pub mod cli;
 pub mod deps;
@@ -61,11 +62,13 @@ pub mod races;
 pub mod report;
 pub mod sensitivity;
 
+pub use affine::{AffVal, AffineForm};
 pub use autotune::{autotune_kernel, AutotuneSettings, KernelAutotune, ParetoPoint};
 pub use deps::{brute_force_conflicts, racecheck, BruteForce, RaceReport, Verdict};
 pub use domain::{AbsVal, Interval, TaintSet};
 pub use interp::{
-    analyze_program, analyze_program_with_sites, AnalysisSettings, KernelAnalysis, OutputReport,
+    analyze_program, analyze_program_with_sites, AnalysisSettings, BoundDomain, DomainMode,
+    KernelAnalysis, OutputReport,
 };
 pub use races::{racecheck_stock, KernelRace};
 pub use report::{collect_findings, SCHEMA};
@@ -90,6 +93,24 @@ pub fn stock_kernel_names() -> Vec<&'static str> {
     vec!["saxpy", "rsqrt_norm", "dot_partial", "distance"]
 }
 
+/// The error-free-transformation kernels (ROADMAP item 4): compensated
+/// building blocks whose correction chains the interval domain sends to
+/// ⊤ but the affine domain bounds. Analyzable on demand (`repro analyze
+/// two_sum …`) — *not* part of [`stock_kernels`], so the CI baseline
+/// gate stays a pure stock-kernel contract.
+pub fn eft_kernels() -> Vec<Program> {
+    vec![
+        programs::two_sum(),
+        programs::two_prod(),
+        programs::dot_compensated(4),
+    ]
+}
+
+/// Names of [`eft_kernels`], for CLI filtering and help text.
+pub fn eft_kernel_names() -> Vec<&'static str> {
+    vec!["two_sum", "two_prod", "dot_compensated"]
+}
+
 /// The stock configurations analyzed, labelled for fingerprints.
 pub fn stock_configs() -> Vec<(&'static str, IhwConfig)> {
     vec![
@@ -102,10 +123,17 @@ pub fn stock_configs() -> Vec<(&'static str, IhwConfig)> {
 }
 
 /// Analyzes every stock kernel under every stock configuration. When
-/// `filter` is non-empty only kernels whose name is listed are kept.
+/// `filter` is non-empty only kernels whose name is listed are kept —
+/// and the [`eft_kernels`] become eligible too, so `repro analyze
+/// two_sum` works while the default (unfiltered) run stays the gated
+/// stock set.
 pub fn analyze_stock(settings: &AnalysisSettings, filter: &[String]) -> Vec<KernelAnalysis> {
     let mut analyses = Vec::new();
-    for prog in stock_kernels() {
+    let mut kernels = stock_kernels();
+    if !filter.is_empty() {
+        kernels.extend(eft_kernels());
+    }
+    for prog in kernels {
         if !filter.is_empty() && !filter.iter().any(|k| k == prog.name()) {
             continue;
         }

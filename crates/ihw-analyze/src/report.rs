@@ -1,12 +1,14 @@
 //! Mapping analysis results onto the shared `ihw-lint` diagnostic
-//! machinery: rules A001–A003, the `ihw-analyze/1` JSON schema and the
-//! `analyze-baseline.txt` grandfather file.
+//! machinery: rules A001–A003 and A009, the `ihw-analyze/2` JSON schema
+//! and the `analyze-baseline.txt` grandfather file.
 
 use crate::interp::{AnalysisSettings, KernelAnalysis};
 use ihw_lint::diag::{to_json_with_schema, Finding, Rule};
 
-/// Schema tag of the analyzer's JSON document.
-pub const SCHEMA: &str = "ihw-analyze/1";
+/// Schema tag of the analyzer's JSON document. `/2` extends `/1` with
+/// the advisory **A009** `cancellation-recovered` rule contributed by
+/// the affine relational domain; the document shape is unchanged.
+pub const SCHEMA: &str = "ihw-analyze/2";
 
 /// Default baseline filename at the workspace root (sibling of
 /// `lint-baseline.txt`).
@@ -36,7 +38,16 @@ pub fn fmt_bound(bound: f64) -> String {
 ///   cancellation (§4.1.1 case d);
 /// * **A003** — an imprecise-derived value steers a `Sel` predicate
 ///   (the IR's control construct; addresses are static operands today,
-///   so `Sel` is the complete taint sink set).
+///   so `Sel` is the complete taint sink set);
+/// * **A009** — cancellation *recovered*: the interval domain alone
+///   reports the output ⊤ but the affine relational domain proves the
+///   cancelling terms correlated and the reported bound is finite.
+///   Advisory — [`crate::cli::run`] never gates its exit code on it.
+///
+/// A002 and A009 are mutually exclusive per output (`cancelled` means
+/// the *reported* bound is still ⊤; `recovered` means it is finite).
+/// A recovered output whose finite bound still exceeds the budget also
+/// gets its A001.
 ///
 /// Fingerprints embed the config label and the output buffer / site, so
 /// baselines survive line drift exactly as `ihw-lint`'s do.
@@ -62,7 +73,24 @@ pub fn findings_for(analysis: &KernelAnalysis, settings: &AnalysisSettings) -> V
                 ),
                 new: true,
             });
-        } else if out.bound > settings.max_rel_err {
+        } else if out.recovered {
+            findings.push(Finding {
+                rule: Rule::CancellationRecovered,
+                path: path.clone(),
+                line,
+                function: Some(format!("{}|b{}", analysis.config, out.buffer)),
+                message: format!(
+                    "cancellation recovered for output buffer {}: interval domain \
+                     reports unbounded, affine relational domain proves {} \
+                     (taint: {})",
+                    out.buffer,
+                    fmt_bound(out.bound),
+                    out.taint
+                ),
+                new: true,
+            });
+        }
+        if !out.cancelled && out.bound > settings.max_rel_err {
             findings.push(Finding {
                 rule: Rule::OutputBound,
                 path: path.clone(),
@@ -115,7 +143,7 @@ pub fn collect_findings(analyses: &[KernelAnalysis], settings: &AnalysisSettings
     findings
 }
 
-/// Renders findings as the `ihw-analyze/1` JSON document (same shape as
+/// Renders findings as the `ihw-analyze/2` JSON document (same shape as
 /// `ihw-lint/1`, different schema tag).
 pub fn to_json(findings: &[Finding]) -> String {
     to_json_with_schema(findings, SCHEMA)
@@ -183,6 +211,42 @@ mod tests {
     }
 
     #[test]
+    fn a009_fires_when_the_affine_domain_recovers_cancellation() {
+        use crate::interp::DomainMode;
+        let s = AnalysisSettings::default();
+        let a = analyze_program(
+            &programs::two_sum(),
+            &IhwConfig::all_imprecise(),
+            "all_imprecise",
+            &s,
+        );
+        let fs = findings_for(&a, &s);
+        assert_eq!(fs.len(), 1, "exactly the advisory recovery diagnostic");
+        assert_eq!(fs[0].rule, Rule::CancellationRecovered);
+        assert!(fs[0].message.contains("interval domain reports unbounded"));
+        assert!(
+            fs[0].message.contains("affine relational domain proves"),
+            "{}",
+            fs[0].message
+        );
+        // With the affine pass ignored the same output is a plain A002:
+        // the recovery diagnostic is strictly the relational domain's.
+        let interval_only = AnalysisSettings {
+            domain: DomainMode::Interval,
+            ..AnalysisSettings::default()
+        };
+        let a = analyze_program(
+            &programs::two_sum(),
+            &IhwConfig::all_imprecise(),
+            "all_imprecise",
+            &interval_only,
+        );
+        let fs = findings_for(&a, &interval_only);
+        assert!(fs.iter().any(|f| f.rule == Rule::UnboundedCancellation));
+        assert!(fs.iter().all(|f| f.rule != Rule::CancellationRecovered));
+    }
+
+    #[test]
     fn a003_fires_on_tainted_select() {
         let prog = Program::new(
             "steer",
@@ -233,7 +297,7 @@ mod tests {
             &tight_settings(),
         );
         let json = to_json(&collect_findings(&[a], &tight_settings()));
-        assert!(json.contains("\"schema\": \"ihw-analyze/1\""));
+        assert!(json.contains("\"schema\": \"ihw-analyze/2\""));
         assert!(json.contains("\"code\": \"A001\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

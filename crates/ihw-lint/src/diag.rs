@@ -8,8 +8,8 @@
 //!
 //! The rule catalog carries four families with one shared diagnostic
 //! pipeline: `L00x` source-level determinism rules emitted by this
-//! crate's lexer pass, `A001`–`A003` kernel-IR error-bound rules
-//! emitted by `ihw-analyze`'s abstract interpreter, `A004`–`A007`
+//! crate's lexer pass, `A001`–`A003` and `A009` kernel-IR error-bound
+//! rules emitted by `ihw-analyze`'s abstract interpreter, `A004`–`A007`
 //! memory-dependence/race rules emitted by its racecheck pass
 //! (`"ihw-racecheck/1"` JSON schema), and the `A008`
 //! precision-sensitivity rule emitted by its autotune pass
@@ -57,6 +57,12 @@ pub enum Rule {
     /// the quality target (emitted by `ihw-analyze`'s sensitivity pass,
     /// `"ihw-autotune/1"` JSON schema).
     OverProvisionedPrecision,
+    /// A009 — cancellation recovered: the interval domain reports an
+    /// output ⊤ from overlapping imprecise subtraction, but the affine
+    /// relational domain proves the cancelling terms are correlated and
+    /// recovers a finite bound. Advisory (never gates the exit code) —
+    /// it marks compensated algorithms doing their job.
+    CancellationRecovered,
 }
 
 impl Rule {
@@ -76,6 +82,7 @@ impl Rule {
             Rule::StaticOutOfBounds => "A006",
             Rule::RegisterHygiene => "A007",
             Rule::OverProvisionedPrecision => "A008",
+            Rule::CancellationRecovered => "A009",
         }
     }
 
@@ -96,6 +103,7 @@ impl Rule {
             Rule::StaticOutOfBounds => "static-out-of-bounds",
             Rule::RegisterHygiene => "register-hygiene",
             Rule::OverProvisionedPrecision => "over-provisioned-precision",
+            Rule::CancellationRecovered => "cancellation-recovered",
         }
     }
 
@@ -115,12 +123,13 @@ impl Rule {
             "static-out-of-bounds" => Rule::StaticOutOfBounds,
             "register-hygiene" => Rule::RegisterHygiene,
             "over-provisioned-precision" => Rule::OverProvisionedPrecision,
+            "cancellation-recovered" => Rule::CancellationRecovered,
             _ => return None,
         })
     }
 
     /// Every rule, in code order.
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 14] = [
         Rule::FloatArith,
         Rule::HashIter,
         Rule::WallClock,
@@ -134,6 +143,7 @@ impl Rule {
         Rule::StaticOutOfBounds,
         Rule::RegisterHygiene,
         Rule::OverProvisionedPrecision,
+        Rule::CancellationRecovered,
     ];
 
     /// The source-level lint rules this crate's lexer pass emits.
@@ -146,10 +156,11 @@ impl Rule {
     ];
 
     /// The kernel-IR analysis rules emitted by `ihw-analyze`.
-    pub const ANALYZE: [Rule; 3] = [
+    pub const ANALYZE: [Rule; 4] = [
         Rule::OutputBound,
         Rule::UnboundedCancellation,
         Rule::ImprecisionTaint,
+        Rule::CancellationRecovered,
     ];
 
     /// The memory-dependence / race-analysis rules emitted by
@@ -310,6 +321,7 @@ mod tests {
         assert_eq!(Rule::StaticOutOfBounds.code(), "A006");
         assert_eq!(Rule::RegisterHygiene.code(), "A007");
         assert_eq!(Rule::OverProvisionedPrecision.code(), "A008");
+        assert_eq!(Rule::CancellationRecovered.code(), "A009");
         assert_eq!(
             Rule::LINT.len() + Rule::ANALYZE.len() + Rule::RACECHECK.len() + Rule::AUTOTUNE.len(),
             Rule::ALL.len()

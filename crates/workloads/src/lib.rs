@@ -18,6 +18,7 @@
 //! | [`backprop`] | Rodinia neural-net training | single | held-out accuracy | Figure 2 set (extension) |
 //! | [`cfd`] | LBM D2Q9 lid-driven cavity | single | velocity MAE | Figure 2 set (extension) |
 //! | [`hotspot3d`] | Rodinia HotSpot3D (stacked die) | single | MAE (K) | Figure 2 set (extension) |
+//! | [`eft`] | error-free transformations (dot2) | single | rel. error vs `f64` | affine-domain study (extension) |
 //!
 //! ```
 //! use ihw_core::config::IhwConfig;
@@ -37,6 +38,7 @@ pub mod art;
 pub mod backprop;
 pub mod cfd;
 pub mod cp;
+pub mod eft;
 pub mod hotspot;
 pub mod hotspot3d;
 pub mod jpeg;

@@ -29,7 +29,9 @@ clippy:
 lint *ARGS:
     cargo run --release -p ihw-lint -- {{ARGS}}
 
-# Static error-bound & imprecision-taint analysis (see DESIGN.md §8).
+# Static error-bound & imprecision-taint analysis (see DESIGN.md §8);
+# runs the interval and affine relational domains and reports
+# min(interval, affine) per output (§12 — `--domain` selects one).
 # Fails on findings not in analyze-baseline.txt.
 analyze *ARGS:
     cargo run --release -p ihw-bench --bin repro -- analyze {{ARGS}}

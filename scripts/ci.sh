@@ -21,8 +21,10 @@ echo "== ihw-lint: workspace invariant audit (deny new findings) =="
 cargo run --release -p ihw-lint -- --json-out target/ihw-lint.json
 
 echo "== ihw-analyze: static error bounds (deny new findings) =="
-# Exits non-zero on findings not in analyze-baseline.txt; the JSON
-# diagnostics (schema ihw-analyze/1) are kept as a CI artifact.
+# Exits non-zero on findings not in analyze-baseline.txt; the bound per
+# output is the combined min(interval, affine) pass and the advisory
+# A009 cancellation-recovered rule never gates. The JSON diagnostics
+# (schema ihw-analyze/2) are kept as a CI artifact.
 cargo run --release -p ihw-bench --bin repro -- analyze --json-out target/ihw-analyze.json
 
 echo "== ihw-racecheck: memory-dependence audit (deny new findings) =="

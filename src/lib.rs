@@ -14,7 +14,8 @@
 //! * [`sim`] (`gpu-sim`) — the SIMT performance simulator and GPUWattch-style
 //!   power model;
 //! * [`analyze`] (`ihw-analyze`) — static error-bound and
-//!   imprecision-taint analysis over the kernel IR (rules A001–A003),
+//!   imprecision-taint analysis over the kernel IR (rules A001–A003 and
+//!   A009; interval plus affine relational domains, DESIGN.md §8, §12),
 //!   plus the [`racecheck`] memory-dependence pass (rules A004–A007)
 //!   whose `ThreadIndependent` proof gates the simulator's parallel
 //!   launch path, and the [`autotune`] static-bound-driven precision

@@ -82,19 +82,27 @@ fn stock_fronts_are_nontrivial_and_deterministic() {
     }
 }
 
-/// A kernel built so the static analysis *must* give up: `x − 2` on
-/// `x ∈ [0.5, 1]` is an opposite-sign addition whose magnitudes are
-/// never `2^(TH+1)` apart, so every imprecise-adder config is ⊤ — yet
-/// the true error is tiny because the result is bounded away from zero.
+/// A kernel built so even the *combined* static analysis must give up:
+/// `x − 2` on `x ∈ [0.5, 1]` is an overlapping imprecise subtraction
+/// (interval ⊤ — and the affine pass alone would recover it, see the
+/// EFT regression below), but the difference is round-tripped through
+/// memory: the reload joins the stored value with the buffer's initial
+/// contents, which degrades the relational pass to the interval join, so
+/// the final `reload + 2.5` is ⊤ in *both* domains — yet the true error
+/// is tiny because the computed sum is bounded away from zero.
 fn sub_shift() -> Program {
     Program::new(
         "sub_shift",
-        3,
+        6,
         vec![
             Instr::Ld(Reg(0), 0, AddrMode::Tid),
             Instr::Movi(Reg(1), 2.0),
             Instr::Fsub(Reg(2), Reg(0), Reg(1)),
             Instr::St(1, AddrMode::Tid, Reg(2)),
+            Instr::Ld(Reg(3), 1, AddrMode::Tid),
+            Instr::Movi(Reg(4), 2.5),
+            Instr::Fadd(Reg(5), Reg(3), Reg(4)),
+            Instr::St(2, AddrMode::Tid, Reg(5)),
         ],
     )
     .expect("valid kernel")
@@ -135,6 +143,113 @@ fn measured_evidence_points_carry_top_provenance() {
     let first = &result.pareto[0];
     assert_eq!(first.evidence, Evidence::Measured);
     assert!(first.savings > 0.0, "⊤ fallback must actually save energy");
+}
+
+/// The affine-domain payoff for the autotuner: `two_sum`'s compensated
+/// output is ⊤ in the interval domain under every imprecise adder, so
+/// pre-affine the aggressive end of its front could only be reached via
+/// the QMC measured fallback. With the combined pass the same configs
+/// are admitted on *static* evidence — a guarantee, not a sample.
+#[test]
+fn affine_bounds_turn_eft_top_configs_into_static_evidence() {
+    use imprecise_gpgpu::analyze::interp::DomainMode;
+    use imprecise_gpgpu::sim::programs;
+    let settings = AutotuneSettings {
+        target: 0.1,
+        ..AutotuneSettings::default()
+    };
+    let result = autotune_kernel(&programs::two_sum(), &settings);
+    let static_imprecise: Vec<_> = result
+        .pareto
+        .iter()
+        .filter(|p| p.evidence == Evidence::Static && p.config.any_imprecise())
+        .collect();
+    assert!(
+        !static_imprecise.is_empty(),
+        "an imprecise config must be admitted on static (affine) evidence"
+    );
+    for p in &static_imprecise {
+        assert!(!p.top_static_bound);
+        assert!(p.bound <= settings.target);
+    }
+    // Interval-only ablation: the same kernel's imprecise-adder configs
+    // are ⊤ again, so none of them can carry static evidence.
+    let interval_only = AutotuneSettings {
+        analysis: AnalysisSettings {
+            domain: DomainMode::Interval,
+            ..settings.analysis
+        },
+        ..settings
+    };
+    let ablated = autotune_kernel(&programs::two_sum(), &interval_only);
+    for p in &ablated.pareto {
+        if p.evidence == Evidence::Static {
+            assert!(
+                matches!(
+                    p.config.add,
+                    imprecise_gpgpu::core::config::AddUnit::Precise
+                ),
+                "{}: interval domain cannot statically admit an imprecise adder here",
+                p.render
+            );
+        }
+    }
+}
+
+/// Ablation contract: `DomainMode::Interval` reproduces the pre-affine
+/// autotuner exactly (the interval pass is untouched, so two ablated
+/// runs are byte-identical), and the combined pass can only *improve*
+/// the front — `bound = min(interval, affine)` admits a superset of the
+/// statically provable configs, so the best savings never regress and
+/// every ablated static point stays admissible.
+#[test]
+fn interval_ablation_is_deterministic_and_never_beats_the_combined_front() {
+    use imprecise_gpgpu::analyze::interp::DomainMode;
+    let both = AutotuneSettings::default();
+    let interval_only = AutotuneSettings {
+        analysis: AnalysisSettings {
+            domain: DomainMode::Interval,
+            ..both.analysis
+        },
+        ..both
+    };
+    for prog in stock_kernels() {
+        let a = autotune_kernel(&prog, &interval_only);
+        let b = autotune_kernel(&prog, &interval_only);
+        assert_eq!(a.pareto.len(), b.pareto.len(), "{}", prog.name());
+        for (x, y) in a.pareto.iter().zip(&b.pareto) {
+            assert_eq!(x.config, y.config, "{}", prog.name());
+            assert_eq!(x.bound.to_bits(), y.bound.to_bits(), "{}", prog.name());
+            assert_eq!(x.energy_pj.to_bits(), y.energy_pj.to_bits());
+            assert_eq!(x.evidence, y.evidence);
+        }
+        let combined = autotune_kernel(&prog, &both);
+        let best = |r: &imprecise_gpgpu::autotune::KernelAutotune| {
+            r.pareto.iter().map(|p| p.savings).fold(0.0f64, f64::max)
+        };
+        assert!(
+            best(&combined) >= best(&a),
+            "{}: combined front lost savings ({} < {})",
+            prog.name(),
+            best(&combined),
+            best(&a)
+        );
+        // Every config the ablated run admitted statically is still
+        // within target under the combined analysis (min only tightens).
+        for p in a.pareto.iter().filter(|p| p.evidence == Evidence::Static) {
+            let an = analyze_program(&prog, &p.config, "tightened", &both.analysis);
+            for out in &an.outputs {
+                assert!(
+                    out.bound <= p.bound * (1.0 + 1e-12),
+                    "{}/{}: combined bound {} looser than interval {}",
+                    prog.name(),
+                    p.render,
+                    out.bound,
+                    p.bound
+                );
+            }
+        }
+    }
 }
 
 // ---- sensitivity-vs-full-re-run dominance ----------------------------
