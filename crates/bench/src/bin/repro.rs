@@ -301,6 +301,16 @@ fn main() {
     if args.first().map(String::as_str) == Some("autotune") {
         std::process::exit(ihw_analyze::autotune::run(&args[1..]));
     }
+    // `repro converge ...` — static contraction certificates for the
+    // iterative solver kernels (A010 gate); `--bench` pairs them with
+    // measured trajectories and records `BENCH_solvers.json`.
+    if args.first().map(String::as_str) == Some("converge") {
+        let rest = &args[1..];
+        if rest.iter().any(|a| a == "--bench") {
+            std::process::exit(ihw_bench::solverbench::run_cli(rest));
+        }
+        std::process::exit(ihw_analyze::contraction::run(rest));
+    }
     if let Some(flag) = args.last().filter(|a| VALUE_FLAGS.contains(&a.as_str())) {
         eprintln!("{flag} expects a value");
         std::process::exit(2);

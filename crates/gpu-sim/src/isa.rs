@@ -211,6 +211,21 @@ pub struct AllowMarker {
     pub reason: String,
 }
 
+/// Declares that a kernel is iterative: after each launch the host
+/// copies buffer `from` (the kernel's output) over buffer `to` (its
+/// input) before the next launch, so the launch's error-transfer map
+/// composes with itself across iterations. Consumed by the workload
+/// drivers (ping-pong step) and by `ihw-analyze`'s contraction pass,
+/// which seeds buffer `to` with input-noise symbols and extracts the
+/// per-launch contraction factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeedbackBinding {
+    /// Buffer index written by the kernel and fed back.
+    pub from: usize,
+    /// Buffer index read by the next iteration.
+    pub to: usize,
+}
+
 /// A validated straight-line kernel.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Program {
@@ -223,6 +238,8 @@ pub struct Program {
     lines: Vec<u32>,
     /// Per-instruction diagnostic suppressions.
     allows: Vec<AllowMarker>,
+    /// Iterative feedback declaration, when the kernel is a solver sweep.
+    feedback: Option<FeedbackBinding>,
 }
 
 impl Program {
@@ -251,6 +268,7 @@ impl Program {
             instrs,
             lines,
             allows: Vec::new(),
+            feedback: None,
         })
     }
 
@@ -317,6 +335,18 @@ impl Program {
         &self.allows
     }
 
+    /// Declares the kernel iterative: buffer `from` feeds back as
+    /// buffer `to` between launches (see [`FeedbackBinding`]).
+    pub fn with_feedback(mut self, from: usize, to: usize) -> Program {
+        self.feedback = Some(FeedbackBinding { from, to });
+        self
+    }
+
+    /// The iterative feedback declaration, if any.
+    pub fn feedback(&self) -> Option<FeedbackBinding> {
+        self.feedback
+    }
+
     /// Whether diagnostic `rule` is allowed on instruction `instr`.
     pub fn is_allowed(&self, instr: usize, rule: &str) -> bool {
         self.allows
@@ -331,9 +361,11 @@ impl Program {
         }
         let lines = std::mem::take(&mut self.lines);
         let allows = std::mem::take(&mut self.allows);
+        let feedback = self.feedback.take();
         Program::new(self.name, self.regs, self.instrs).map(|p| {
             let mut p = p.with_source_lines(lines);
             p.allows = allows;
+            p.feedback = feedback;
             p
         })
     }

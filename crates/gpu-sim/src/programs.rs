@@ -143,6 +143,70 @@ pub fn dot_compensated(chunk: usize) -> Program {
     crate::asm::assemble("dot_compensated", &text).expect("dot_compensated is a valid program")
 }
 
+/// One Jacobi sweep of the 1-D Poisson-style recurrence
+/// `x'[i] = (b[i] + x[i−1] + x[i+1]) / 3` over buffers `0` (x, with
+/// halo), `1` (b) → `2` (x', same layout). Thread `tid` owns interior
+/// element `tid + 1`; elements `0` and `T+1` are Dirichlet boundary
+/// cells that the host keeps fixed when it ping-pongs buffer `2` back
+/// onto buffer `0` (declared by the feedback binding `2 → 0`).
+///
+/// The ideal per-sweep error-transfer factor is `2/3` (each output
+/// depends on two neighbours with weight `1/3` each), the canonical
+/// contraction subject for `ihw_analyze::contraction`: the static ρ
+/// adds the configured adder/multiplier noise on top of `2/3`, so the
+/// precise and TH = 8 configs certify while aggressive thresholds tip
+/// ρ past 1.
+pub fn jacobi_sweep() -> Program {
+    Program::new(
+        "jacobi_sweep",
+        5,
+        vec![
+            Instr::Movi(Reg(0), 1.0 / 3.0),
+            Instr::Ld(Reg(1), 1, AddrMode::TidPlus(1)), // b[i]
+            Instr::Ld(Reg(2), 0, AddrMode::Tid),        // x[i-1]
+            Instr::Ld(Reg(3), 0, AddrMode::TidPlus(2)), // x[i+1]
+            Instr::Fadd(Reg(4), Reg(2), Reg(3)),
+            Instr::Fadd(Reg(4), Reg(4), Reg(1)),
+            Instr::Fmul(Reg(4), Reg(4), Reg(0)),
+            Instr::St(2, AddrMode::TidPlus(1), Reg(4)),
+        ],
+    )
+    .expect("jacobi_sweep is a valid program")
+    .with_feedback(2, 0)
+}
+
+/// One explicit-Euler step of the 1-D heat equation with a source term:
+/// `u'[i] = 0.5·u[i] + 0.2·(u[i−1] + u[i+1]) + 0.1·q[i]` over buffers
+/// `0` (u, with halo), `1` (q) → `2` (u'). Same halo/feedback layout as
+/// [`jacobi_sweep`]; the stencil weights sum to `0.9 + 0.1` so the
+/// update maps `[0.5, 1]` inputs into themselves and the ideal
+/// error-transfer factor is `0.5 + 2·0.2 = 0.9` — much closer to the
+/// stability edge, so milder imprecision already de-certifies it.
+pub fn heat_stencil() -> Program {
+    Program::new(
+        "heat_stencil",
+        9,
+        vec![
+            Instr::Movi(Reg(0), 0.5),
+            Instr::Movi(Reg(1), 0.2),
+            Instr::Movi(Reg(2), 0.1),
+            Instr::Ld(Reg(3), 0, AddrMode::TidPlus(1)), // u[i]
+            Instr::Ld(Reg(4), 0, AddrMode::Tid),        // u[i-1]
+            Instr::Ld(Reg(5), 0, AddrMode::TidPlus(2)), // u[i+1]
+            Instr::Ld(Reg(6), 1, AddrMode::TidPlus(1)), // q[i]
+            Instr::Fadd(Reg(7), Reg(4), Reg(5)),
+            Instr::Fmul(Reg(7), Reg(7), Reg(1)),
+            Instr::Fmul(Reg(8), Reg(3), Reg(0)),
+            Instr::Fadd(Reg(7), Reg(7), Reg(8)),
+            Instr::Fmul(Reg(8), Reg(6), Reg(2)),
+            Instr::Fadd(Reg(7), Reg(7), Reg(8)),
+            Instr::St(2, AddrMode::TidPlus(1), Reg(7)),
+        ],
+    )
+    .expect("heat_stencil is a valid program")
+    .with_feedback(2, 0)
+}
+
 /// A distance-to-origin kernel: `out[i] = √(x[i]² + y[i]²)` — the
 /// mul/add/sqrt profile of the RayTracing intersection math.
 pub fn distance() -> Program {
@@ -225,6 +289,8 @@ mod tests {
             two_sum(),
             two_prod(),
             dot_compensated(4),
+            jacobi_sweep(),
+            heat_stencil(),
         ] {
             let report = racecheck(&prog);
             assert_eq!(
@@ -322,6 +388,44 @@ mod tests {
             }
             assert_eq!(*got, sum, "thread {i}");
         }
+    }
+
+    #[test]
+    fn jacobi_sweep_matches_host_recurrence() {
+        let n = 6; // threads = interior points
+        let x: Vec<f32> = (0..n + 2).map(|i| 0.5 + 0.05 * i as f32).collect();
+        let b: Vec<f32> = (0..n + 2).map(|i| 0.6 + 0.02 * i as f32).collect();
+        let mut bufs = vec![x.clone(), b.clone(), vec![0.0f32; n + 2]];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        interp
+            .launch(&jacobi_sweep(), n as u32, &mut bufs)
+            .expect("runs");
+        for i in 1..=n {
+            let expect = (x[i - 1] + x[i + 1] + b[i]) * (1.0f32 / 3.0);
+            assert_eq!(bufs[2][i], expect, "interior {i}");
+        }
+        assert_eq!(bufs[2][0], 0.0, "halo untouched");
+        assert_eq!(bufs[2][n + 1], 0.0, "halo untouched");
+        let fb = jacobi_sweep().feedback().expect("iterative kernel");
+        assert_eq!((fb.from, fb.to), (2, 0));
+    }
+
+    #[test]
+    fn heat_stencil_matches_host_stencil() {
+        let n = 6;
+        let u: Vec<f32> = (0..n + 2).map(|i| 1.0 - 0.04 * i as f32).collect();
+        let q: Vec<f32> = (0..n + 2).map(|i| 0.55 + 0.03 * i as f32).collect();
+        let mut bufs = vec![u.clone(), q.clone(), vec![0.0f32; n + 2]];
+        let mut interp = WarpInterpreter::new(IhwConfig::precise());
+        interp
+            .launch(&heat_stencil(), n as u32, &mut bufs)
+            .expect("runs");
+        for i in 1..=n {
+            let expect = (u[i - 1] + u[i + 1]) * 0.2 + u[i] * 0.5 + q[i] * 0.1;
+            assert_eq!(bufs[2][i], expect, "interior {i}");
+        }
+        let fb = heat_stencil().feedback().expect("iterative kernel");
+        assert_eq!((fb.from, fb.to), (2, 0));
     }
 
     #[test]

@@ -324,6 +324,45 @@ impl Curve {
     }
 }
 
+/// Seed specification for the contraction extraction: every load from
+/// `buffer` carries, besides its ideal input symbol, one *error* noise
+/// symbol of magnitude `h` — "the previous iteration left at most `h`
+/// of absolute error on every element". The seeded pass then classifies
+/// downstream error symbols so the launch summary `e_out ≤ ρ·e_in + c`
+/// can be read off the stored forms (`ρ` from the input-classed mass
+/// over `h`, `c` from the rest).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedSpec {
+    /// The feedback input buffer whose elements carry iteration error.
+    pub buffer: usize,
+    /// Assumed incoming per-element absolute error bound (`> 0`).
+    pub h: f64,
+}
+
+/// Classification of an error-side noise symbol under a seed: `Input`
+/// mass scales with the incoming error `h` (first order, by the κ-split
+/// in [`PassState::add_like`] / [`PassState::mul`] / quadratic terms at
+/// `h ≤ 1` scale), `Mixed` mass must be counted on *both* sides of the
+/// summary. Symbols absent from the class map are plain additive
+/// injection (rounding/imprecise-unit noise independent of `e_in`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SymClass {
+    Input,
+    Mixed,
+}
+
+/// Per-store transfer data read off a seeded pass by the contraction
+/// extraction: `e_out ≤ (in_sum/h)·e_in + c_sum` for this store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct StoreTransfer {
+    /// Σ|coeff| of the err form over `Input ∪ Mixed` symbols.
+    pub in_sum: f64,
+    /// |center| + Σ|coeff| over plain ∪ `Mixed` symbols.
+    pub c_sum: f64,
+    /// Enclosure of the stored *ideal* value (for the self-map check).
+    pub ideal: Interval,
+}
+
 /// Per-pass affine interpreter state, advanced instruction by
 /// instruction in lockstep with the interval pass of
 /// [`crate::interp::analyze_program_with_sites`].
@@ -338,6 +377,21 @@ pub(crate) struct PassState {
     /// Per-buffer stored values, in program store order (aligned with
     /// the interval pass's `WriteMap` entries).
     pub writes: BTreeMap<usize, Vec<AffVal>>,
+    /// Contraction seed, when this pass feeds the extraction. `None`
+    /// (the analyzer default) allocates no extra symbols and keeps the
+    /// pass bit-identical to the unseeded domain.
+    seed: Option<SeedSpec>,
+    /// `(buffer, tag, k)` → seeded error symbol, memoized like
+    /// [`Self::input_syms`] so two loads of one element share their
+    /// incoming error.
+    seed_syms: BTreeMap<(usize, i64, i64), u32>,
+    /// Error-symbol classes (plain symbols are absent). Empty unless
+    /// seeded.
+    classes: BTreeMap<u32, SymClass>,
+    /// True when a seeded pass hit a degrade path (interval widening or
+    /// ⊤) — the relational transfer was abandoned somewhere, so no
+    /// sound launch summary can be extracted.
+    degraded: bool,
 }
 
 impl PassState {
@@ -355,13 +409,78 @@ impl PassState {
                 nregs
             ],
             writes: BTreeMap::new(),
+            seed: None,
+            seed_syms: BTreeMap::new(),
+            classes: BTreeMap::new(),
+            degraded: false,
         }
+    }
+
+    /// Arms the contraction seed (see [`SeedSpec`]).
+    pub fn with_seed(mut self, seed: SeedSpec) -> PassState {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// True when a seeded pass lost relational precision somewhere.
+    pub(crate) fn degraded(&self) -> bool {
+        self.degraded
     }
 
     fn fresh(&mut self) -> u32 {
         let id = self.next_sym;
         self.next_sym += 1;
         id
+    }
+
+    /// A fresh symbol registered under `class`.
+    fn fresh_classed(&mut self, class: SymClass) -> u32 {
+        let id = self.fresh();
+        self.classes.insert(id, class);
+        id
+    }
+
+    /// Σ|coeff| of `f` over input-scaling (`Input ∪ Mixed`) symbols —
+    /// `0` on unseeded passes, where the class map stays empty.
+    fn input_radius(&self, f: &AffineForm) -> f64 {
+        if self.classes.is_empty() {
+            return 0.0;
+        }
+        f.terms
+            .iter()
+            .filter(|(id, _)| self.classes.contains_key(id))
+            .map(|(_, c)| c.abs())
+            .sum()
+    }
+
+    /// Reads the per-store transfer rows for `buf` off a seeded pass.
+    /// `None` when any store degraded to ⊤ (no summary exists then).
+    pub(crate) fn store_transfers(&self, buf: usize) -> Option<Vec<StoreTransfer>> {
+        let ws = self.writes.get(&buf)?;
+        let mut out = Vec::with_capacity(ws.len());
+        for w in ws {
+            let AffVal::Val { ideal, err } = w else {
+                return None;
+            };
+            let mut in_sum = 0.0;
+            let mut c_sum = err.center.abs();
+            for &(id, co) in &err.terms {
+                match self.classes.get(&id) {
+                    Some(SymClass::Input) => in_sum += co.abs(),
+                    Some(SymClass::Mixed) => {
+                        in_sum += co.abs();
+                        c_sum += co.abs();
+                    }
+                    None => c_sum += co.abs(),
+                }
+            }
+            out.push(StoreTransfer {
+                in_sum,
+                c_sum,
+                ideal: ideal.range(),
+            });
+        }
+        Some(out)
     }
 
     /// Folds the smallest coefficients into one fresh garbage symbol
@@ -383,6 +502,19 @@ impl PassState {
         });
         let kept: std::collections::BTreeSet<usize> = order[..keep].iter().copied().collect();
         let folded: f64 = order[keep..].iter().map(|&i| f.terms[i].1.abs()).sum();
+        // The garbage symbol inherits the strongest class among the
+        // folded terms: all-`Input` stays `Input`, any class mixture
+        // must count on both summary sides (`Mixed`), all-plain stays
+        // plain. Counting folded mass in a wider class only loosens the
+        // extracted ρ/c, never tightens.
+        let (mut any_input, mut any_mixed, mut any_plain) = (false, false, false);
+        for &i in &order[keep..] {
+            match self.classes.get(&f.terms[i].0) {
+                Some(SymClass::Input) => any_input = true,
+                Some(SymClass::Mixed) => any_mixed = true,
+                None => any_plain = true,
+            }
+        }
         let mut terms: Vec<(u32, f64)> = f
             .terms
             .iter()
@@ -390,7 +522,14 @@ impl PassState {
             .filter(|(i, _)| kept.contains(i))
             .map(|(_, &t)| t)
             .collect();
-        terms.push((self.fresh(), folded));
+        let garbage = if any_mixed || (any_input && any_plain) {
+            self.fresh_classed(SymClass::Mixed)
+        } else if any_input {
+            self.fresh_classed(SymClass::Input)
+        } else {
+            self.fresh()
+        };
+        terms.push((garbage, folded));
         f.terms = terms;
     }
 
@@ -398,6 +537,9 @@ impl PassState {
     /// budget condensation otherwise.
     fn seal(&mut self, ideal: AffineForm, err: AffineForm) -> AffVal {
         if !ideal.is_finite() || !err.is_finite() {
+            if self.seed.is_some() {
+                self.degraded = true;
+            }
             return AffVal::Top;
         }
         let mut ideal = ideal;
@@ -412,6 +554,11 @@ impl PassState {
     /// one absolute error symbol `rel·max|ideal|·ε′`. This is the sound
     /// degrade path for anything the relational domain cannot track.
     fn widen_interval(&mut self, v: &AbsVal) -> AffVal {
+        // An interval rebuild severs every symbol correlation — under a
+        // seed the input mass is lost, so no summary can be extracted.
+        if self.seed.is_some() {
+            self.degraded = true;
+        }
         if !v.range.lo.is_finite() || !v.range.hi.is_finite() {
             return AffVal::Top;
         }
@@ -462,10 +609,34 @@ impl PassState {
     ) -> (AffineForm, AffineForm) {
         let ideal = self.affine_mul(xi, yi);
         let mut err = ye.scale(xi.center).add(&xe.scale(yi.center));
-        let cross = xi.rad() * ye.max_abs() + yi.rad() * xe.max_abs() + xe.max_abs() * ye.max_abs();
-        if cross != 0.0 {
-            let s = self.fresh();
-            err.push(s, cross);
+        if self.seed.is_some() {
+            // κ-split of the cross mass: with rx/ry the input-scaling
+            // radii and xe0/ye0 the remaining (plain) error magnitudes,
+            // `(xe0+rx)(ye0+ry) + A(ye0+ry) + B(xe0+rx)` decomposes
+            // exactly into a plain part (no r factor) and an input part
+            // (every term carrying rx or ry). The quadratic `rx·ry`
+            // lands on the input side — sound for the summary since at
+            // input scale `t ≤ 1` it contributes `t² ≤ t` of its mass.
+            let (a, b) = (xi.rad(), yi.rad());
+            let (rx, ry) = (self.input_radius(xe), self.input_radius(ye));
+            let (xe0, ye0) = ((xe.max_abs() - rx).max(0.0), (ye.max_abs() - ry).max(0.0));
+            let inp = a * ry + b * rx + xe0 * ry + rx * ye0 + rx * ry;
+            if inp != 0.0 {
+                let s = self.fresh_classed(SymClass::Input);
+                err.push(s, inp);
+            }
+            let base = a * ye0 + b * xe0 + xe0 * ye0;
+            if base != 0.0 {
+                let s = self.fresh();
+                err.push(s, base);
+            }
+        } else {
+            let cross =
+                xi.rad() * ye.max_abs() + yi.rad() * xe.max_abs() + xe.max_abs() * ye.max_abs();
+            if cross != 0.0 {
+                let s = self.fresh();
+                err.push(s, cross);
+            }
         }
         (ideal, err)
     }
@@ -483,14 +654,38 @@ impl PassState {
         let ideal = if sub { ia.sub(ib) } else { ia.add(ib) };
         let mut err = if sub { ea.sub(eb) } else { ea.add(eb) };
         let (ma, mb) = (Self::mag(ia, ea), Self::mag(ib, eb));
-        let u = match cfg.add {
-            AddUnit::Precise => ROUND_EPS * (ma + mb),
-            AddUnit::Imprecise { th } => {
-                bounds::adder_abs_factor(th) * ma.max(mb) + ROUND_EPS * (ma + mb)
+        if self.seed.is_some() {
+            // κ-split: `max(ma, mb) ≤ max(ma0, mb0) + ra + rb` and
+            // `ma + mb = ma0 + mb0 + ra + rb`, so the unit error splits
+            // into an input-scaling share `(factor + ε)(ra + rb)` and a
+            // plain share over the input-free magnitudes — this is what
+            // makes the extracted ρ config-dependent (an imprecise
+            // adder amplifies the *incoming* error too, not only the
+            // ideal operand magnitudes).
+            let factor = match cfg.add {
+                AddUnit::Precise => 0.0,
+                AddUnit::Imprecise { th } => bounds::adder_abs_factor(th),
+            };
+            let (ra, rb) = (self.input_radius(ea), self.input_radius(eb));
+            let (ma0, mb0) = ((ma - ra).max(0.0), (mb - rb).max(0.0));
+            let u_in = (factor + ROUND_EPS) * (ra + rb);
+            if u_in != 0.0 {
+                let s = self.fresh_classed(SymClass::Input);
+                err.push(s, u_in);
             }
-        } + SUBNORMAL_EPS;
-        let s = self.fresh();
-        err.push(s, u);
+            let u_base = factor * ma0.max(mb0) + ROUND_EPS * (ma0 + mb0) + SUBNORMAL_EPS;
+            let s = self.fresh();
+            err.push(s, u_base);
+        } else {
+            let u = match cfg.add {
+                AddUnit::Precise => ROUND_EPS * (ma + mb),
+                AddUnit::Imprecise { th } => {
+                    bounds::adder_abs_factor(th) * ma.max(mb) + ROUND_EPS * (ma + mb)
+                }
+            } + SUBNORMAL_EPS;
+            let s = self.fresh();
+            err.push(s, u);
+        }
         Some(self.seal(ideal, err))
     }
 
@@ -502,10 +697,26 @@ impl PassState {
         };
         let (ia, ea, ib, eb) = (ia.clone(), ea.clone(), ib.clone(), eb.clone());
         let (ideal, mut err) = self.pure_mul((&ia, &ea), (&ib, &eb));
-        let u =
-            unit_err(cfg, FpOp::Mul) * Self::mag(&ia, &ea) * Self::mag(&ib, &eb) + SUBNORMAL_EPS;
-        let s = self.fresh();
-        err.push(s, u);
+        let ue = unit_err(cfg, FpOp::Mul);
+        let (ma, mb) = (Self::mag(&ia, &ea), Self::mag(&ib, &eb));
+        if self.seed.is_some() {
+            // Exact κ-split of `ue·ma·mb` over the operands' input
+            // radii: `ma·mb = ma0·mb0 + ra·mb + ma0·rb`.
+            let (ra, rb) = (self.input_radius(&ea), self.input_radius(&eb));
+            let (ma0, mb0) = ((ma - ra).max(0.0), (mb - rb).max(0.0));
+            let u_in = ue * (ra * mb + ma0 * rb);
+            if u_in != 0.0 {
+                let s = self.fresh_classed(SymClass::Input);
+                err.push(s, u_in);
+            }
+            let u_base = ue * ma0 * mb0 + SUBNORMAL_EPS;
+            let s = self.fresh();
+            err.push(s, u_base);
+        } else {
+            let u = ue * ma * mb + SUBNORMAL_EPS;
+            let s = self.fresh();
+            err.push(s, u);
+        }
         Some(self.seal(ideal, err))
     }
 
@@ -538,7 +749,13 @@ impl PassState {
         let mut out_err = err.scale(ch.alpha);
         let dev = curve.slope_dev(x, ch.alpha) * a;
         if dev != 0.0 {
-            let s = self.fresh();
+            // The deviation scales with the *whole* operand error, input
+            // share included — `Mixed` counts it on both summary sides.
+            let s = if self.input_radius(err) > 0.0 {
+                self.fresh_classed(SymClass::Mixed)
+            } else {
+                self.fresh()
+            };
             out_err.push(s, dev);
         }
         Some((out_ideal, out_err, x))
@@ -566,7 +783,13 @@ impl PassState {
             }
             _ => unit_err(cfg, op) * fmag,
         } + SUBNORMAL_EPS;
-        let s = self.fresh();
+        // `fmag` ranges over the error-widened enclosure, so under a
+        // seed the unit symbol depends on the incoming error too.
+        let s = if self.input_radius(&err) > 0.0 {
+            self.fresh_classed(SymClass::Mixed)
+        } else {
+            self.fresh()
+        };
         oe.push(s, u);
         Some(self.seal(oi, oe))
     }
@@ -584,7 +807,11 @@ impl PassState {
         let (ideal, mut err) = self.pure_mul((&ia, &ea), (&ri, &re));
         let u =
             unit_err(cfg, FpOp::Div) * Self::mag(&ia, &ea) * Self::mag(&ri, &re) + SUBNORMAL_EPS;
-        let s = self.fresh();
+        let s = if self.input_radius(&ea) > 0.0 || self.input_radius(&re) > 0.0 {
+            self.fresh_classed(SymClass::Mixed)
+        } else {
+            self.fresh()
+        };
         err.push(s, u);
         Some(self.seal(ideal, err))
     }
@@ -611,10 +838,24 @@ impl PassState {
         if r > 0.0 {
             ideal.push(sym, r);
         }
-        AffVal::Val {
-            ideal,
-            err: AffineForm::zero(),
+        let mut err = AffineForm::zero();
+        if let Some(seed) = self.seed {
+            if seed.buffer == buf && seed.h > 0.0 {
+                // Incoming iteration error: one memoized symbol per
+                // element at magnitude `h`, classed `Input` so the
+                // extraction can read its transported mass back out.
+                let esym = match self.seed_syms.get(&key) {
+                    Some(&e) => e,
+                    None => {
+                        let e = self.fresh_classed(SymClass::Input);
+                        self.seed_syms.insert(key, e);
+                        e
+                    }
+                };
+                err.push(esym, seed.h);
+            }
         }
+        AffVal::Val { ideal, err }
     }
 
     /// Advances the affine state over one instruction. `pre` are the

@@ -19,7 +19,7 @@
 
 use crate::interp::{AnalysisSettings, DomainMode};
 use crate::report::{self, ANALYZE_BASELINE_FILE, BASELINE_HEADER};
-use crate::{analyze_stock, eft_kernel_names, stock_kernel_names};
+use crate::{analyze_stock, eft_kernel_names, solver_kernel_names, stock_kernel_names};
 use ihw_lint::baseline::Baseline;
 use ihw_lint::diag::Rule;
 use std::path::PathBuf;
@@ -27,6 +27,7 @@ use std::path::PathBuf;
 /// Stock + EFT kernel names, the CLI's full positional vocabulary.
 fn known_kernel_names() -> Vec<&'static str> {
     let mut names = stock_kernel_names();
+    names.extend(solver_kernel_names());
     names.extend(eft_kernel_names());
     names
 }
@@ -82,8 +83,10 @@ pub fn run(args: &[String]) -> i32 {
                      [--write-baseline] [--max-rel-err X] [--threads N] \
                      [--domain interval|affine|both] [KERNELS...]\n\
                      stock kernels: {}\n\
+                     solver kernels: {}\n\
                      eft kernels (on demand): {}",
                     stock_kernel_names().join(" "),
+                    solver_kernel_names().join(" "),
                     eft_kernel_names().join(" ")
                 );
                 return 0;
@@ -137,9 +140,10 @@ pub fn run(args: &[String]) -> i32 {
             let measured = crate::empirical::measure(
                 &crate::stock_kernels()
                     .into_iter()
+                    .chain(crate::solver_kernels())
                     .chain(crate::eft_kernels())
                     .find(|p| p.name() == a.kernel)
-                    .expect("analyzed kernels are stock or eft"),
+                    .expect("analyzed kernels are stock, solver or eft"),
                 &crate::stock_configs()
                     .iter()
                     .find(|(l, _)| *l == a.config)

@@ -246,7 +246,7 @@ pub fn analyze_program_with_sites(
     let mut analysis = None;
     for pass in 0..MAX_PASSES {
         let widen = pass + 1 == MAX_PASSES;
-        let (writes, result) = run_pass(prog, &sites, label, s, &input, &prev, widen);
+        let (writes, result, _) = run_pass(prog, &sites, label, s, &input, &prev, widen, None);
         let stable = writes_eq(&writes, &prev);
         prev = writes;
         analysis = Some(result);
@@ -255,6 +255,40 @@ pub fn analyze_program_with_sites(
         }
     }
     analysis.expect("at least one pass runs")
+}
+
+/// Runs the same interval + affine fixpoint as [`analyze_program`] with
+/// the contraction seed armed on the affine pass, and returns the final
+/// pass's affine state (for `crate::contraction`'s summary extraction)
+/// next to the interval analysis. The seed only *adds* error symbols,
+/// so the interval fixpoint and its termination are untouched.
+pub(crate) fn seeded_pass(
+    prog: &Program,
+    cfg: &IhwConfig,
+    label: &str,
+    s: &AnalysisSettings,
+    seed: crate::affine::SeedSpec,
+) -> (crate::affine::PassState, KernelAnalysis) {
+    let no_overrides = BTreeMap::new();
+    let sites = SiteCfgs {
+        base: cfg,
+        overrides: &no_overrides,
+    };
+    let input = AbsVal::exact(Interval::new(s.input_lo, s.input_hi));
+    let mut prev: WriteMap = WriteMap::new();
+    let mut result = None;
+    for pass in 0..MAX_PASSES {
+        let widen = pass + 1 == MAX_PASSES;
+        let (writes, analysis, aff) =
+            run_pass(prog, &sites, label, s, &input, &prev, widen, Some(seed));
+        let stable = writes_eq(&writes, &prev);
+        prev = writes;
+        result = Some((aff, analysis));
+        if stable {
+            break;
+        }
+    }
+    result.expect("at least one pass runs")
 }
 
 fn writes_eq(a: &WriteMap, b: &WriteMap) -> bool {
@@ -269,6 +303,7 @@ fn writes_eq(a: &WriteMap, b: &WriteMap) -> bool {
         })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_pass(
     prog: &Program,
     sites: &SiteCfgs<'_>,
@@ -277,11 +312,15 @@ fn run_pass(
     input: &AbsVal,
     prev: &WriteMap,
     widen: bool,
-) -> (WriteMap, KernelAnalysis) {
+    seed: Option<crate::affine::SeedSpec>,
+) -> (WriteMap, KernelAnalysis, crate::affine::PassState) {
     let mut regs = vec![AbsVal::exact(Interval::point(0.0)); prog.regs() as usize];
     let mut writes = WriteMap::new();
     let mut taint_sites = Vec::new();
     let mut aff = crate::affine::PassState::new(prog.regs() as usize, s);
+    if let Some(seed) = seed {
+        aff = aff.with_seed(seed);
+    }
     let widen_taint = sites.widen_taint();
     let r = |regs: &[AbsVal], reg: gpu_sim::isa::Reg| regs[reg.0 as usize];
     for (idx, instr) in prog.instrs().iter().enumerate() {
@@ -408,7 +447,7 @@ fn run_pass(
         outputs,
         taint_sites,
     };
-    (writes, analysis)
+    (writes, analysis, aff)
 }
 
 /// Could a store with `write` mode by an *earlier thread* land on the

@@ -54,6 +54,7 @@
 pub mod affine;
 pub mod autotune;
 pub mod cli;
+pub mod contraction;
 pub mod deps;
 pub mod domain;
 pub mod empirical;
@@ -64,8 +65,15 @@ pub mod sensitivity;
 
 pub use affine::{AffVal, AffineForm};
 pub use autotune::{autotune_kernel, AutotuneSettings, KernelAutotune, ParetoPoint};
+pub use contraction::{
+    certify, converge_configs, converge_stock, Certificate, KernelConvergence, LaunchSummary,
+    Verdict as ConvergeVerdict,
+};
 pub use deps::{brute_force_conflicts, racecheck, BruteForce, RaceReport, Verdict};
 pub use domain::{AbsVal, Interval, TaintSet};
+/// Shared diagnostic types and JSON rendering (re-exported from
+/// `ihw-lint` so downstream crates reach one finding pipeline).
+pub use ihw_lint::diag;
 pub use interp::{
     analyze_program, analyze_program_with_sites, AnalysisSettings, BoundDomain, DomainMode,
     KernelAnalysis, OutputReport,
@@ -111,6 +119,20 @@ pub fn eft_kernel_names() -> Vec<&'static str> {
     vec!["two_sum", "two_prod", "dot_compensated"]
 }
 
+/// The iterative solver kernels (feedback-bound iteration bodies) that
+/// the convergence certifier ([`contraction`]) sweeps. They also ride
+/// the default `repro analyze` and `repro racecheck` gates — but *not*
+/// the racebench/autotune record files, whose committed numbers stay a
+/// pure [`stock_kernels`] contract.
+pub fn solver_kernels() -> Vec<Program> {
+    vec![programs::jacobi_sweep(), programs::heat_stencil()]
+}
+
+/// Names of [`solver_kernels`], for CLI filtering and help text.
+pub fn solver_kernel_names() -> Vec<&'static str> {
+    vec!["jacobi_sweep", "heat_stencil"]
+}
+
 /// The stock configurations analyzed, labelled for fingerprints.
 pub fn stock_configs() -> Vec<(&'static str, IhwConfig)> {
     vec![
@@ -130,6 +152,7 @@ pub fn stock_configs() -> Vec<(&'static str, IhwConfig)> {
 pub fn analyze_stock(settings: &AnalysisSettings, filter: &[String]) -> Vec<KernelAnalysis> {
     let mut analyses = Vec::new();
     let mut kernels = stock_kernels();
+    kernels.extend(solver_kernels());
     if !filter.is_empty() {
         kernels.extend(eft_kernels());
     }
@@ -166,7 +189,7 @@ mod tests {
         let analyses = analyze_all(&AnalysisSettings::default());
         assert_eq!(
             analyses.len(),
-            stock_kernels().len() * stock_configs().len()
+            (stock_kernels().len() + solver_kernels().len()) * stock_configs().len()
         );
         for a in &analyses {
             assert!(!a.outputs.is_empty(), "{} has outputs", a.kernel);

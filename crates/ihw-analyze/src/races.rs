@@ -22,6 +22,15 @@
 use crate::deps::{racecheck, DepKind, RaceReport, Verdict};
 use crate::stock_kernel_names;
 use gpu_sim::isa::Program;
+
+/// Kernels the racecheck gate sweeps: the stock set plus the iterative
+/// solver kernels (which must also be race-free for their launch-level
+/// feedback semantics to make sense).
+fn racecheck_kernel_names() -> Vec<&'static str> {
+    let mut names = stock_kernel_names();
+    names.extend(crate::solver_kernel_names());
+    names
+}
 use ihw_lint::baseline::Baseline;
 use ihw_lint::diag::{to_json_with_schema, Finding, Rule};
 use std::path::PathBuf;
@@ -56,6 +65,7 @@ pub struct KernelRace {
 pub fn racecheck_stock(filter: &[String]) -> Vec<KernelRace> {
     crate::stock_kernels()
         .into_iter()
+        .chain(crate::solver_kernels())
         .filter(|p| filter.is_empty() || filter.iter().any(|k| k == p.name()))
         .map(|program| KernelRace {
             report: racecheck(&program),
@@ -244,7 +254,7 @@ pub fn run(args: &[String]) -> i32 {
                     "usage: repro racecheck [--json] [--json-out FILE] [--baseline FILE] \
                      [--write-baseline] [KERNELS...]\n\
                      kernels: {}",
-                    stock_kernel_names().join(" ")
+                    racecheck_kernel_names().join(" ")
                 );
                 return 0;
             }
@@ -256,10 +266,10 @@ pub fn run(args: &[String]) -> i32 {
         }
     }
     for k in &kernels {
-        if !stock_kernel_names().contains(&k.as_str()) {
+        if !racecheck_kernel_names().contains(&k.as_str()) {
             eprintln!(
                 "unknown kernel '{k}'. Available: {}",
-                stock_kernel_names().join(" ")
+                racecheck_kernel_names().join(" ")
             );
             return 2;
         }
@@ -422,7 +432,10 @@ mod tests {
     #[test]
     fn stock_kernels_produce_no_findings() {
         let races = racecheck_stock(&[]);
-        assert_eq!(races.len(), 4);
+        assert_eq!(
+            races.len(),
+            crate::stock_kernels().len() + crate::solver_kernels().len()
+        );
         assert!(collect_findings(&races).is_empty());
         assert!(races
             .iter()

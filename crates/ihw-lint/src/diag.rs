@@ -11,9 +11,10 @@
 //! crate's lexer pass, `A001`–`A003` and `A009` kernel-IR error-bound
 //! rules emitted by `ihw-analyze`'s abstract interpreter, `A004`–`A007`
 //! memory-dependence/race rules emitted by its racecheck pass
-//! (`"ihw-racecheck/1"` JSON schema), and the `A008`
+//! (`"ihw-racecheck/1"` JSON schema), the `A008`
 //! precision-sensitivity rule emitted by its autotune pass
-//! (`"ihw-autotune/1"` JSON schema).
+//! (`"ihw-autotune/1"` JSON schema), and the `A010` convergence rule
+//! emitted by its contraction pass (`"ihw-converge/1"` JSON schema).
 
 /// The catalog of rules, with stable codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -63,6 +64,14 @@ pub enum Rule {
     /// recovers a finite bound. Advisory (never gates the exit code) —
     /// it marks compensated algorithms doing their job.
     CancellationRecovered,
+    /// A010 — imprecision divergence risk: an iterative kernel's static
+    /// per-launch error-transfer operator has ∞-norm contraction factor
+    /// ρ ≥ 1 under the analyzed configuration (or no finite noise
+    /// fixed point exists), so convergence cannot be certified — the
+    /// imprecise units may amplify iteration error instead of letting
+    /// it contract (emitted by `ihw-analyze`'s contraction pass,
+    /// `"ihw-converge/1"` JSON schema).
+    ImprecisionDivergenceRisk,
 }
 
 impl Rule {
@@ -83,6 +92,7 @@ impl Rule {
             Rule::RegisterHygiene => "A007",
             Rule::OverProvisionedPrecision => "A008",
             Rule::CancellationRecovered => "A009",
+            Rule::ImprecisionDivergenceRisk => "A010",
         }
     }
 
@@ -104,6 +114,7 @@ impl Rule {
             Rule::RegisterHygiene => "register-hygiene",
             Rule::OverProvisionedPrecision => "over-provisioned-precision",
             Rule::CancellationRecovered => "cancellation-recovered",
+            Rule::ImprecisionDivergenceRisk => "imprecision-divergence-risk",
         }
     }
 
@@ -124,12 +135,13 @@ impl Rule {
             "register-hygiene" => Rule::RegisterHygiene,
             "over-provisioned-precision" => Rule::OverProvisionedPrecision,
             "cancellation-recovered" => Rule::CancellationRecovered,
+            "imprecision-divergence-risk" => Rule::ImprecisionDivergenceRisk,
             _ => return None,
         })
     }
 
     /// Every rule, in code order.
-    pub const ALL: [Rule; 14] = [
+    pub const ALL: [Rule; 15] = [
         Rule::FloatArith,
         Rule::HashIter,
         Rule::WallClock,
@@ -144,6 +156,7 @@ impl Rule {
         Rule::RegisterHygiene,
         Rule::OverProvisionedPrecision,
         Rule::CancellationRecovered,
+        Rule::ImprecisionDivergenceRisk,
     ];
 
     /// The source-level lint rules this crate's lexer pass emits.
@@ -175,6 +188,10 @@ impl Rule {
     /// The precision-sensitivity rules emitted by `ihw-analyze`'s
     /// autotune pass.
     pub const AUTOTUNE: [Rule; 1] = [Rule::OverProvisionedPrecision];
+
+    /// The convergence-certification rules emitted by `ihw-analyze`'s
+    /// contraction pass.
+    pub const CONVERGE: [Rule; 1] = [Rule::ImprecisionDivergenceRisk];
 }
 
 /// One diagnostic produced by the auditor.
@@ -322,8 +339,17 @@ mod tests {
         assert_eq!(Rule::RegisterHygiene.code(), "A007");
         assert_eq!(Rule::OverProvisionedPrecision.code(), "A008");
         assert_eq!(Rule::CancellationRecovered.code(), "A009");
+        assert_eq!(Rule::ImprecisionDivergenceRisk.code(), "A010");
         assert_eq!(
-            Rule::LINT.len() + Rule::ANALYZE.len() + Rule::RACECHECK.len() + Rule::AUTOTUNE.len(),
+            Rule::ImprecisionDivergenceRisk.marker(),
+            "imprecision-divergence-risk"
+        );
+        assert_eq!(
+            Rule::LINT.len()
+                + Rule::ANALYZE.len()
+                + Rule::RACECHECK.len()
+                + Rule::AUTOTUNE.len()
+                + Rule::CONVERGE.len(),
             Rule::ALL.len()
         );
     }

@@ -2,6 +2,33 @@
 //!
 //! All functions compare a `reference` (precise) slice against a
 //! `measured` (imprecise) slice of the same length.
+//!
+//! Two totality guarantees hold across the module so metric values can
+//! be sorted, compared and serialized without special cases:
+//!
+//! * **No infinities**: [`psnr`] saturates at [`PSNR_CAP_DB`] instead
+//!   of returning `f64::INFINITY` for identical inputs — an infinite
+//!   dB value is not representable in JSON and poisons averages.
+//! * **NaN in, NaN out**: a `NaN` sample makes every metric return
+//!   `NaN` instead of being silently dropped by `f64::max` folds, so a
+//!   poisoned measurement can never masquerade as a perfect score.
+
+/// Saturation value of [`psnr`] in dB: returned whenever the MSE is
+/// zero (identical inputs) or small enough that the true ratio would
+/// exceed it. 200 dB corresponds to an RMS error below `1e-10` of
+/// peak — far past f32 resolution, so no imprecise-hardware sweep can
+/// reach the cap with a genuine error.
+pub const PSNR_CAP_DB: f64 = 200.0;
+
+/// NaN-propagating maximum: unlike `f64::max`, a `NaN` on either side
+/// wins, so folds never silently drop poisoned samples.
+fn nan_max(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else {
+        a.max(b)
+    }
+}
 
 /// Mean absolute error: `Σ|rᵢ − mᵢ| / n`.
 ///
@@ -48,6 +75,7 @@ pub fn rmse(reference: &[f64], measured: &[f64]) -> f64 {
 }
 
 /// Worst-case error distance: `max |rᵢ − mᵢ|` (the paper's WED).
+/// `NaN` samples propagate instead of being dropped by the fold.
 ///
 /// # Panics
 ///
@@ -58,21 +86,25 @@ pub fn wed(reference: &[f64], measured: &[f64]) -> f64 {
         .iter()
         .zip(measured)
         .map(|(r, m)| (r - m).abs())
-        .fold(0.0, f64::max)
+        .fold(0.0, nan_max)
 }
 
 /// Peak signal-to-noise ratio in dB for a signal with the given `peak`
-/// value. Returns `f64::INFINITY` for identical inputs.
+/// value, saturated at [`PSNR_CAP_DB`]: identical inputs (MSE 0) and
+/// vanishingly small errors both report the cap, never infinity, so
+/// the result is always finite unless a sample is `NaN`.
 ///
 /// # Panics
 ///
 /// Panics if the slices differ in length or are empty.
 pub fn psnr(reference: &[f64], measured: &[f64], peak: f64) -> f64 {
     let e = mse(reference, measured);
-    if e == 0.0 {
-        f64::INFINITY
+    if e.is_nan() {
+        f64::NAN
+    } else if e == 0.0 {
+        PSNR_CAP_DB
     } else {
-        10.0 * (peak * peak / e).log10()
+        (10.0 * (peak * peak / e).log10()).min(PSNR_CAP_DB)
     }
 }
 
@@ -98,7 +130,8 @@ pub fn mean_rel_err_pct(reference: &[f64], measured: &[f64]) -> f64 {
     }
 }
 
-/// Maximum relative error in percent, skipping reference entries equal to 0.
+/// Maximum relative error in percent, skipping reference entries equal
+/// to 0. `NaN` samples propagate instead of being dropped by the fold.
 ///
 /// # Panics
 ///
@@ -110,7 +143,7 @@ pub fn max_rel_err_pct(reference: &[f64], measured: &[f64]) -> f64 {
         .zip(measured)
         .filter(|(r, _)| **r != 0.0)
         .map(|(r, m)| ((r - m) / r).abs())
-        .fold(0.0, f64::max)
+        .fold(0.0, nan_max)
         * 100.0
 }
 
@@ -130,8 +163,43 @@ mod tests {
         assert_eq!(mse(&x, &x), 0.0);
         assert_eq!(rmse(&x, &x), 0.0);
         assert_eq!(wed(&x, &x), 0.0);
-        assert_eq!(psnr(&x, &x, 1.0), f64::INFINITY);
+        assert_eq!(psnr(&x, &x, 1.0), PSNR_CAP_DB);
         assert_eq!(mean_rel_err_pct(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn psnr_is_always_finite() {
+        // Identical inputs saturate at the cap instead of +inf.
+        let x = [0.25, 0.75];
+        assert!(psnr(&x, &x, 1.0).is_finite());
+        // A sub-resolution error would exceed the cap; it saturates too.
+        let tiny = [0.25, 0.75 + 1e-15];
+        let p = psnr(&x, &tiny, 1.0);
+        assert_eq!(p, PSNR_CAP_DB);
+        // Genuine errors stay strictly below the cap and untouched.
+        let coarse = [0.3, 0.75];
+        let q = psnr(&x, &coarse, 1.0);
+        assert!(q < PSNR_CAP_DB && q > 0.0);
+        assert!((q - 10.0 * (1.0 / mse(&x, &coarse)).log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_samples_poison_every_metric() {
+        let r = [1.0, 2.0, 3.0];
+        let m = [1.0, f64::NAN, 3.0];
+        assert!(mae(&r, &m).is_nan());
+        assert!(mse(&r, &m).is_nan());
+        assert!(rmse(&r, &m).is_nan());
+        assert!(wed(&r, &m).is_nan());
+        assert!(psnr(&r, &m, 1.0).is_nan());
+        assert!(mean_rel_err_pct(&r, &m).is_nan());
+        assert!(max_rel_err_pct(&r, &m).is_nan());
+        // The max-folds are the regression surface: f64::max would have
+        // reported a clean 0 here because NaN loses to every operand.
+        let clean_looking = [1.0, 1.0];
+        let poisoned = [1.0, f64::NAN];
+        assert!(wed(&clean_looking, &poisoned).is_nan());
+        assert!(max_rel_err_pct(&clean_looking, &poisoned).is_nan());
     }
 
     #[test]

@@ -45,5 +45,6 @@ pub mod jpeg;
 pub mod kmeans;
 pub mod md;
 pub mod raytrace;
+pub mod solvers;
 pub mod sphinx;
 pub mod srad;

@@ -50,6 +50,16 @@ racecheck *ARGS:
 autotune *ARGS:
     cargo run --release -p ihw-bench --bin repro -- autotune {{ARGS}}
 
+# Convergence certification for iterative (feedback-bound) kernels:
+# per-launch error-transfer summaries e' ≤ ρ·e + c, closed-form N(ε)
+# and certified net energy when ρ < 1, the A010 divergence-risk rule
+# when ρ ≥ 1 (see DESIGN.md §13). Fails on A010 findings not in
+# converge-baseline.txt (expected divergences never gate).
+# `just converge --bench` records BENCH_solvers.json, pairing every
+# certificate with a measured solver trajectory.
+converge *ARGS:
+    cargo run --release -p ihw-bench --bin repro -- converge {{ARGS}}
+
 # Bench honesty gate: fails if any kernel×config row that took a
 # parallel launch path recorded a speedup below 0.9x (rows the
 # adaptive cutover kept sequential are exempt).

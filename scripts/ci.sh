@@ -38,6 +38,19 @@ echo "== ihw-autotune: precision autotuner + A008 gate (deny new findings) =="
 # per-kernel Pareto fronts + findings) is kept as a CI artifact.
 cargo run --release -p ihw-bench --bin repro -- autotune --json-out target/ihw-autotune.json
 
+echo "== ihw-converge: convergence certification + A010 gate (deny new findings) =="
+# Exits non-zero on A010 imprecision-divergence-risk findings not in
+# converge-baseline.txt; the documented EXPECTED_DIVERGENT pairs are
+# advisory and never gate. The JSON document (schema ihw-converge/1,
+# per-pair certificates + findings) is kept as a CI artifact.
+cargo run --release -p ihw-bench --bin repro -- converge --json-out target/ihw-converge.json
+
+echo "== solverbench: certificates vs measured solver trajectories =="
+# Fails (exit 1) if any certified kernel × config pair measures worse
+# than its certificate — more sweeps than N(ε) or a final error above
+# the effective tolerance. Refreshes the committed BENCH_solvers.json.
+cargo run --release -p ihw-bench --bin repro -- converge --bench
+
 echo "== racebench: interpreted vs compiled vs parallel (bit-identity + throughput) =="
 # Fails if any engine run diverges from the interpreted-sequential
 # reference; refreshes the committed BENCH_kernel_throughput.json perf

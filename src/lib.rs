@@ -54,6 +54,7 @@
 pub use gpu_sim as sim;
 pub use ihw_analyze as analyze;
 pub use ihw_analyze::autotune;
+pub use ihw_analyze::contraction as converge;
 pub use ihw_analyze::races as racecheck;
 pub use ihw_core as core;
 pub use ihw_error as error;

@@ -1,0 +1,276 @@
+//! Soundness gate for the convergence certifier: every static claim the
+//! contraction analysis makes about an iterative kernel must dominate
+//! the corresponding *measured* trajectory on imprecise hardware.
+//!
+//! * **Certified pairs** (`ρ < 1` with a certificate): the measured
+//!   per-sweep error must obey `e_{k+1} ≤ ρ·e_k + c` step by step, the
+//!   measured iterations-to-`ε_eff` must not exceed the certified
+//!   `N(ε_eff)`, and the trajectory must actually reach `ε_eff`.
+//! * **A010 pairs** (`EXPECTED_DIVERGENT`): the measured run must fail
+//!   to reach the default tolerance — divergence risk is a real
+//!   observation, not an analysis artifact — and at least one `ρ ≥ 1`
+//!   config must plateau far above it.
+//! * **Composition property**: iterating one launch summary `k` times
+//!   (`b ← ρ·b + c` at fixed `(ρ, c)`) is never tighter than `k`
+//!   per-step re-extractions at the current bound — the single summary
+//!   is a sound shortcut, not an optimistic one.
+//! * The converge gate itself stays clean: every A010 the stock sweep
+//!   raises is a documented expected divergence, so
+//!   `converge-baseline.txt` ships empty.
+
+use imprecise_gpgpu::analyze::interp::AnalysisSettings;
+use imprecise_gpgpu::analyze::{solver_kernel_names, solver_kernels};
+use imprecise_gpgpu::converge::{
+    converge_configs, converge_stock, findings_for, is_expected_divergent, summary_at, Verdict,
+    DEFAULT_TOL, EXPECTED_DIVERGENT,
+};
+use imprecise_gpgpu::workloads::solvers::{problem_for, run_solver, SolverParams};
+use proptest::prelude::*;
+
+fn settings() -> AnalysisSettings {
+    AnalysisSettings::default()
+}
+
+/// Per-step and end-to-end domination: measured trajectories of every
+/// *certified* pair stay under the launch summary's recurrence and
+/// reach the effective tolerance within the certified sweep count.
+#[test]
+fn certified_bounds_dominate_measured_trajectories() {
+    let rows = converge_stock(&settings(), DEFAULT_TOL, &[]);
+    let mut certified_pairs = 0;
+    for row in &rows {
+        let Verdict::Certified(cert) = &row.verdict else {
+            continue;
+        };
+        certified_pairs += 1;
+        let params = SolverParams {
+            tol: cert.tol_eff,
+            ..SolverParams::default()
+        };
+        let problem = problem_for(&row.kernel, &params).expect("solver kernel");
+        let cfg = converge_configs()
+            .into_iter()
+            .find(|(l, _)| *l == row.config)
+            .expect("converge config")
+            .1;
+        let run = run_solver(&problem, cfg, &params);
+
+        // (1) Measured sweeps ≤ certified N(ε_eff), and ε_eff reached.
+        let measured = run.iterations_to_tol.unwrap_or_else(|| {
+            panic!(
+                "{} × {}: certified to reach {} in {} sweeps but never got \
+                     below it (final {})",
+                row.kernel, row.config, cert.tol_eff, cert.n_iters, run.final_err
+            )
+        });
+        assert!(
+            measured as u64 <= cert.n_iters,
+            "{} × {}: measured {} sweeps > certified N = {}",
+            row.kernel,
+            row.config,
+            measured,
+            cert.n_iters
+        );
+
+        // (2) Every measured step obeys the launch summary.
+        for (k, w) in run.history.windows(2).enumerate() {
+            let bound = cert.rho * w[0] + cert.c;
+            assert!(
+                w[1] <= bound + 1e-12,
+                "{} × {} sweep {}: measured step {} -> {} breaks e' <= {}*e + {} = {}",
+                row.kernel,
+                row.config,
+                k,
+                w[0],
+                w[1],
+                cert.rho,
+                cert.c,
+                bound
+            );
+        }
+
+        // (3) The certificate's initial-error assumption covers the
+        // actual start.
+        assert!(
+            run.history[0] <= cert.e0 + 1e-12,
+            "{} × {}: initial error {} above assumed e0 = {}",
+            row.kernel,
+            row.config,
+            run.history[0],
+            cert.e0
+        );
+    }
+    assert!(
+        certified_pairs >= 4,
+        "sweep must certify a meaningful set of pairs, got {certified_pairs}"
+    );
+}
+
+/// Every documented A010 pair measurably fails to reach the default
+/// tolerance, and the `ρ ≥ 1` adder-threshold-2 specimen plateaus far
+/// above it — static divergence risk matches observed divergence.
+#[test]
+fn expected_divergent_pairs_measurably_fail() {
+    let rows = converge_stock(&settings(), DEFAULT_TOL, &[]);
+    for &(kernel, config) in EXPECTED_DIVERGENT {
+        let row = rows
+            .iter()
+            .find(|r| r.kernel == kernel && r.config == config)
+            .unwrap_or_else(|| panic!("{kernel} × {config} missing from sweep"));
+        assert!(
+            matches!(row.verdict, Verdict::DivergenceRisk { .. }),
+            "{kernel} × {config} is documented divergent but the sweep certified it"
+        );
+
+        let params = SolverParams::default();
+        let problem = problem_for(kernel, &params).expect("solver kernel");
+        let cfg = converge_configs()
+            .into_iter()
+            .find(|(l, _)| *l == config)
+            .expect("converge config")
+            .1;
+        let run = run_solver(&problem, cfg, &params);
+        assert!(
+            run.iterations_to_tol.is_none(),
+            "{kernel} × {config}: flagged A010 yet converged to {DEFAULT_TOL} in \
+             {:?} sweeps",
+            run.iterations_to_tol
+        );
+        assert!(
+            run.final_err > DEFAULT_TOL,
+            "{kernel} × {config}: plateau {} not above tolerance",
+            run.final_err
+        );
+    }
+
+    // The guaranteed ρ ≥ 1 specimen: a threshold-2 adder wrecks the
+    // contraction entirely; the measured plateau sits orders of
+    // magnitude above the target.
+    let params = SolverParams::default();
+    let problem = problem_for("jacobi_sweep", &params).expect("jacobi");
+    let th2 = converge_configs()
+        .into_iter()
+        .find(|(l, _)| *l == "add_th2")
+        .expect("add_th2 config")
+        .1;
+    let run = run_solver(&problem, th2, &params);
+    assert!(
+        run.final_err > 1e-3,
+        "add_th2 jacobi plateau {} suspiciously small",
+        run.final_err
+    );
+}
+
+/// The stock sweep's A010 findings are exactly the documented expected
+/// divergences — nothing gates, so `converge-baseline.txt` ships empty.
+#[test]
+fn stock_sweep_raises_only_documented_divergences() {
+    let rows = converge_stock(&settings(), DEFAULT_TOL, &[]);
+    let findings = findings_for(&rows);
+    assert!(
+        !findings.is_empty(),
+        "the sweep must exercise divergent configs"
+    );
+    for f in &findings {
+        let kernel = f.path.trim_end_matches(".s");
+        let config = f
+            .function
+            .as_deref()
+            .and_then(|fun| fun.split('|').next())
+            .unwrap_or("");
+        assert!(
+            is_expected_divergent(kernel, config),
+            "undocumented A010 would gate CI: {}",
+            f.fingerprint()
+        );
+    }
+    // And the shipped baseline really is empty.
+    let baseline = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("converge-baseline.txt"),
+    )
+    .expect("converge-baseline.txt is committed");
+    assert!(
+        baseline.lines().all(|l| l.is_empty() || l.starts_with('#')),
+        "converge-baseline.txt must ship empty"
+    );
+}
+
+/// A certificate must exist for every kernel the solver workload can
+/// instantiate, and vice versa — the two registries cannot drift.
+#[test]
+fn solver_registries_agree() {
+    for name in solver_kernel_names() {
+        assert!(
+            problem_for(name, &SolverParams::default()).is_some(),
+            "{name} has no workload problem"
+        );
+    }
+    for prog in solver_kernels() {
+        assert!(
+            prog.feedback().is_some(),
+            "{} is a solver kernel without a feedback binding",
+            prog.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Composition property: iterating one launch summary `k` times at
+    // fixed `(ρ, c)` is never tighter than re-extracting a fresh
+    // summary at each step's shrinking error bound. (Re-extraction at
+    // a smaller `h` can only shrink the operand magnitudes the error
+    // factors multiply, so the per-step analysis is at least as tight —
+    // the composed summary must stay conservative.)
+    #[test]
+    fn composed_summary_is_never_tighter_than_stepwise_reextraction(
+        kernel_idx in 0usize..2,
+        config_idx in 0usize..7,
+        steps in 1usize..6,
+    ) {
+        let s = settings();
+        let prog = &solver_kernels()[kernel_idx];
+        let (label, cfg) = converge_configs().swap_remove(config_idx);
+        let h0 = s.input_hi - s.input_lo;
+        let Ok(fixed) = summary_at(prog, &cfg, label, &s, h0) else {
+            return;
+        };
+
+        let mut composed = h0;
+        let mut stepwise = h0;
+        for _ in 0..steps {
+            composed = fixed.rho * composed + fixed.c;
+            let fresh = summary_at(prog, &cfg, label, &s, stepwise.max(f64::MIN_POSITIVE))
+                .expect("re-extraction at a smaller bound stays well-defined");
+            stepwise = fresh.rho * stepwise + fresh.c;
+            prop_assert!(
+                composed >= stepwise - 1e-12 * stepwise.abs().max(1.0),
+                "{} × {label}: composed bound {composed} tighter than stepwise {stepwise}",
+                prog.name(),
+            );
+        }
+    }
+
+    // The summary's ρ is monotone in `h`: analyzing with a larger
+    // incoming error never reports a smaller contraction factor.
+    #[test]
+    fn rho_is_monotone_in_the_seed_bound(
+        config_idx in 0usize..7,
+        h_lo in 1e-4f64..0.2,
+        scale in 1.1f64..8.0,
+    ) {
+        let s = settings();
+        let prog = &solver_kernels()[0];
+        let (label, cfg) = converge_configs().swap_remove(config_idx);
+        let lo = summary_at(prog, &cfg, label, &s, h_lo);
+        let hi = summary_at(prog, &cfg, label, &s, h_lo * scale);
+        if let (Ok(lo), Ok(hi)) = (lo, hi) {
+            prop_assert!(
+                hi.rho >= lo.rho - 1e-12,
+                "{label}: rho({}) = {} < rho({}) = {}",
+                h_lo * scale, hi.rho, h_lo, lo.rho
+            );
+        }
+    }
+}
