@@ -14,6 +14,7 @@
 pub mod experiments;
 pub mod racebench;
 pub mod runner;
+pub mod serve;
 pub mod solverbench;
 pub mod table;
 

@@ -557,13 +557,27 @@ pub fn run_cli(args: &[String]) -> i32 {
                     eprintln!("{arg} expects a value");
                     return 2;
                 };
+                // Counts are rejected at 0 with a diagnostic — never
+                // silently clamped (`--workers 0` used to become 1
+                // here while `repro serve` rejected it; the
+                // subcommands now agree). The *default* budget is
+                // still clamped to the host, and that clamp is
+                // reported as `workers_clamped` in the record.
                 let ok = match arg.as_str() {
-                    "--threads" => value.parse().map(|v: u32| threads = v.max(1)).is_ok(),
-                    "--workers" => value
-                        .parse()
-                        .map(|v: usize| workers = Some(v.max(1)))
-                        .is_ok(),
-                    "--repeats" => value.parse().map(|v: u32| repeats = v.max(1)).is_ok(),
+                    "--threads" | "--workers" | "--repeats" => match value.parse::<u64>() {
+                        Ok(v) if v >= 1 => {
+                            match arg.as_str() {
+                                "--threads" => threads = v.min(u64::from(u32::MAX)) as u32,
+                                "--workers" => workers = Some(v as usize),
+                                _ => repeats = v.min(u64::from(u32::MAX)) as u32,
+                            }
+                            true
+                        }
+                        _ => {
+                            eprintln!("{arg} expects a positive integer, got '{value}'");
+                            return 2;
+                        }
+                    },
                     "--min-speedup" => value
                         .parse()
                         .map(|v: f64| min_speedup = Some(v.max(0.0)))
@@ -604,6 +618,7 @@ pub fn run_cli(args: &[String]) -> i32 {
                      \n\
                      The default worker budget ({DEFAULT_WORKERS}) is clamped to the host's\n\
                      available parallelism; pass --workers to override the clamp.\n\
+                     All counts must be positive — 0 is rejected, not clamped.\n\
                      --engine selects the execution engine measured against the\n\
                      interpreted-sequential reference (default: compiled).\n\
                      --min-speedup X fails the run (exit 1) when any row that took a\n\

@@ -57,6 +57,19 @@ impl RunCache {
         T: Send + Sync + 'static,
         F: FnOnce() -> T,
     {
+        self.get_or_compute_flagged(key, f).0
+    }
+
+    /// [`RunCache::get_or_compute`], additionally reporting whether
+    /// *this* call ran the computation (`true`) or was coalesced onto a
+    /// cached/in-flight one (`false`). The serve front door uses the
+    /// flag to count request-dedup hits per launch — the cache-wide
+    /// [`RunCache::hits`] counter can't attribute a hit to a caller.
+    pub fn get_or_compute_flagged<T, F>(&self, key: &str, f: F) -> (Arc<T>, bool)
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
         let cell = {
             let mut map = self.map.lock();
             Arc::clone(map.entry((key.to_owned(), TypeId::of::<T>())).or_default())
@@ -75,9 +88,10 @@ impl RunCache {
             value.is::<T>(),
             "run-cache entry for key `{key}` holds a foreign type despite TypeId keying"
         );
-        Arc::clone(value)
+        let value = Arc::clone(value)
             .downcast::<T>()
-            .unwrap_or_else(|_| panic!("run-cache type mismatch for key `{key}`"))
+            .unwrap_or_else(|_| panic!("run-cache type mismatch for key `{key}`"));
+        (value, computed)
     }
 
     /// Number of requests served from the cache.

@@ -874,6 +874,39 @@ impl WarpInterpreter {
         self.plans.len()
     }
 
+    /// Snapshot of the plan cache's cumulative hit/miss/eviction
+    /// counters and occupancy.
+    pub fn plan_cache_stats(&self) -> crate::plan::PlanCacheStats {
+        self.plans.stats()
+    }
+
+    /// Rebounds the plan cache to `capacity` plans (min 1), evicting
+    /// least-recently-used entries immediately if it now overflows.
+    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
+        self.plans.set_capacity(capacity);
+    }
+
+    /// Switches the interpreter to a new datapath configuration,
+    /// resetting the performance counters (they are meaningless across
+    /// a config change) while preserving the tracing flag and the plan
+    /// cache — plans are keyed on `(program, config)`, so previously
+    /// compiled configs stay warm for when a later launch switches
+    /// back. This is what lets one long-lived interpreter serve
+    /// per-request config diversity instead of being rebuilt per
+    /// launch.
+    pub fn set_config(&mut self, cfg: IhwConfig) {
+        let tracing = self.ctx.is_tracing();
+        self.ctx = FpCtx::new(cfg);
+        if tracing {
+            self.ctx.enable_trace();
+        }
+    }
+
+    /// The datapath configuration launches currently execute under.
+    pub fn config(&self) -> &IhwConfig {
+        self.ctx.config()
+    }
+
     /// Sets the worker budget and returns `self` (builder style).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.set_workers(workers);

@@ -45,6 +45,7 @@
 
 pub mod asm;
 pub mod compile;
+pub mod concurrent;
 pub mod deps;
 pub mod dispatch;
 pub mod dvfs;
@@ -59,12 +60,13 @@ pub mod wattch;
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::concurrent::{LaunchError, LaunchOutcome, SharedInterpreter};
     pub use crate::deps::{racecheck, RaceReport, Verdict};
     pub use crate::dispatch::FpCtx;
     pub use crate::dvfs::DvfsPoint;
     pub use crate::isa::{ExecEngine, Instr, Program, Reg, WarpInterpreter};
     pub use crate::memory::MemoryHierarchy;
-    pub use crate::plan::{compile, CompiledKernel, PlanKey};
+    pub use crate::plan::{compile, CompiledKernel, PlanCacheStats, PlanKey};
     pub use crate::shared::SharedFpCtx;
     pub use crate::simt::{GpuConfig, InstrMix, KernelLaunch, SimStats, Simulator, UnitClass};
     pub use crate::tuner::{tune, tune_sites, QualityConstraint, TuningOutcome, TuningStep};

@@ -433,28 +433,72 @@ pub struct PlanKey {
 }
 
 /// One cached plan plus the exact program it was compiled from, kept
-/// for collision verification on every hit.
+/// for collision verification on every hit, and the logical timestamp
+/// of its last use (the LRU eviction order).
 #[derive(Debug)]
 struct PlanEntry {
     regs: u8,
     instrs: Vec<Instr>,
     plan: Arc<CompiledKernel>,
+    stamp: u64,
 }
 
-/// A bounded per-interpreter plan cache. Lookups verify the stored
-/// instruction stream against the requesting program, so fingerprint
-/// collisions (or a program mutated under the same name) recompile
-/// instead of running a stale plan. When full, the cache is cleared
-/// wholesale — straight-line kernels recompile in microseconds, so
-/// eviction bookkeeping would cost more than it saves.
-#[derive(Debug, Default)]
+/// Cumulative plan-cache counters, a copyable snapshot for stats
+/// surfaces (the serve bench reports these per worker-ladder row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache (post collision verification).
+    pub hits: u64,
+    /// Lookups that compiled a fresh plan (cold key *or* a fingerprint
+    /// collision that failed verification).
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Current number of cached plans.
+    pub len: usize,
+    /// Configured capacity bound.
+    pub capacity: usize,
+}
+
+/// A bounded per-interpreter plan cache with deterministic LRU
+/// eviction. Lookups verify the stored instruction stream against the
+/// requesting program, so fingerprint collisions (or a program mutated
+/// under the same name) recompile instead of running a stale plan.
+///
+/// Every hit or insert stamps the entry with a monotonically increasing
+/// logical tick; when an insert would exceed capacity the entry with
+/// the *smallest* stamp is evicted. Stamps are unique, so the victim is
+/// fully determined by the lookup sequence — no wall clock, no hash
+/// order — and the [`PlanCacheStats`] counters make every eviction
+/// visible. (The previous policy cleared the whole map when full, which
+/// under serve traffic with many distinct configs meant periodically
+/// recompiling the entire working set.)
+#[derive(Debug)]
 pub(crate) struct PlanCache {
     entries: BTreeMap<PlanKey, PlanEntry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache {
+            entries: BTreeMap::new(),
+            capacity: Self::DEFAULT_CAPACITY,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
 }
 
 impl PlanCache {
-    /// Bound on cached plans before a wholesale clear.
-    const CAPACITY: usize = 64;
+    /// Default bound on cached plans.
+    pub(crate) const DEFAULT_CAPACITY: usize = 64;
 
     /// Returns the cached plan for `(prog, cfg)`, compiling on miss.
     pub(crate) fn get_or_compile(
@@ -466,13 +510,20 @@ impl PlanCache {
             fingerprint: fingerprint(prog),
             config: *cfg,
         };
-        if let Some(e) = self.entries.get(&key) {
+        let stamp = self.tick;
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
             if e.regs == prog.regs() && e.instrs == prog.instrs() {
+                e.stamp = stamp;
+                self.hits += 1;
                 return Arc::clone(&e.plan);
             }
         }
-        if self.entries.len() >= Self::CAPACITY && !self.entries.contains_key(&key) {
-            self.entries.clear();
+        self.misses += 1;
+        if !self.entries.contains_key(&key) {
+            while self.entries.len() >= self.capacity {
+                self.evict_lru();
+            }
         }
         let plan = Arc::new(compile(prog, cfg));
         self.entries.insert(
@@ -481,9 +532,44 @@ impl PlanCache {
                 regs: prog.regs(),
                 instrs: prog.instrs().to_vec(),
                 plan: Arc::clone(&plan),
+                stamp,
             },
         );
         plan
+    }
+
+    /// Removes the least-recently-used entry (smallest stamp; stamps
+    /// are unique, so the victim is deterministic).
+    fn evict_lru(&mut self) {
+        if let Some(key) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(k, _)| *k)
+        {
+            self.entries.remove(&key);
+            self.evictions += 1;
+        }
+    }
+
+    /// Rebounds the cache to `capacity` plans (min 1), evicting the
+    /// least-recently-used entries immediately if it now overflows.
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.entries.len() > self.capacity {
+            self.evict_lru();
+        }
+    }
+
+    /// Snapshot of the cumulative counters plus current occupancy.
+    pub(crate) fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.entries.len(),
+            capacity: self.capacity,
+        }
     }
 
     /// Number of cached plans.
@@ -603,6 +689,71 @@ mod tests {
         let d = cache.get_or_compile(&prog2, &IhwConfig::precise());
         assert!(!Arc::ptr_eq(&a, &d));
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn churning_past_capacity_evicts_lru_not_everything() {
+        let mut cache = PlanCache::default();
+        let cfg = IhwConfig::precise();
+        let extra = 16usize;
+        let total = PlanCache::DEFAULT_CAPACITY + extra;
+        // Churn more distinct (program, config) keys than the capacity:
+        // each saxpy immediate fingerprints apart.
+        for i in 0..total {
+            cache.get_or_compile(&programs::saxpy(i as f32), &cfg);
+            assert!(
+                cache.len() <= PlanCache::DEFAULT_CAPACITY,
+                "cache never exceeds its capacity"
+            );
+        }
+        let s = cache.stats();
+        assert_eq!(s.len, PlanCache::DEFAULT_CAPACITY);
+        assert_eq!(s.capacity, PlanCache::DEFAULT_CAPACITY);
+        assert_eq!(s.misses, total as u64);
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.evictions, extra as u64, "only the LRU tail is evicted");
+        // The most recent CAPACITY keys are all still resident (the old
+        // wholesale clear would have dropped most of them)…
+        for i in extra..total {
+            cache.get_or_compile(&programs::saxpy(i as f32), &cfg);
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits, PlanCache::DEFAULT_CAPACITY as u64);
+        assert_eq!(s.evictions, extra as u64);
+        // …while the churned-out oldest keys recompile.
+        cache.get_or_compile(&programs::saxpy(0.0), &cfg);
+        assert_eq!(cache.stats().misses, total as u64 + 1);
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic_and_respects_recency() {
+        let mut cache = PlanCache::default();
+        cache.set_capacity(4);
+        let prog = programs::saxpy(2.0);
+        let cfg = |t: u32| IhwConfig::ray_with_ac_mul(t);
+        for t in 0..4 {
+            cache.get_or_compile(&prog, &cfg(t));
+        }
+        // Touch t=0 so t=1 becomes the LRU victim.
+        cache.get_or_compile(&prog, &cfg(0));
+        cache.get_or_compile(&prog, &cfg(10));
+        let s = cache.stats();
+        assert_eq!((s.len, s.evictions), (4, 1));
+        // t=1 was evicted; t=0 survived its refresh.
+        let hits_before = cache.stats().hits;
+        cache.get_or_compile(&prog, &cfg(0));
+        assert_eq!(cache.stats().hits, hits_before + 1);
+        cache.get_or_compile(&prog, &cfg(1));
+        assert_eq!(
+            cache.stats().evictions,
+            2,
+            "refetching the victim evicts again"
+        );
+        // Shrinking the capacity evicts immediately, oldest first.
+        cache.set_capacity(2);
+        let s = cache.stats();
+        assert_eq!((s.len, s.capacity), (2, 2));
+        assert_eq!(s.evictions, 4);
     }
 
     #[test]

@@ -37,13 +37,25 @@
 //! plain serial map that never touches the pool: the reference
 //! execution the parallel path must match byte-for-byte.
 //!
-//! # Panic policy
+//! # Panic policy & per-launch fault isolation
 //!
 //! A panicking job never takes the pool down: each chunk runs under
 //! `catch_unwind`, every chunk of the batch still completes and reports
 //! its slot, and the *first* panic payload (lowest chunk index) is
 //! re-raised on the calling thread only after the whole batch has
 //! drained — no deadlock, no lost sibling results, no poisoned queue.
+//!
+//! Multiple submitters may sweep concurrently (each batch is private;
+//! the pool's workers drain batches in FIFO order), and a fault stays
+//! confined to the sweep that raised it: [`try_sweep_with`] returns a
+//! [`SweepError`] instead of unwinding, and even a chunk that is *lost*
+//! outright — its worker died between claiming the job and reporting —
+//! surfaces as a per-sweep error rather than the process-aborting
+//! `recv().expect(...)` it used to be. Worker threads additionally run
+//! every job under their own `catch_unwind`, so a pathological panic
+//! that escapes the chunk wrapper (e.g. a panicking `Drop` in a job's
+//! captures) kills neither the persistent worker nor any sibling
+//! submitter's sweep.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -84,6 +96,88 @@ pub fn jobs() -> usize {
 
 /// A queued unit of work: one chunk of one sweep.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a sweep failed, reported per launch by [`try_sweep_with`]: the
+/// lowest-indexed failing chunk either panicked (payload preserved) or
+/// was lost without reporting (its worker died mid-job). Sibling chunks
+/// of the same sweep — and every other submitter's sweep — still
+/// complete; the error is confined to the launch that raised it.
+#[derive(Debug)]
+pub struct SweepError {
+    /// Index of the first failing chunk (chunks are contiguous input
+    /// ranges in input order).
+    pub chunk: usize,
+    kind: SweepErrorKind,
+}
+
+enum SweepErrorKind {
+    /// The chunk's job panicked; the payload is preserved so
+    /// [`SweepError::resume`] can re-raise it unchanged.
+    Panic(Box<dyn std::any::Any + Send>),
+    /// The chunk never reported: its worker died between claiming the
+    /// job and sending the result (e.g. a panicking `Drop` escaped the
+    /// chunk's own `catch_unwind`).
+    Lost,
+}
+
+impl std::fmt::Debug for SweepErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepErrorKind::Panic(p) => write!(f, "Panic({:?})", payload_message(&**p)),
+            SweepErrorKind::Lost => write!(f, "Lost"),
+        }
+    }
+}
+
+/// Renders a panic payload as text (`&str`/`String` payloads verbatim,
+/// anything else a placeholder).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+impl SweepError {
+    /// Whether the chunk was lost (no report at all) rather than
+    /// panicking through the chunk wrapper.
+    pub fn is_lost(&self) -> bool {
+        matches!(self.kind, SweepErrorKind::Lost)
+    }
+
+    /// Human-readable description of the failure.
+    pub fn message(&self) -> String {
+        match &self.kind {
+            SweepErrorKind::Panic(p) => {
+                format!("chunk {} panicked: {}", self.chunk, payload_message(&**p))
+            }
+            SweepErrorKind::Lost => format!(
+                "chunk {} was lost: its worker died before reporting",
+                self.chunk
+            ),
+        }
+    }
+
+    /// Re-raises the failure on the current thread: panics with the
+    /// original payload (so callers that `catch_unwind` a [`sweep`]
+    /// still observe the job's own panic) or with the lost-chunk
+    /// description.
+    pub fn resume(self) -> ! {
+        match self.kind {
+            SweepErrorKind::Panic(payload) => resume_unwind(payload),
+            SweepErrorKind::Lost => panic!("{}", self.message()),
+        }
+    }
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message())
+    }
+}
 
 /// One sweep's private chunk queue. Shared between the pool (workers
 /// steal chunks) and the submitting thread (which helps drain it).
@@ -171,9 +265,13 @@ impl PersistentPool {
                     st = recover(self.work_ready.wait(st));
                 }
             };
-            // Chunks are panic-proof: the sweep wraps each in
-            // `catch_unwind` and reports through its result channel.
-            job();
+            // Chunks are panic-proof (the sweep wraps each in
+            // `catch_unwind` and reports through its result channel),
+            // but a pathological payload can still unwind on the way
+            // out — e.g. a panicking `Drop` in the job's captures. A
+            // second guard here keeps the persistent worker alive; the
+            // affected sweep sees a lost chunk, not a dead pool.
+            let _ = catch_unwind(AssertUnwindSafe(job));
         }
     }
 }
@@ -225,8 +323,27 @@ where
 /// # Panics
 ///
 /// Re-raises the first job panic (lowest chunk index) after the whole
-/// sweep has drained; sibling chunks still complete.
+/// sweep has drained; sibling chunks still complete. Callers that must
+/// survive a faulting launch use [`try_sweep_with`] instead.
 pub fn sweep_with<I, T, F>(workers: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send + 'static,
+    T: Send + 'static,
+    F: Fn(I) -> T + Send + Sync + 'static,
+{
+    match try_sweep_with(workers, items, f) {
+        Ok(results) => results,
+        Err(err) => err.resume(),
+    }
+}
+
+/// [`sweep_with`], but a faulting sweep comes back as `Err(SweepError)`
+/// instead of unwinding the calling thread — the per-launch fault
+/// isolation the multi-tenant serve path builds on. The whole batch
+/// still drains before the error is returned (sibling chunks complete;
+/// the pool stays usable), and concurrent sweeps from other submitters
+/// are unaffected.
+pub fn try_sweep_with<I, T, F>(workers: usize, items: Vec<I>, f: F) -> Result<Vec<T>, SweepError>
 where
     I: Send + 'static,
     T: Send + 'static,
@@ -235,7 +352,15 @@ where
     let n = items.len();
     let workers = workers.min(n);
     if workers <= 1 {
-        return items.into_iter().map(f).collect();
+        // Serial path: the whole sweep is one logical chunk, guarded so
+        // a panicking job still yields a per-launch error.
+        return catch_unwind(AssertUnwindSafe(move || {
+            items.into_iter().map(f).collect::<Vec<T>>()
+        }))
+        .map_err(|payload| SweepError {
+            chunk: 0,
+            kind: SweepErrorKind::Panic(payload),
+        });
     }
 
     let chunk_len = n.div_ceil(workers);
@@ -275,35 +400,67 @@ where
     persistent().submit(&batch, n_chunks.saturating_sub(1));
 
     // Help-first: drain our own batch so nested sweeps cannot starve
-    // even if every pool worker is stuck in some other batch.
+    // even if every pool worker is stuck in some other batch. The same
+    // guard the workers use keeps a pathological unwind (panicking
+    // `Drop` in a job's captures) from escaping past the collection
+    // below — the chunk would surface as lost, not as a double fault.
     while let Some(job) = batch.pop() {
-        job();
+        let _ = catch_unwind(AssertUnwindSafe(job));
     }
 
-    let mut slots: Vec<Option<std::thread::Result<Vec<T>>>> = Vec::with_capacity(n_chunks);
-    slots.resize_with(n_chunks, || None);
-    for _ in 0..n_chunks {
-        let (index, out) = rx.recv().expect("every chunk reports exactly once");
-        slots[index] = Some(out);
-    }
+    let slots = collect_chunks(&rx, n_chunks);
     drop(f);
 
     let mut results = Vec::with_capacity(n);
-    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
-    for slot in slots {
-        match slot.expect("chunk slot filled") {
-            Ok(out) => results.extend(out),
-            Err(payload) => {
-                if first_panic.is_none() {
-                    first_panic = Some(payload);
+    let mut failure: Option<SweepError> = None;
+    for (chunk, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(out)) => results.extend(out),
+            Some(Err(payload)) => {
+                if failure.is_none() {
+                    failure = Some(SweepError {
+                        chunk,
+                        kind: SweepErrorKind::Panic(payload),
+                    });
+                }
+            }
+            None => {
+                if failure.is_none() {
+                    failure = Some(SweepError {
+                        chunk,
+                        kind: SweepErrorKind::Lost,
+                    });
                 }
             }
         }
     }
-    if let Some(payload) = first_panic {
-        resume_unwind(payload);
+    match failure {
+        Some(err) => Err(err),
+        None => Ok(results),
     }
-    results
+}
+
+/// Collects up to `n_chunks` chunk reports into index-addressed slots.
+///
+/// Every chunk job owns a clone of the report sender and drops it after
+/// (or instead of) sending, so a disconnected channel proves no further
+/// report can ever arrive: a slot still `None` at that point is a *lost*
+/// chunk — its worker died between claiming the job and reporting —
+/// and is mapped to [`SweepError::is_lost`] by the caller rather than
+/// the process-aborting `recv().expect(..)` this replaces.
+fn collect_chunks<T>(
+    rx: &mpsc::Receiver<(usize, std::thread::Result<Vec<T>>)>,
+    n_chunks: usize,
+) -> Vec<Option<std::thread::Result<Vec<T>>>> {
+    let mut slots: Vec<Option<std::thread::Result<Vec<T>>>> = Vec::with_capacity(n_chunks);
+    slots.resize_with(n_chunks, || None);
+    for _ in 0..n_chunks {
+        match rx.recv() {
+            Ok((index, out)) => slots[index] = Some(out),
+            Err(_) => break,
+        }
+    }
+    slots
 }
 
 #[cfg(test)]
@@ -413,6 +570,87 @@ mod tests {
         // And the pool is still usable afterwards.
         let again: Vec<u64> = sweep_with(4, (0..16).collect(), |x| x * 3);
         assert_eq!(again, (0..16).map(|x| x * 3).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn try_sweep_returns_error_instead_of_unwinding() {
+        let _guard = jobs_lock();
+        let err = try_sweep_with(4, (0..32).collect::<Vec<u64>>(), |x| {
+            if x == 9 {
+                panic!("boom at {x}");
+            }
+            x
+        })
+        .expect_err("panicking job surfaces as a per-launch error");
+        assert!(!err.is_lost());
+        assert_eq!(err.chunk, 1, "item 9 lives in chunk 1 of 4×8");
+        assert_eq!(err.message(), "chunk 1 panicked: boom at 9");
+        // Serial path is guarded too.
+        let err = try_sweep_with(1, vec![0u64], |_| -> u64 { panic!("serial boom") })
+            .expect_err("serial panics surface as errors as well");
+        assert_eq!(err.message(), "chunk 0 panicked: serial boom");
+        // And a healthy sweep is plain Ok.
+        let ok = try_sweep_with(4, (0..16).collect::<Vec<u64>>(), |x| x * 3).unwrap();
+        assert_eq!(ok, (0..16).map(|x| x * 3).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn faulting_submitter_leaves_concurrent_sweep_intact() {
+        let _guard = jobs_lock();
+        // Submitter A keeps throwing faulting launches at the pool while
+        // submitter B's healthy launches run concurrently: B must see
+        // byte-identical results and A must see only its own errors.
+        let faulty = std::thread::spawn(|| {
+            let mut errors = 0usize;
+            for _ in 0..8 {
+                let res = try_sweep_with(4, (0..32).collect::<Vec<u64>>(), |x| {
+                    if x % 5 == 0 {
+                        panic!("tenant-a fault at {x}");
+                    }
+                    x
+                });
+                if res.is_err() {
+                    errors += 1;
+                }
+            }
+            errors
+        });
+        let expect: Vec<u64> = (0..64).map(|x| x * x).collect();
+        for _ in 0..8 {
+            let got = try_sweep_with(4, (0..64).collect::<Vec<u64>>(), |x| x * x)
+                .expect("healthy tenant is unaffected by the faulting one");
+            assert_eq!(got, expect);
+        }
+        let errors = faulty.join().expect("faulting submitter never unwinds");
+        assert_eq!(errors, 8, "every faulting launch reported its own error");
+        // The pool survives the whole episode.
+        let again: Vec<u64> = sweep_with(4, (0..16).collect(), |x| x + 1);
+        assert_eq!(again, (0..16).map(|x| x + 1).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn lost_chunk_is_reported_not_fatal() {
+        // Drive the collection loop directly: chunk 1's sender is
+        // dropped without reporting (a worker that died mid-job), which
+        // must surface as a lost slot, not a process abort.
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<Vec<u64>>)>();
+        let orphan = tx.clone();
+        tx.send((0, Ok(vec![1, 2]))).unwrap();
+        tx.send((2, Ok(vec![5, 6]))).unwrap();
+        drop(tx);
+        drop(orphan);
+        let slots = collect_chunks(&rx, 3);
+        assert!(slots[0].is_some() && slots[2].is_some());
+        assert!(slots[1].is_none(), "unreported chunk stays empty");
+        let err = SweepError {
+            chunk: 1,
+            kind: SweepErrorKind::Lost,
+        };
+        assert!(err.is_lost());
+        assert_eq!(
+            err.message(),
+            "chunk 1 was lost: its worker died before reporting"
+        );
     }
 
     #[test]

@@ -60,6 +60,15 @@ autotune *ARGS:
 converge *ARGS:
     cargo run --release -p ihw-bench --bin repro -- converge {{ARGS}}
 
+# Batched multi-tenant launch service benchmark (see DESIGN.md §14):
+# replays a deterministic request mix at worker budgets 1..=N and
+# records req/s, p50/p99 latency, dedup hits and plan-cache counters
+# (BENCH_serve.json, schema ihw-serve/1). Exits non-zero if any row's
+# coalesced responses diverge from the 1-worker reference or a
+# multi-tenant mix coalesces nothing.
+serve *ARGS:
+    cargo run --release -p ihw-bench --bin repro -- serve {{ARGS}}
+
 # Bench honesty gate: fails if any kernel×config row that took a
 # parallel launch path recorded a speedup below 0.9x (rows the
 # adaptive cutover kept sequential are exempt).

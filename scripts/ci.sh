@@ -59,6 +59,14 @@ echo "== racebench: interpreted vs compiled vs parallel (bit-identity + throughp
 # --workers.
 cargo run --release -p ihw-bench --bin repro -- racecheck --bench
 
+echo "== serve-smoke: multi-tenant launch service (coalescing + bit-identity) =="
+# Fails (exit 1) if any worker-budget row's coalesced responses are not
+# bit-identical to the 1-worker reference, or the multi-tenant mix
+# recorded zero dedup hits. The explicit --workers 4 keeps the recorded
+# ladder multi-row even on small CI hosts (the default top self-clamps
+# to the host's cores); refreshes the committed BENCH_serve.json.
+cargo run --release -p ihw-bench --bin repro -- serve --workers 4
+
 echo "== bench-sanity: every parallel row must pay for itself =="
 # Fails (exit 1) if any row that actually took a parallel path recorded
 # a speedup below 0.9x — i.e. the proof-gated fan-out made things
